@@ -1,0 +1,25 @@
+"""§5.4 — cycle-matching ablation: simple unification vs partition refinement.
+
+The paper found the two algorithms give roughly the same validation rate,
+and that running the simple matcher with partitioning as a fallback
+("combined") is marginally better than either alone.
+"""
+
+from repro.bench import format_grouped_bars, matching_ablation
+
+
+def test_matching_strategy_ablation(benchmark, bench_scale):
+    results = benchmark.pedantic(
+        matching_ablation,
+        kwargs={"scale": bench_scale, "benchmarks": ["sqlite", "bzip2", "lbm", "mcf"]},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(format_grouped_bars(results, title="Matcher ablation (validation rate)"))
+
+    def average(matcher):
+        return sum(results[matcher].values()) / len(results[matcher])
+
+    # The combined strategy is at least as good as either algorithm alone.
+    assert average("combined") >= average("simple") - 1e-9
+    assert average("combined") >= average("partition") - 1e-9

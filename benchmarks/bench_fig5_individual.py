@@ -1,0 +1,30 @@
+"""Figure 5 — per-optimization transformed/validated function counts."""
+
+from repro.bench import figure5, format_table
+from repro.transforms import PAPER_PIPELINE
+
+
+def test_figure5_individual_optimizations(benchmark, bench_scale, fast_benchmarks):
+    results = benchmark.pedantic(
+        figure5, kwargs={"scale": bench_scale, "benchmarks": fast_benchmarks},
+        iterations=1, rounds=1,
+    )
+    print()
+    totals = {}
+    for pass_name, rows in results.items():
+        transformed = sum(row["transformed"] for row in rows)
+        validated = sum(row["validated"] for row in rows)
+        totals[pass_name] = (transformed, validated)
+        print(format_table(rows, title=f"Figure 5 — {pass_name}"))
+        print()
+    assert set(results) == set(PAPER_PIPELINE)
+    # GVN transforms more functions than the loop passes (as in the paper,
+    # where it "performs many more transformations than the other
+    # optimizations").
+    assert totals["gvn"][0] >= totals["loop-deletion"][0]
+    assert totals["gvn"][0] >= totals["loop-unswitch"][0]
+    # ADCE and GVN validate essentially everywhere on these corpora.
+    for easy in ("adce", "gvn"):
+        transformed, validated = totals[easy]
+        if transformed:
+            assert validated / transformed >= 0.9

@@ -1,0 +1,20 @@
+"""Figure 6 — effect of the rewrite-rule groups on validating GVN."""
+
+from repro.bench import figure6, format_grouped_bars
+
+
+def test_figure6_gvn_rule_ablation(benchmark, bench_scale, fast_benchmarks):
+    results = benchmark.pedantic(
+        figure6, kwargs={"scale": bench_scale, "benchmarks": fast_benchmarks},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(format_grouped_bars(results, title="Figure 6 — GVN validation rate per rule set"))
+    labels = list(results)
+    # Adding rule groups never hurts, and the full rule set beats "no rules"
+    # (the paper reports ~50% with no rules, rising substantially).
+    for bench in fast_benchmarks:
+        assert results[labels[-1]][bench] >= results[labels[0]][bench]
+    first_avg = sum(results[labels[0]].values()) / len(fast_benchmarks)
+    last_avg = sum(results[labels[-1]].values()) / len(fast_benchmarks)
+    assert last_avg >= first_avg

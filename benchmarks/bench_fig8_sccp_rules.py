@@ -1,0 +1,19 @@
+"""Figure 8 — effect of the rewrite rules on validating SCCP."""
+
+from repro.bench import figure8, format_grouped_bars
+
+
+def test_figure8_sccp_rule_ablation(benchmark, bench_scale, fast_benchmarks):
+    results = benchmark.pedantic(
+        figure8, kwargs={"scale": bench_scale, "benchmarks": fast_benchmarks},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(format_grouped_bars(results, title="Figure 8 — SCCP validation rate per rule set"))
+    labels = list(results)
+    averages = {label: sum(values.values()) / len(values) for label, values in results.items()}
+    # With no rules the results are poor; constant folding gives a big jump;
+    # φ simplification and the rest close most of the remaining gap.
+    assert averages[labels[0]] <= averages[labels[1]] + 1e-9
+    assert averages["all rules"] >= averages[labels[0]]
+    assert averages["all rules"] >= 60.0

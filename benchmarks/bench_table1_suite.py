@@ -1,0 +1,16 @@
+"""Table 1 — test-suite information (corpus size, LOC, function counts)."""
+
+from repro.bench import format_table, table1
+
+
+def test_table1_suite_information(benchmark, bench_scale):
+    rows = benchmark(table1, scale=bench_scale)
+    print()
+    print(format_table(rows, title=f"Table 1 (corpus scale {bench_scale})"))
+    assert len(rows) == 12
+    by_name = {row["benchmark"]: row for row in rows}
+    # The relative ordering of the paper's Table 1 must reproduce:
+    # gcc is the largest corpus, lbm/mcf the smallest.
+    assert by_name["gcc"]["functions"] == max(row["functions"] for row in rows)
+    assert by_name["lbm"]["functions"] <= by_name["sqlite"]["functions"]
+    assert by_name["mcf"]["loc"] < by_name["gcc"]["loc"]

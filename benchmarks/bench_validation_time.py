@@ -1,0 +1,20 @@
+"""§5.1 — validation wall-clock time per benchmark.
+
+The paper reports 19m19s for gcc, 2m56s for perlbench and 55s for SQLite
+(on 2011 hardware, at full corpus size).  Here only the ordering and the
+rough ratios are meaningful: the gcc corpus takes the longest to validate.
+"""
+
+from repro.bench import format_table, validation_timing
+
+
+def test_validation_time_ordering(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        validation_timing,
+        kwargs={"scale": bench_scale, "benchmarks": ["sqlite", "perlbench", "gcc"]},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(format_table(rows, title=f"Validation time (corpus scale {bench_scale})"))
+    by_name = {row["benchmark"]: row for row in rows if row["benchmark"] != "overall"}
+    assert by_name["gcc"]["time_s"] >= by_name["sqlite"]["time_s"]

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Rewrite-rule ablation: how much does each rule group buy?
+
+Reproduces miniature versions of the paper's Figures 6–8: validate a
+single optimization (GVN, LICM or SCCP) under increasing sets of
+normalization rules and print the validation rate per rule set, as an
+ASCII bar chart per benchmark.
+
+Run with::
+
+    python examples/rule_ablation.py [gvn|licm|sccp] [scale]
+"""
+
+import sys
+
+from repro.bench import figure6, figure7, figure8, format_grouped_bars
+
+RUNNERS = {"gvn": figure6, "licm": figure7, "sccp": figure8}
+
+
+def main() -> None:
+    which = sys.argv[1] if len(sys.argv) > 1 else "gvn"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.3
+    if which not in RUNNERS:
+        raise SystemExit(f"unknown optimization {which!r}; pick one of {sorted(RUNNERS)}")
+    benchmarks = ("sqlite", "bzip2", "hmmer", "lbm")
+    print(f"rule ablation for {which} (scale {scale}, benchmarks: {', '.join(benchmarks)})\n")
+    results = RUNNERS[which](scale=scale, benchmarks=benchmarks)
+    print(format_grouped_bars(results, title=f"validated fraction of {which}-transformed functions"))
+
+
+if __name__ == "__main__":
+    main()

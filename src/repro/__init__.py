@@ -1,0 +1,35 @@
+"""repro — a reproduction of "Evaluating Value-Graph Translation Validation for LLVM".
+
+The package implements, from scratch and in pure Python:
+
+* an LLVM-like SSA intermediate representation (:mod:`repro.ir`),
+* the standard analyses and intra-procedural optimization passes the paper
+  validates (:mod:`repro.analysis`, :mod:`repro.transforms`),
+* the paper's contribution — a normalizing, hash-consed value-graph
+  translation validator built on monadic gated SSA (:mod:`repro.gated`,
+  :mod:`repro.vgraph`, :mod:`repro.validator`),
+* the benchmark harness that regenerates the paper's tables and figures
+  (:mod:`repro.bench`).
+
+Quickstart
+----------
+>>> from repro.ir import parse_function
+>>> from repro.transforms import optimize
+>>> from repro.validator import validate
+>>> before = parse_function('''
+... define i32 @f(i32 %a) {
+... entry:
+...   %x = add i32 3, 3
+...   %y = mul i32 %a, %x
+...   %z = add i32 %y, %y
+...   ret i32 %z
+... }
+... ''')
+>>> after = optimize(before.clone(), ["instcombine", "gvn"])
+>>> validate(before, after).is_success
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,32 @@
+"""Static analyses over the IR: CFG, dominators, loops, aliasing, def-use."""
+
+from .alias import AliasAnalysis, AliasResult
+from .cfg import (
+    is_reducible,
+    predecessor_map,
+    reachable_blocks,
+    remove_unreachable_blocks,
+    reverse_postorder,
+    split_critical_edges,
+)
+from .dominators import DominatorTree, PostDominatorTree
+from .loops import Loop, LoopInfo
+from .usedef import UseDefInfo, has_users, users_of
+
+__all__ = [
+    "AliasAnalysis",
+    "AliasResult",
+    "DominatorTree",
+    "PostDominatorTree",
+    "Loop",
+    "LoopInfo",
+    "UseDefInfo",
+    "users_of",
+    "has_users",
+    "predecessor_map",
+    "reachable_blocks",
+    "reverse_postorder",
+    "remove_unreachable_blocks",
+    "is_reducible",
+    "split_critical_edges",
+]

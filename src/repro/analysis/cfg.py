@@ -1,0 +1,186 @@
+"""Control-flow-graph utilities.
+
+These helpers work directly on :class:`~repro.ir.module.Function` objects;
+the CFG is implicit in the blocks' terminators.  They are used by the
+dominator computation, the loop analysis, gated-SSA construction, and by
+several optimization passes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.module import BasicBlock, Function
+
+
+def successors(block: BasicBlock) -> List[BasicBlock]:
+    """Successor blocks of ``block`` (in branch order)."""
+    return block.successors()
+
+
+def predecessor_map(function: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Map each block to its list of predecessors (in layout order)."""
+    preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in function.blocks}
+    for block in function.blocks:
+        for successor in block.successors():
+            preds[successor].append(block)
+    return preds
+
+
+def reachable_blocks(function: Function) -> List[BasicBlock]:
+    """Blocks reachable from the entry, in depth-first preorder."""
+    if not function.blocks:
+        return []
+    seen: Set[int] = set()
+    order: List[BasicBlock] = []
+    stack = [function.entry]
+    while stack:
+        block = stack.pop()
+        if id(block) in seen:
+            continue
+        seen.add(id(block))
+        order.append(block)
+        for successor in reversed(block.successors()):
+            if id(successor) not in seen:
+                stack.append(successor)
+    return order
+
+
+def reverse_postorder(function: Function) -> List[BasicBlock]:
+    """Reachable blocks in reverse postorder (a topological-ish order)."""
+    seen: Set[int] = set()
+    postorder: List[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        stack = [(block, iter(block.successors()))]
+        seen.add(id(block))
+        while stack:
+            current, it = stack[-1]
+            advanced = False
+            for successor in it:
+                if id(successor) not in seen:
+                    seen.add(id(successor))
+                    stack.append((successor, iter(successor.successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(current)
+                stack.pop()
+
+    if function.blocks:
+        visit(function.entry)
+    return list(reversed(postorder))
+
+
+def remove_unreachable_blocks(function: Function) -> int:
+    """Delete blocks not reachable from the entry.
+
+    φ-nodes in remaining blocks lose the incoming entries that referred to
+    deleted predecessors.  Returns the number of blocks removed.
+    """
+    reachable = {id(b) for b in reachable_blocks(function)}
+    dead = [b for b in function.blocks if id(b) not in reachable]
+    if not dead:
+        return 0
+    dead_ids = {id(b) for b in dead}
+    for block in function.blocks:
+        if id(block) in dead_ids:
+            continue
+        for phi in block.phis():
+            for value, pred in list(phi.incoming):
+                if id(pred) in dead_ids:
+                    phi.remove_incoming(pred)
+    for block in dead:
+        function.remove_block(block)
+    return len(dead)
+
+
+def is_reducible(function: Function) -> bool:
+    """Check whether the function's CFG is reducible.
+
+    Uses iterative T1/T2 interval reduction on a copy of the edge set:
+    remove self-loops (T1) and merge nodes with a unique predecessor into
+    that predecessor (T2).  The CFG is reducible iff it collapses to a
+    single node.  The paper's front end (and ours) rejects irreducible
+    functions.
+    """
+    blocks = reachable_blocks(function)
+    if not blocks:
+        return True
+    ids = {id(b): i for i, b in enumerate(blocks)}
+    succ: Dict[int, Set[int]] = {i: set() for i in range(len(blocks))}
+    pred: Dict[int, Set[int]] = {i: set() for i in range(len(blocks))}
+    for block in blocks:
+        for s in block.successors():
+            if id(s) in ids:
+                succ[ids[id(block)]].add(ids[id(s)])
+                pred[ids[id(s)]].add(ids[id(block)])
+    entry = ids[id(blocks[0])]
+    alive = set(range(len(blocks)))
+    changed = True
+    while changed and len(alive) > 1:
+        changed = False
+        for node in list(alive):
+            # T1: remove self loop.
+            if node in succ[node]:
+                succ[node].discard(node)
+                pred[node].discard(node)
+                changed = True
+            # T2: merge node into its unique predecessor.
+            if node != entry and len(pred[node]) == 1:
+                parent = next(iter(pred[node]))
+                for s in succ[node]:
+                    pred[s].discard(node)
+                    if s != parent:
+                        succ[parent].add(s)
+                        pred[s].add(parent)
+                succ[parent].discard(node)
+                alive.discard(node)
+                succ.pop(node, None)
+                pred.pop(node, None)
+                changed = True
+    return len(alive) == 1
+
+
+def split_critical_edges(function: Function) -> int:
+    """Split critical edges (multi-successor block → multi-predecessor block).
+
+    Inserts a fresh block containing a single unconditional branch on each
+    critical edge and rewires the relevant φ incoming entries.  Several
+    passes (and gated-SSA construction) are simpler when no critical edges
+    exist.  Returns the number of edges split.
+    """
+    from ..ir.instructions import Branch
+
+    preds = predecessor_map(function)
+    split_count = 0
+    for block in list(function.blocks):
+        successors_ = block.successors()
+        if len(successors_) < 2:
+            continue
+        terminator = block.terminator
+        for successor in successors_:
+            if len(preds[successor]) < 2:
+                continue
+            new_block = function.add_block(f"{block.name}.split", after=block)
+            new_block.append(Branch(successor))
+            terminator.replace_target(successor, new_block)
+            for phi in successor.phis():
+                for value, pred in list(phi.incoming):
+                    if pred is block:
+                        phi.remove_incoming(pred)
+                        phi.add_incoming(value, new_block)
+            split_count += 1
+            preds = predecessor_map(function)
+    return split_count
+
+
+__all__ = [
+    "successors",
+    "predecessor_map",
+    "reachable_blocks",
+    "reverse_postorder",
+    "remove_unreachable_blocks",
+    "is_reducible",
+    "split_critical_edges",
+]

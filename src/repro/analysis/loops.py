@@ -1,0 +1,183 @@
+"""Natural-loop detection.
+
+A natural loop is identified by a back edge ``latch → header`` where the
+header dominates the latch; the loop body is every block that can reach
+the latch without passing through the header.  Loops sharing a header are
+merged into a single :class:`Loop` (as LLVM's ``LoopInfo`` does), and
+loops are nested into a forest.
+
+The loop analysis feeds LICM, loop deletion, loop unswitching and the
+gated-SSA construction (μ-node placement at headers, η-nodes at exits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.instructions import Phi
+from ..ir.module import BasicBlock, Function
+from .cfg import predecessor_map, reachable_blocks
+from .dominators import DominatorTree
+
+
+class Loop:
+    """One natural loop.
+
+    Attributes
+    ----------
+    header:
+        The unique loop header block.
+    blocks:
+        All blocks of the loop, including the header and any nested loops.
+    latches:
+        Blocks with a back edge to the header.
+    parent:
+        The enclosing loop, or ``None`` for a top-level loop.
+    children:
+        Loops nested immediately inside this one.
+    """
+
+    def __init__(self, header: BasicBlock):
+        self.header = header
+        self.blocks: List[BasicBlock] = [header]
+        self._block_ids: Set[int] = {id(header)}
+        self.latches: List[BasicBlock] = []
+        self.parent: Optional["Loop"] = None
+        self.children: List["Loop"] = []
+
+    def contains(self, block: BasicBlock) -> bool:
+        """Is ``block`` part of this loop (including nested loops)?"""
+        return id(block) in self._block_ids
+
+    def add_block(self, block: BasicBlock) -> None:
+        """Add a block to the loop body."""
+        if id(block) not in self._block_ids:
+            self._block_ids.add(id(block))
+            self.blocks.append(block)
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth: 1 for top-level loops."""
+        depth = 1
+        parent = self.parent
+        while parent is not None:
+            depth += 1
+            parent = parent.parent
+        return depth
+
+    def preheader(self) -> Optional[BasicBlock]:
+        """The unique out-of-loop predecessor of the header, if there is one."""
+        preds = [p for p in self.header.predecessors() if not self.contains(p)]
+        if len(preds) == 1:
+            return preds[0]
+        return None
+
+    def exit_edges(self) -> List[tuple]:
+        """Edges ``(inside_block, outside_block)`` leaving the loop."""
+        edges = []
+        for block in self.blocks:
+            for successor in block.successors():
+                if not self.contains(successor):
+                    edges.append((block, successor))
+        return edges
+
+    def exit_blocks(self) -> List[BasicBlock]:
+        """Distinct target blocks of the exit edges."""
+        seen: Set[int] = set()
+        result = []
+        for _, outside in self.exit_edges():
+            if id(outside) not in seen:
+                seen.add(id(outside))
+                result.append(outside)
+        return result
+
+    def header_phis(self) -> List[Phi]:
+        """The φ-nodes at the loop header (the loop-carried variables)."""
+        return self.header.phis()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Loop header=%{self.header.name} blocks={len(self.blocks)} depth={self.depth}>"
+
+
+class LoopInfo:
+    """The loop forest of a function."""
+
+    def __init__(self, loops: List[Loop], loop_of_block: Dict[int, Loop]):
+        self.loops = loops
+        self._loop_of_block = loop_of_block
+
+    @classmethod
+    def compute(cls, function: Function, dom: Optional[DominatorTree] = None) -> "LoopInfo":
+        """Detect all natural loops of ``function``."""
+        dom = dom or DominatorTree.compute(function)
+        preds = predecessor_map(function)
+        reachable = {id(b) for b in reachable_blocks(function)}
+
+        loops_by_header: Dict[int, Loop] = {}
+        for block in function.blocks:
+            if id(block) not in reachable:
+                continue
+            for successor in block.successors():
+                if dom.dominates(successor, block):
+                    # Back edge block -> successor.
+                    loop = loops_by_header.get(id(successor))
+                    if loop is None:
+                        loop = Loop(successor)
+                        loops_by_header[id(successor)] = loop
+                    loop.latches.append(block)
+                    _collect_loop_body(loop, block, preds)
+
+        loops = list(loops_by_header.values())
+        # Establish nesting: a loop is a child of the smallest loop (other
+        # than itself) that contains its header.
+        for loop in loops:
+            best: Optional[Loop] = None
+            for candidate in loops:
+                if candidate is loop:
+                    continue
+                if candidate.contains(loop.header):
+                    if best is None or len(candidate.blocks) < len(best.blocks):
+                        best = candidate
+            loop.parent = best
+            if best is not None:
+                best.children.append(loop)
+
+        # Innermost loop of each block.
+        loop_of_block: Dict[int, Loop] = {}
+        for loop in sorted(loops, key=lambda l: -len(l.blocks)):
+            for block in loop.blocks:
+                loop_of_block[id(block)] = loop
+        return cls(loops, loop_of_block)
+
+    def loop_for(self, block: BasicBlock) -> Optional[Loop]:
+        """The innermost loop containing ``block``, or ``None``."""
+        return self._loop_of_block.get(id(block))
+
+    def top_level_loops(self) -> List[Loop]:
+        """Loops that are not nested in any other loop."""
+        return [loop for loop in self.loops if loop.parent is None]
+
+    def loop_depth(self, block: BasicBlock) -> int:
+        """Nesting depth of ``block`` (0 outside any loop)."""
+        loop = self.loop_for(block)
+        return loop.depth if loop is not None else 0
+
+    def __len__(self) -> int:
+        return len(self.loops)
+
+
+def _collect_loop_body(loop: Loop, latch: BasicBlock,
+                       preds: Dict[BasicBlock, List[BasicBlock]]) -> None:
+    """Add to ``loop`` every block that reaches ``latch`` without the header."""
+    stack = [latch]
+    while stack:
+        block = stack.pop()
+        if loop.contains(block):
+            continue
+        loop.add_block(block)
+        for pred in preds.get(block, []):
+            if not loop.contains(pred):
+                stack.append(pred)
+
+
+__all__ = ["Loop", "LoopInfo"]

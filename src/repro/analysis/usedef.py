@@ -1,0 +1,71 @@
+"""Def-use helpers.
+
+The IR stores only the def→operand direction (instructions hold their
+operand values); passes that need the reverse direction build a
+:class:`UseDefInfo` snapshot or call the one-off helpers here.  At the
+scale of the benchmark corpora a full function scan is cheap, and not
+maintaining use lists removes a whole class of consistency bugs from the
+optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir.instructions import Instruction
+from ..ir.module import Function
+from ..ir.values import Value
+
+
+def users_of(function: Function, value: Value) -> List[Instruction]:
+    """All instructions in ``function`` that use ``value`` as an operand."""
+    result = []
+    for inst in function.instructions():
+        if any(op is value for op in inst.operands):
+            result.append(inst)
+    return result
+
+
+def has_users(function: Function, value: Value) -> bool:
+    """Does any instruction use ``value``?"""
+    for inst in function.instructions():
+        if any(op is value for op in inst.operands):
+            return True
+    return False
+
+
+class UseDefInfo:
+    """A snapshot of the def→users map for a whole function.
+
+    The snapshot is built once with a single pass and is *not* updated
+    when the function is mutated; passes that rewrite the IR should either
+    rebuild it or fall back to the one-off helpers.
+    """
+
+    def __init__(self, function: Function):
+        self.function = function
+        self._users: Dict[int, List[Instruction]] = {}
+        for inst in function.instructions():
+            for operand in inst.operands:
+                self._users.setdefault(id(operand), []).append(inst)
+
+    def users(self, value: Value) -> List[Instruction]:
+        """Instructions using ``value`` (possibly with duplicates removed)."""
+        seen = set()
+        result = []
+        for user in self._users.get(id(value), []):
+            if id(user) not in seen:
+                seen.add(id(user))
+                result.append(user)
+        return result
+
+    def use_count(self, value: Value) -> int:
+        """Number of operand slots referencing ``value``."""
+        return len(self._users.get(id(value), []))
+
+    def is_dead(self, inst: Instruction) -> bool:
+        """Is ``inst`` a register definition that nothing uses?"""
+        return inst.has_result() and self.use_count(inst) == 0
+
+
+__all__ = ["users_of", "has_users", "UseDefInfo"]

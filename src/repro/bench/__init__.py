@@ -1,0 +1,48 @@
+"""Benchmark harness: synthetic corpora and experiment runners for every table/figure."""
+
+from .corpus import (
+    BENCHMARKS_BY_NAME,
+    BenchmarkSpec,
+    PAPER_BENCHMARKS,
+    build_all_corpora,
+    build_corpus,
+    small_test_corpus,
+)
+from .experiments import (
+    ALL_BENCHMARKS,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    matching_ablation,
+    table1,
+    validation_timing,
+)
+from .generator import GeneratorConfig, ModuleShape, ProgramGenerator, generate_module
+from .tables import format_bar_chart, format_grouped_bars, format_table
+
+__all__ = [
+    "BenchmarkSpec",
+    "PAPER_BENCHMARKS",
+    "BENCHMARKS_BY_NAME",
+    "build_corpus",
+    "build_all_corpora",
+    "small_test_corpus",
+    "GeneratorConfig",
+    "ModuleShape",
+    "ProgramGenerator",
+    "generate_module",
+    "table1",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "validation_timing",
+    "matching_ablation",
+    "ALL_BENCHMARKS",
+    "format_table",
+    "format_bar_chart",
+    "format_grouped_bars",
+]

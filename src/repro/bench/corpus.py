@@ -1,0 +1,187 @@
+"""Benchmark corpus definitions.
+
+One corpus per benchmark of the paper's Table 1 (the pure-C SPEC CPU2006
+programs plus SQLite).  Each corpus is a synthetic module produced by
+:mod:`repro.bench.generator` with a per-benchmark *personality* — the mix
+of loops, branches, memory traffic and calls that characterises the real
+program — and a function count scaled down (~100×) from the paper's so
+the whole evaluation runs in seconds rather than hours.
+
+The corpus builder prepares inputs exactly the way the paper does (§5.1):
+generate the clang-O0-style module, then run ``mem2reg`` to place φ-nodes.
+The result is the "unoptimized input" handed to the optimizer and the
+validator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.module import Module
+from ..transforms.mem2reg import mem2reg
+from .generator import GeneratorConfig, ModuleShape, ProgramGenerator
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Description of one benchmark corpus."""
+
+    #: Benchmark name (matches the paper's Table 1).
+    name: str
+    #: Number of functions at scale 1.0.
+    functions: int
+    #: Random seed (fixed per benchmark for reproducibility).
+    seed: int
+    #: Generator personality.
+    config: GeneratorConfig
+    #: Number of module-level globals.
+    globals_count: int = 3
+    #: The paper's reported function count (for Table 1 side-by-side).
+    paper_functions: int = 0
+    #: The paper's reported lines of LLVM assembly (e.g. "136K").
+    paper_loc: str = ""
+    #: The paper's reported bitcode size (e.g. "5.6M").
+    paper_size: str = ""
+
+
+def _personality(
+    loops: float, branches: float, memory: float, calls: float,
+    statements: Tuple[int, int], reuse: float = 0.35, constants: float = 0.2,
+    readonly_calls: float = 0.15, unswitch: float = 0.25, dead_loops: float = 0.15,
+) -> GeneratorConfig:
+    return GeneratorConfig(
+        statements=statements,
+        loop_probability=loops,
+        branch_probability=branches,
+        memory_probability=memory,
+        call_probability=calls,
+        reuse_probability=reuse,
+        constant_probability=constants,
+        readonly_call_probability=readonly_calls,
+        unswitch_probability=unswitch,
+        dead_loop_probability=dead_loops,
+    )
+
+
+#: The twelve benchmarks of the paper's Table 1, with personalities chosen
+#: to echo the source programs: ``gcc``/``perlbench`` are large and branchy,
+#: ``sqlite`` is memory- and call-heavy (hand-tuned, few constant-folding
+#: opportunities — §5.3), ``lbm``/``milc``/``hmmer`` are loop- and
+#: arithmetic-heavy numeric kernels, ``mcf`` is small and pointer-chasing.
+PAPER_BENCHMARKS: Tuple[BenchmarkSpec, ...] = (
+    BenchmarkSpec(
+        "sqlite", functions=28, seed=1001,
+        config=_personality(0.14, 0.30, 0.32, 0.10, (8, 16), reuse=0.30,
+                            constants=0.08, readonly_calls=0.03, unswitch=0.06, dead_loops=0.10),
+        paper_functions=1363, paper_loc="136K", paper_size="5.6M",
+    ),
+    BenchmarkSpec(
+        "bzip2", functions=12, seed=1002,
+        config=_personality(0.22, 0.24, 0.22, 0.05, (6, 12), constants=0.30, readonly_calls=0.06, unswitch=0.10),
+        paper_functions=104, paper_loc="23K", paper_size="904K",
+    ),
+    BenchmarkSpec(
+        "gcc", functions=40, seed=1003,
+        config=_personality(0.16, 0.34, 0.22, 0.10, (10, 20), reuse=0.40, constants=0.22,
+                            readonly_calls=0.22, unswitch=0.30),
+        paper_functions=5745, paper_loc="1.48M", paper_size="63M",
+    ),
+    BenchmarkSpec(
+        "h264ref", functions=22, seed=1004,
+        config=_personality(0.24, 0.24, 0.26, 0.06, (8, 16), reuse=0.45, readonly_calls=0.08, unswitch=0.12),
+        paper_functions=610, paper_loc="190K", paper_size="7.3M",
+    ),
+    BenchmarkSpec(
+        "hmmer", functions=20, seed=1005,
+        config=_personality(0.26, 0.22, 0.24, 0.05, (7, 14), reuse=0.40, constants=0.25, readonly_calls=0.08, unswitch=0.12),
+        paper_functions=644, paper_loc="90K", paper_size="3.3M",
+    ),
+    BenchmarkSpec(
+        "lbm", functions=6, seed=1006,
+        config=_personality(0.30, 0.16, 0.26, 0.03, (6, 12), constants=0.30, dead_loops=0.2, readonly_calls=0.05, unswitch=0.10),
+        paper_functions=19, paper_loc="5K", paper_size="161K",
+    ),
+    BenchmarkSpec(
+        "libquantum", functions=10, seed=1007,
+        config=_personality(0.24, 0.20, 0.20, 0.06, (5, 10), constants=0.28, readonly_calls=0.06, unswitch=0.10),
+        paper_functions=115, paper_loc="9K", paper_size="337K",
+    ),
+    BenchmarkSpec(
+        "mcf", functions=8, seed=1008,
+        config=_personality(0.20, 0.24, 0.32, 0.04, (5, 10), readonly_calls=0.06, unswitch=0.10),
+        paper_functions=24, paper_loc="3K", paper_size="149K",
+    ),
+    BenchmarkSpec(
+        "milc", functions=18, seed=1009,
+        config=_personality(0.28, 0.18, 0.24, 0.04, (7, 14), constants=0.26, readonly_calls=0.06, unswitch=0.10),
+        paper_functions=237, paper_loc="32K", paper_size="1.2M",
+    ),
+    BenchmarkSpec(
+        "perlbench", functions=32, seed=1010,
+        config=_personality(0.16, 0.34, 0.24, 0.12, (9, 18), reuse=0.38, readonly_calls=0.28, unswitch=0.28),
+        paper_functions=1998, paper_loc="399K", paper_size="15M",
+    ),
+    BenchmarkSpec(
+        "sjeng", functions=14, seed=1011,
+        config=_personality(0.20, 0.30, 0.20, 0.06, (7, 14), constants=0.24, readonly_calls=0.10, unswitch=0.14),
+        paper_functions=166, paper_loc="39K", paper_size="1.5M",
+    ),
+    BenchmarkSpec(
+        "sphinx", functions=16, seed=1012,
+        config=_personality(0.24, 0.24, 0.24, 0.06, (7, 14), reuse=0.36, readonly_calls=0.10, unswitch=0.14),
+        paper_functions=391, paper_loc="44K", paper_size="1.7M",
+    ),
+)
+
+#: Name → spec lookup.
+BENCHMARKS_BY_NAME: Dict[str, BenchmarkSpec] = {spec.name: spec for spec in PAPER_BENCHMARKS}
+
+
+def build_corpus(spec: BenchmarkSpec, scale: float = 1.0, run_mem2reg: bool = True) -> Module:
+    """Build the corpus module for one benchmark.
+
+    ``scale`` shrinks (or grows) the function count — the experiment
+    runners and pytest benchmarks use small scales to keep wall-clock time
+    down.  ``run_mem2reg`` applies the φ-placement pass, matching the
+    paper's input preparation; switch it off to inspect the raw clang-O0
+    style output.
+    """
+    function_count = max(1, round(spec.functions * scale))
+    shape = ModuleShape(
+        functions=function_count,
+        globals_count=spec.globals_count,
+        seed=spec.seed,
+        function_config=spec.config,
+    )
+    module = ProgramGenerator(shape).generate_module(spec.name)
+    if run_mem2reg:
+        for function in module.defined_functions():
+            mem2reg(function)
+    return module
+
+
+def build_all_corpora(scale: float = 1.0,
+                      names: Optional[List[str]] = None) -> Dict[str, Module]:
+    """Build every benchmark corpus (or the named subset)."""
+    selected = PAPER_BENCHMARKS if names is None else [BENCHMARKS_BY_NAME[n] for n in names]
+    return {spec.name: build_corpus(spec, scale) for spec in selected}
+
+
+def small_test_corpus(functions: int = 4, seed: int = 7) -> Module:
+    """A tiny corpus used by unit/integration tests (fast to validate)."""
+    spec = replace(
+        PAPER_BENCHMARKS[0], name="mini", functions=functions, seed=seed,
+        config=replace(PAPER_BENCHMARKS[0].config, statements=(4, 8)),
+    )
+    return build_corpus(spec)
+
+
+__all__ = [
+    "BenchmarkSpec",
+    "PAPER_BENCHMARKS",
+    "BENCHMARKS_BY_NAME",
+    "build_corpus",
+    "build_all_corpora",
+    "small_test_corpus",
+]

@@ -1,0 +1,415 @@
+"""Synthetic C-like program generator.
+
+The paper evaluates on SPEC CPU2006 and SQLite.  Those sources (and a C
+front end) are not available here, so the benchmark corpora are produced
+by this deterministic, seeded generator instead.  What matters for the
+evaluation is not what the programs compute but *which IR constructs they
+contain* — joins with φ-nodes, loops, loop-invariant expressions, memory
+traffic through distinct allocations, redundant sub-expressions, constant
+branches, library-style calls — because those are what the optimizer
+transforms and what the validator must reason about.  The generator
+therefore emits functions in the style of ``clang -O0`` output (mutable
+locals as ``alloca``/``load``/``store``, straight-line blocks, explicit
+branches) and the corpus builder then runs ``mem2reg`` to place φ-nodes,
+exactly mirroring the paper's preparation of its inputs (§5.1).
+
+Every random choice is driven by a :class:`random.Random` seeded from the
+benchmark spec, so corpora are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.builder import IRBuilder, create_function, declare_function
+from ..ir.instructions import Alloca
+from ..ir.module import BasicBlock, Function, Module
+from ..ir.types import I1, I32, IntType, PointerType
+from ..ir.values import ConstantInt, GlobalVariable, Value
+
+_BINOPS = ("add", "sub", "mul", "and", "or", "xor", "shl", "ashr")
+_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge")
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs controlling the shape of generated functions.
+
+    The per-benchmark "personalities" in :mod:`repro.bench.corpus` are just
+    different settings of these knobs (loop-heavy for ``lbm``/``milc``,
+    branchy for ``gcc``/``perlbench``, memory-heavy for ``sqlite``/``mcf``,
+    and so on).
+    """
+
+    #: Number of statements in a function body (inclusive range).
+    statements: Sequence[int] = (6, 14)
+    #: Number of integer parameters (inclusive range).
+    parameters: Sequence[int] = (2, 4)
+    #: Number of mutable local variables.
+    locals_count: Sequence[int] = (3, 6)
+    #: Probability a statement is an ``if``/``else``.
+    branch_probability: float = 0.25
+    #: Probability a statement is a ``while`` loop.
+    loop_probability: float = 0.18
+    #: Probability a statement touches array memory (GEP load/store).
+    memory_probability: float = 0.20
+    #: Probability a statement is a call to an external function.
+    call_probability: float = 0.08
+    #: Probability a generated expression deliberately repeats an earlier one
+    #: (common-sub-expression fodder for GVN).
+    reuse_probability: float = 0.35
+    #: Probability an expression is built purely from constants
+    #: (constant-folding / SCCP fodder).
+    constant_probability: float = 0.20
+    #: Probability a loop contains a loop-invariant computation (LICM fodder).
+    invariant_probability: float = 0.6
+    #: Probability a loop contains a branch on a loop-invariant condition
+    #: (loop-unswitching fodder).
+    unswitch_probability: float = 0.25
+    #: Probability a loop body calls a read-only external function
+    #: (the ``strlen`` pattern that causes the paper's LICM false alarms).
+    readonly_call_probability: float = 0.15
+    #: Probability a loop is pure and its results unused (loop-deletion fodder).
+    dead_loop_probability: float = 0.15
+    #: Probability of an immediately-overwritten store (DSE fodder).
+    dead_store_probability: float = 0.20
+    #: Maximum loop trip count (keeps differential interpretation fast).
+    max_trip_count: int = 12
+    #: Maximum expression depth.
+    expression_depth: int = 3
+    #: Maximum statement nesting depth (ifs/loops inside ifs/loops).
+    max_nesting: int = 2
+
+
+@dataclass
+class ModuleShape:
+    """Module-level generation parameters."""
+
+    #: Number of functions to generate.
+    functions: int = 10
+    #: Number of global variables shared by the functions.
+    globals_count: int = 3
+    #: Random seed.
+    seed: int = 0
+    #: Per-function configuration.
+    function_config: GeneratorConfig = field(default_factory=GeneratorConfig)
+
+
+class _FunctionState:
+    """Mutable state while generating one function."""
+
+    def __init__(self, function: Function, builder: IRBuilder):
+        self.function = function
+        self.builder = builder
+        self.locals: Dict[str, Alloca] = {}
+        self.arrays: Dict[str, Alloca] = {}
+        self.block_counter = 0
+
+    def new_block(self, hint: str) -> BasicBlock:
+        self.block_counter += 1
+        return self.function.add_block(f"{hint}{self.block_counter}")
+
+
+class ProgramGenerator:
+    """Generates whole modules of synthetic functions."""
+
+    def __init__(self, shape: ModuleShape):
+        self.shape = shape
+        self.rng = random.Random(shape.seed)
+        self.config = shape.function_config
+
+    # -- module level -------------------------------------------------------
+    def generate_module(self, name: str = "synthetic") -> Module:
+        """Generate a module with globals, external declarations and functions."""
+        module = Module(name)
+        self._declare_externals(module)
+        for index in range(self.shape.globals_count):
+            module.add_global(
+                GlobalVariable(f"g{index}", I32, ConstantInt(I32, self.rng.randint(-8, 64)))
+            )
+        for index in range(self.shape.functions):
+            self.generate_function(module, f"fn{index:04d}")
+        return module
+
+    def _declare_externals(self, module: Module) -> None:
+        declare_function(module, "ext_pure", I32, [I32], attributes=["readnone"])
+        declare_function(module, "ext_length", I32, [I32], attributes=["readonly"])
+        declare_function(module, "ext_effect", I32, [I32])
+
+    # -- function level --------------------------------------------------------
+    def generate_function(self, module: Module, name: str) -> Function:
+        """Generate one function in clang-O0 style (allocas for locals)."""
+        rng = self.rng
+        config = self.config
+        param_count = rng.randint(*config.parameters)
+        function = create_function(
+            module, name, I32, [I32] * param_count, [f"p{i}" for i in range(param_count)]
+        )
+        builder = IRBuilder(function.entry)
+        state = _FunctionState(function, builder)
+
+        # Mutable locals, initialised from parameters/constants.  A local
+        # only becomes visible to expression generation after it has been
+        # initialised, so no generated program ever reads an undef value.
+        for index in range(rng.randint(*config.locals_count)):
+            slot = builder.alloca(I32, name=f"v{index}")
+            builder.store(self._leaf_value(state, module), slot)
+            state.locals[f"v{index}"] = slot
+
+        # Occasionally a small array (stays in memory after mem2reg).
+        if rng.random() < 0.7:
+            array = builder.alloca(I32, builder.const(8), name="arr")
+            state.arrays["arr"] = array
+            builder.store(self._leaf_value(state, module), array)
+
+        statement_count = rng.randint(*config.statements)
+        for _ in range(statement_count):
+            self._statement(state, module, depth=0)
+
+        result = self._expression(state, module, config.expression_depth)
+        state.builder.ret(result)
+        return function
+
+    # -- values -----------------------------------------------------------------
+    def _leaf_value(self, state: _FunctionState, module: Module) -> Value:
+        rng = self.rng
+        choices = ["const", "param", "local"]
+        if module.globals:
+            choices.append("global")
+        kind = rng.choice(choices)
+        if kind == "const":
+            return state.builder.const(rng.randint(-16, 64))
+        if kind == "param" and state.function.args:
+            return rng.choice(state.function.args)
+        if kind == "local" and state.locals:
+            slot = rng.choice(list(state.locals.values()))
+            return state.builder.load(slot)
+        if kind == "global" and module.globals:
+            global_var = rng.choice(list(module.globals.values()))
+            return state.builder.load(global_var)
+        return state.builder.const(rng.randint(0, 32))
+
+    def _expression(self, state: _FunctionState, module: Module, depth: int,
+                    constants_only: bool = False) -> Value:
+        rng = self.rng
+        if constants_only:
+            if depth <= 0 or rng.random() < 0.4:
+                return state.builder.const(rng.randint(-8, 32))
+            lhs = self._expression(state, module, depth - 1, constants_only=True)
+            rhs = self._expression(state, module, depth - 1, constants_only=True)
+            return state.builder.binop(rng.choice(("add", "sub", "mul", "and")), lhs, rhs)
+        if depth <= 0 or rng.random() < 0.35:
+            return self._leaf_value(state, module)
+        opcode = rng.choice(_BINOPS)
+        lhs = self._expression(state, module, depth - 1)
+        rhs = self._expression(state, module, depth - 1)
+        if opcode in ("shl", "ashr"):
+            rhs = state.builder.const(rng.randint(0, 4))
+        value = state.builder.binop(opcode, lhs, rhs)
+        if rng.random() < self.config.reuse_probability:
+            # Recompute the same expression textually: classic CSE/GVN fodder.
+            duplicate = state.builder.binop(opcode, lhs, rhs)
+            value = state.builder.binop("add", value, duplicate)
+        return value
+
+    def _condition(self, state: _FunctionState, module: Module,
+                   constants_only: bool = False) -> Value:
+        rng = self.rng
+        predicate = rng.choice(_PREDICATES)
+        if constants_only:
+            lhs = state.builder.const(rng.randint(0, 8))
+            rhs = state.builder.const(rng.randint(0, 8))
+        else:
+            lhs = self._expression(state, module, 1)
+            rhs = (
+                state.builder.const(rng.randint(0, 32))
+                if rng.random() < 0.6
+                else self._expression(state, module, 1)
+            )
+        return state.builder.icmp(predicate, lhs, rhs)
+
+    # -- statements ---------------------------------------------------------------
+    def _statement(self, state: _FunctionState, module: Module, depth: int) -> None:
+        rng = self.rng
+        config = self.config
+        roll = rng.random()
+        if depth < config.max_nesting and roll < config.loop_probability:
+            self._while_loop(state, module, depth)
+        elif depth < config.max_nesting and roll < config.loop_probability + config.branch_probability:
+            self._if_statement(state, module, depth)
+        elif roll < config.loop_probability + config.branch_probability + config.memory_probability:
+            self._memory_statement(state, module)
+        elif roll < (config.loop_probability + config.branch_probability
+                     + config.memory_probability + config.call_probability):
+            self._call_statement(state, module)
+        else:
+            self._assignment(state, module)
+
+    def _assignment(self, state: _FunctionState, module: Module) -> None:
+        rng = self.rng
+        config = self.config
+        if not state.locals:
+            return
+        target = rng.choice(list(state.locals.values()))
+        constants_only = rng.random() < config.constant_probability
+        value = self._expression(state, module, config.expression_depth, constants_only)
+        if rng.random() < config.dead_store_probability:
+            # Store a value that is immediately overwritten (DSE fodder).
+            state.builder.store(self._expression(state, module, 1), target)
+        state.builder.store(value, target)
+
+    def _memory_statement(self, state: _FunctionState, module: Module) -> None:
+        rng = self.rng
+        builder = state.builder
+        if not state.arrays:
+            self._assignment(state, module)
+            return
+        array = rng.choice(list(state.arrays.values()))
+        index = builder.const(rng.randint(0, 7))
+        address = builder.gep(I32, array, [index])
+        if rng.random() < 0.5:
+            builder.store(self._expression(state, module, 2), address)
+        else:
+            loaded = builder.load(address)
+            if state.locals:
+                builder.store(loaded, rng.choice(list(state.locals.values())))
+
+    def _call_statement(self, state: _FunctionState, module: Module) -> None:
+        rng = self.rng
+        builder = state.builder
+        callee_name = rng.choice(["ext_pure", "ext_length", "ext_effect"])
+        callee = module.get_function(callee_name)
+        result = builder.call(callee, [self._expression(state, module, 1)])
+        if state.locals and rng.random() < 0.7:
+            builder.store(result, rng.choice(list(state.locals.values())))
+
+    def _if_statement(self, state: _FunctionState, module: Module, depth: int) -> None:
+        rng = self.rng
+        config = self.config
+        builder = state.builder
+        constants_only = rng.random() < config.constant_probability
+        condition = self._condition(state, module, constants_only)
+
+        then_block = state.new_block("then")
+        else_block = state.new_block("else")
+        join_block = state.new_block("join")
+        builder.cbr(condition, then_block, else_block)
+
+        builder.position_at_end(then_block)
+        for _ in range(rng.randint(1, 3)):
+            self._statement(state, module, depth + 1)
+        # Sometimes both arms assign the same constant (GVN/SCCP example from §4).
+        same_constant: Optional[int] = None
+        if state.locals and rng.random() < 0.4:
+            same_constant = rng.randint(0, 8)
+            shared_target = rng.choice(list(state.locals.values()))
+            builder.store(builder.const(same_constant), shared_target)
+        builder.br(join_block)
+
+        builder.position_at_end(else_block)
+        for _ in range(rng.randint(1, 3)):
+            self._statement(state, module, depth + 1)
+        if same_constant is not None:
+            builder.store(builder.const(same_constant), shared_target)
+        builder.br(join_block)
+
+        builder.position_at_end(join_block)
+
+    def _while_loop(self, state: _FunctionState, module: Module, depth: int) -> None:
+        rng = self.rng
+        config = self.config
+        builder = state.builder
+
+        trip_count = rng.randint(2, config.max_trip_count)
+        counter = builder.alloca(I32, name=f"i{state.block_counter}")
+        builder.store(builder.const(0), counter)
+        bound = builder.const(trip_count)
+
+        dead_loop = rng.random() < config.dead_loop_probability
+        accumulator: Optional[Alloca] = None
+        if not dead_loop and state.locals:
+            accumulator = rng.choice(list(state.locals.values()))
+
+        header = state.new_block("loop")
+        body = state.new_block("body")
+        exit_block = state.new_block("after")
+        builder.br(header)
+
+        builder.position_at_end(header)
+        current = builder.load(counter)
+        condition = builder.icmp("slt", current, bound)
+        builder.cbr(condition, body, exit_block)
+
+        builder.position_at_end(body)
+        # Loop-invariant computation (LICM fodder).
+        if rng.random() < config.invariant_probability:
+            invariant = builder.binop(
+                rng.choice(("add", "mul", "xor")),
+                rng.choice(state.function.args) if state.function.args else builder.const(3),
+                builder.const(rng.randint(1, 9)),
+            )
+            if accumulator is not None:
+                old = builder.load(accumulator)
+                builder.store(builder.add(old, invariant), accumulator)
+        # Read-only call in the loop: the strlen pattern (LICM false alarms).
+        if rng.random() < config.readonly_call_probability:
+            length = builder.call(
+                module.get_function("ext_length"),
+                [rng.choice(state.function.args) if state.function.args else builder.const(1)],
+            )
+            if accumulator is not None:
+                old = builder.load(accumulator)
+                builder.store(builder.add(old, length), accumulator)
+        # Branch on a loop-invariant condition (unswitching fodder).
+        if rng.random() < config.unswitch_probability and accumulator is not None:
+            invariant_condition = builder.icmp(
+                "sgt",
+                rng.choice(state.function.args) if state.function.args else builder.const(0),
+                builder.const(rng.randint(0, 16)),
+            )
+            then_block = state.new_block("uswt")
+            else_block = state.new_block("uswf")
+            merge_block = state.new_block("uswj")
+            builder.cbr(invariant_condition, then_block, else_block)
+            builder.position_at_end(then_block)
+            old = builder.load(accumulator)
+            builder.store(builder.add(old, builder.const(rng.randint(1, 5))), accumulator)
+            builder.br(merge_block)
+            builder.position_at_end(else_block)
+            old = builder.load(accumulator)
+            builder.store(builder.sub(old, builder.const(rng.randint(1, 5))), accumulator)
+            builder.br(merge_block)
+            builder.position_at_end(merge_block)
+        # Ordinary loop work.
+        if not dead_loop:
+            for _ in range(rng.randint(1, 2)):
+                self._statement(state, module, depth + 1)
+        else:
+            # A loop whose computations are never observed (loop-deletion fodder).
+            scratch = builder.binop("mul", current, builder.const(3))
+            builder.binop("add", scratch, builder.const(1))
+
+        # Increment and continue.
+        latest = builder.load(counter)
+        builder.store(builder.add(latest, builder.const(1)), counter)
+        builder.br(header)
+
+        builder.position_at_end(exit_block)
+
+
+def generate_module(functions: int = 10, seed: int = 0,
+                    config: Optional[GeneratorConfig] = None,
+                    globals_count: int = 3, name: str = "synthetic") -> Module:
+    """Convenience wrapper: generate a module with the given shape."""
+    shape = ModuleShape(
+        functions=functions,
+        globals_count=globals_count,
+        seed=seed,
+        function_config=config or GeneratorConfig(),
+    )
+    return ProgramGenerator(shape).generate_module(name)
+
+
+__all__ = ["GeneratorConfig", "ModuleShape", "ProgramGenerator", "generate_module"]

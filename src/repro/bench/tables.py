@@ -1,0 +1,66 @@
+"""Plain-text rendering of experiment results (tables and bar charts).
+
+The paper presents its evaluation as one table and five figures; this
+module renders the corresponding data as ASCII tables and horizontal bar
+charts so the benchmark harness can print something directly comparable
+next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Optional[List[str]] = None,
+                 title: str = "") -> str:
+    """Render a list of row dicts as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    columns = columns or list(rows[0].keys())
+    widths = {column: len(str(column)) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(str(row.get(column, ""))))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_bar_chart(values: Dict[str, float], title: str = "", width: int = 40,
+                     maximum: Optional[float] = None, suffix: str = "%") -> str:
+    """Render a mapping label → value as a horizontal ASCII bar chart."""
+    if not values:
+        return f"{title}\n(no data)" if title else "(no data)"
+    maximum = maximum if maximum is not None else max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        filled = 0 if maximum == 0 else int(round(width * min(value, maximum) / maximum))
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(f"{label.ljust(label_width)} |{bar}| {value:6.1f}{suffix}")
+    return "\n".join(lines)
+
+
+def format_grouped_bars(groups: Dict[str, Dict[str, float]], title: str = "",
+                        suffix: str = "%") -> str:
+    """Render nested mappings (group → label → value) as grouped bar charts."""
+    parts = []
+    if title:
+        parts.append(title)
+    for group, values in groups.items():
+        parts.append(format_bar_chart(values, title=f"[{group}]", suffix=suffix))
+        parts.append("")
+    return "\n".join(parts).rstrip()
+
+
+__all__ = ["format_table", "format_bar_chart", "format_grouped_bars"]

@@ -1,0 +1,71 @@
+"""Exception hierarchy shared across the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class IRError(ReproError):
+    """Raised for malformed IR: bad operand types, broken SSA, etc."""
+
+
+class ParseError(IRError):
+    """Raised by the textual IR parser on a syntax error.
+
+    Attributes
+    ----------
+    line:
+        1-based line number of the offending token, when known.
+    column:
+        1-based column of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class VerificationError(IRError):
+    """Raised by the IR verifier when a module violates a structural rule."""
+
+
+class InterpreterError(ReproError):
+    """Raised by the reference interpreter on a dynamic error.
+
+    Examples include loading from an uninitialised address, division by
+    zero, or exceeding the configured step budget.
+    """
+
+
+class AnalysisError(ReproError):
+    """Raised by an analysis that cannot handle the given function.
+
+    The most important case is :class:`IrreducibleCFGError`, mirroring the
+    paper's front end which rejects irreducible control flow.
+    """
+
+
+class IrreducibleCFGError(AnalysisError):
+    """Raised when gated-SSA construction meets an irreducible CFG."""
+
+
+class TransformError(ReproError):
+    """Raised when an optimization pass cannot be applied."""
+
+
+class ValidationInternalError(ReproError):
+    """Raised when the validator itself fails (as opposed to rejecting).
+
+    The driver treats this the same way as a validation failure (the
+    transformed function is rejected) but keeps the distinction for
+    reporting purposes.
+    """

@@ -1,0 +1,258 @@
+"""Gate (path-condition) computation for Gated SSA construction.
+
+A *gate* is the boolean condition under which control flows along a CFG
+edge, expressed in terms of the branch conditions encountered on the way.
+Gates are what turn ordinary φ-nodes into referentially transparent gated
+φ-nodes (§3.2 of the paper): ``x3 = φ(x1, x2)`` becomes
+``x3 = φ(c → x1, ¬c → x2)``.
+
+The analysis produces small symbolic formulas (:class:`GateExpr`) over IR
+values; the value-graph builder later translates them into graph nodes.
+Formulas are computed over the CFG *with back edges removed*, which is a
+DAG for reducible functions, using memoized path conditions:
+
+* ``pc(S) = true`` for the region start ``S`` (the immediate dominator of
+  the join for φ-gating, the loop header for loop-exit conditions),
+* ``pc(X) = ⋁ over forward-edge predecessors P of (pc(P) ∧ econd(P→X))``.
+
+If a path escapes the region (a predecessor that is not dominated by the
+region start), the analysis falls back to an opaque ``Reached(block)``
+condition.  This keeps construction total; such conditions only match if
+both functions produce literally the same structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.dominators import DominatorTree
+from ..analysis.loops import Loop
+from ..ir.instructions import Branch
+from ..ir.module import BasicBlock, Function
+from ..ir.values import Value
+
+
+class GateExpr:
+    """Base class of gate formulas."""
+
+
+class TrueGate(GateExpr):
+    """The always-true gate."""
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+class FalseGate(GateExpr):
+    """The never-true gate (used for statically impossible edges)."""
+
+    def __repr__(self) -> str:
+        return "false"
+
+
+class CondGate(GateExpr):
+    """A branch condition, possibly negated."""
+
+    __slots__ = ("value", "negated")
+
+    def __init__(self, value: Value, negated: bool = False):
+        self.value = value
+        self.negated = negated
+
+    def __repr__(self) -> str:
+        prefix = "!" if self.negated else ""
+        return f"{prefix}{self.value.ref()}"
+
+
+class ReachedGate(GateExpr):
+    """Opaque "control reached this block" condition (fallback)."""
+
+    __slots__ = ("block_name",)
+
+    def __init__(self, block_name: str):
+        self.block_name = block_name
+
+    def __repr__(self) -> str:
+        return f"reached({self.block_name})"
+
+
+class AndGate(GateExpr):
+    """Conjunction of gates."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: List[GateExpr]):
+        self.operands = operands
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(repr(op) for op in self.operands) + ")"
+
+
+class OrGate(GateExpr):
+    """Disjunction of gates."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: List[GateExpr]):
+        self.operands = operands
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(repr(op) for op in self.operands) + ")"
+
+
+TRUE = TrueGate()
+FALSE = FalseGate()
+
+
+def make_and(operands: List[GateExpr]) -> GateExpr:
+    """Conjunction with the obvious simplifications."""
+    flat: List[GateExpr] = []
+    for op in operands:
+        if isinstance(op, TrueGate):
+            continue
+        if isinstance(op, FalseGate):
+            return FALSE
+        if isinstance(op, AndGate):
+            flat.extend(op.operands)
+        else:
+            flat.append(op)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return AndGate(flat)
+
+
+def make_or(operands: List[GateExpr]) -> GateExpr:
+    """Disjunction with the obvious simplifications."""
+    flat: List[GateExpr] = []
+    for op in operands:
+        if isinstance(op, FalseGate):
+            continue
+        if isinstance(op, TrueGate):
+            return TRUE
+        if isinstance(op, OrGate):
+            flat.extend(op.operands)
+        else:
+            flat.append(op)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return OrGate(flat)
+
+
+class GateAnalysis:
+    """Computes edge conditions and region path conditions for a function."""
+
+    def __init__(self, function: Function, dom: Optional[DominatorTree] = None):
+        self.function = function
+        self.dom = dom or DominatorTree.compute(function)
+        self._preds: Dict[int, List[BasicBlock]] = {}
+        for block in function.blocks:
+            for successor in block.successors():
+                self._preds.setdefault(id(successor), []).append(block)
+
+    # -- edges -------------------------------------------------------------
+    def edge_condition(self, source: BasicBlock, target: BasicBlock) -> GateExpr:
+        """The condition attached to the edge ``source → target``."""
+        terminator = source.terminator
+        if not isinstance(terminator, Branch):
+            return FALSE
+        if not terminator.is_conditional:
+            return TRUE if terminator.targets[0] is target else FALSE
+        true_target, false_target = terminator.targets
+        if true_target is target and false_target is target:
+            return TRUE
+        if true_target is target:
+            return CondGate(terminator.condition, negated=False)
+        if false_target is target:
+            return CondGate(terminator.condition, negated=True)
+        return FALSE
+
+    def is_back_edge(self, source: BasicBlock, target: BasicBlock) -> bool:
+        """An edge whose target dominates its source (a loop back edge)."""
+        return self.dom.dominates(target, source)
+
+    # -- path conditions ------------------------------------------------------
+    def path_condition(self, start: BasicBlock, block: BasicBlock) -> GateExpr:
+        """Condition for control to reach ``block`` from ``start``.
+
+        Computed over forward edges only (back edges removed).  ``start``
+        itself gets the condition *true*.
+        """
+        memo: Dict[int, GateExpr] = {id(start): TRUE}
+        visiting: set = set()
+
+        def compute(current: BasicBlock) -> GateExpr:
+            key = id(current)
+            if key in memo:
+                return memo[key]
+            if key in visiting:
+                # A forward-edge cycle should not exist in a reducible CFG;
+                # fall back to an opaque condition rather than diverging.
+                return ReachedGate(current.name)
+            visiting.add(key)
+            disjuncts: List[GateExpr] = []
+            for pred in self._preds.get(key, []):
+                if self.is_back_edge(pred, current):
+                    continue
+                if not self.dom.dominates(start, pred):
+                    # Path escaping the region: opaque fallback.
+                    disjuncts.append(
+                        make_and([ReachedGate(pred.name), self.edge_condition(pred, current)])
+                    )
+                    continue
+                disjuncts.append(make_and([compute(pred), self.edge_condition(pred, current)]))
+            visiting.discard(key)
+            result = make_or(disjuncts)
+            memo[key] = result
+            return result
+
+        return compute(block)
+
+    # -- gating for φ-nodes --------------------------------------------------
+    def phi_gates(self, block: BasicBlock) -> List[Tuple[BasicBlock, GateExpr]]:
+        """Gate of each incoming edge of a (non-loop-header) join block.
+
+        Conditions are relative to the block's immediate dominator, which is
+        the closest "branch point" all incoming paths share.
+        """
+        start = self.dom.idom(block) or self.function.entry
+        gates: List[Tuple[BasicBlock, GateExpr]] = []
+        for pred in self._preds.get(id(block), []):
+            gate = make_and(
+                [self.path_condition(start, pred), self.edge_condition(pred, block)]
+            )
+            gates.append((pred, gate))
+        return gates
+
+    # -- loop exit conditions -----------------------------------------------------
+    def loop_exit_condition(self, loop: Loop) -> GateExpr:
+        """Condition (relative to the loop header, per iteration) that the loop exits.
+
+        The disjunction over every exit edge of "control reaches the exiting
+        block this iteration and takes the exit edge".  For the canonical
+        ``while (b)`` loop this is simply ``¬b``.
+        """
+        disjuncts: List[GateExpr] = []
+        for inside, outside in loop.exit_edges():
+            path = self.path_condition(loop.header, inside)
+            disjuncts.append(make_and([path, self.edge_condition(inside, outside)]))
+        return make_or(disjuncts)
+
+
+__all__ = [
+    "GateExpr",
+    "TrueGate",
+    "FalseGate",
+    "CondGate",
+    "ReachedGate",
+    "AndGate",
+    "OrGate",
+    "TRUE",
+    "FALSE",
+    "make_and",
+    "make_or",
+    "GateAnalysis",
+]

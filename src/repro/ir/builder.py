@@ -1,0 +1,202 @@
+"""A convenience builder for constructing IR programmatically.
+
+The builder keeps an insertion point (a basic block) and offers one method
+per instruction kind, mirroring LLVM's ``IRBuilder``.  It is used by the
+synthetic program generator, the examples and many tests; hand-written IR
+in tests usually goes through the textual parser instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .instructions import (
+    Alloca,
+    BinaryOperator,
+    Branch,
+    Call,
+    Cast,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .types import FunctionType, IntType, Type, VoidType
+from .values import ConstantInt, Value
+
+
+class IRBuilder:
+    """Builds instructions at an insertion point.
+
+    Parameters
+    ----------
+    block:
+        Optional initial insertion block.
+    """
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self._block = block
+        self._name_counter = 0
+
+    # -- insertion point ---------------------------------------------------
+    @property
+    def block(self) -> BasicBlock:
+        """The current insertion block."""
+        if self._block is None:
+            raise RuntimeError("IRBuilder has no insertion point")
+        return self._block
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        """Move the insertion point to the end of ``block``."""
+        self._block = block
+
+    def _fresh_name(self, hint: str) -> str:
+        self._name_counter += 1
+        return f"{hint}{self._name_counter}"
+
+    def _insert(self, inst: Instruction, hint: str = "t") -> Instruction:
+        if inst.has_result() and not inst.name:
+            inst.name = self._fresh_name(hint)
+        return self.block.append(inst)
+
+    # -- constants -----------------------------------------------------------
+    @staticmethod
+    def const(value: int, bits: int = 32) -> ConstantInt:
+        """Create an integer constant."""
+        return ConstantInt(IntType(bits), value)
+
+    # -- arithmetic ------------------------------------------------------------
+    def binop(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> BinaryOperator:
+        """Create any binary operator."""
+        return self._insert(BinaryOperator(opcode, lhs, rhs, name), opcode)
+
+    def add(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOperator:
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOperator:
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOperator:
+        return self.binop("mul", lhs, rhs, name)
+
+    def sdiv(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOperator:
+        return self.binop("sdiv", lhs, rhs, name)
+
+    def srem(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOperator:
+        return self.binop("srem", lhs, rhs, name)
+
+    def and_(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOperator:
+        return self.binop("and", lhs, rhs, name)
+
+    def or_(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOperator:
+        return self.binop("or", lhs, rhs, name)
+
+    def xor(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOperator:
+        return self.binop("xor", lhs, rhs, name)
+
+    def shl(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOperator:
+        return self.binop("shl", lhs, rhs, name)
+
+    def lshr(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOperator:
+        return self.binop("lshr", lhs, rhs, name)
+
+    def ashr(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOperator:
+        return self.binop("ashr", lhs, rhs, name)
+
+    # -- comparisons / selects -------------------------------------------------
+    def icmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> ICmp:
+        """Create an integer comparison."""
+        return self._insert(ICmp(predicate, lhs, rhs, name), "cmp")
+
+    def select(self, cond: Value, if_true: Value, if_false: Value, name: str = "") -> Select:
+        """Create a select."""
+        return self._insert(Select(cond, if_true, if_false, name), "sel")
+
+    def cast(self, opcode: str, value: Value, to_type: Type, name: str = "") -> Cast:
+        """Create a cast instruction."""
+        return self._insert(Cast(opcode, value, to_type, name), opcode)
+
+    # -- memory ------------------------------------------------------------
+    def alloca(self, allocated_type: Type, count: Optional[Value] = None, name: str = "") -> Alloca:
+        """Create a stack allocation."""
+        return self._insert(Alloca(allocated_type, count, name), "ptr")
+
+    def load(self, pointer: Value, name: str = "") -> Load:
+        """Create a load."""
+        return self._insert(Load(pointer, name), "ld")
+
+    def store(self, value: Value, pointer: Value) -> Store:
+        """Create a store."""
+        return self._insert(Store(value, pointer))
+
+    def gep(self, source_type: Type, pointer: Value, indices: Sequence[Value], name: str = "") -> GetElementPtr:
+        """Create a getelementptr."""
+        return self._insert(GetElementPtr(source_type, pointer, indices, name), "gep")
+
+    # -- calls / phis ------------------------------------------------------------
+    def call(self, callee: Function, args: Sequence[Value], name: str = "") -> Call:
+        """Create a direct call."""
+        return self._insert(Call(callee, args, callee.return_type, name), "call")
+
+    def phi(self, type_: Type, incoming=(), name: str = "") -> Phi:
+        """Create a φ-node at the head of the current block."""
+        node = Phi(type_, incoming, name)
+        if node.has_result() and not node.name:
+            node.name = self._fresh_name("phi")
+        phis = self.block.phis()
+        self.block.insert(len(phis), node)
+        return node
+
+    # -- terminators ------------------------------------------------------------
+    def br(self, target: BasicBlock) -> Branch:
+        """Create an unconditional branch."""
+        return self._insert(Branch(target))
+
+    def cbr(self, cond: Value, if_true: BasicBlock, if_false: BasicBlock) -> Branch:
+        """Create a conditional branch."""
+        return self._insert(Branch(cond, if_true, if_false))
+
+    def ret(self, value: Optional[Value] = None) -> Ret:
+        """Create a return."""
+        return self._insert(Ret(value))
+
+    def unreachable(self) -> Unreachable:
+        """Create an unreachable terminator."""
+        return self._insert(Unreachable())
+
+
+def create_function(
+    module: Module,
+    name: str,
+    return_type: Type,
+    param_types: Sequence[Type],
+    param_names: Optional[Sequence[str]] = None,
+    attributes: Sequence[str] = (),
+) -> Function:
+    """Create a function with an empty ``entry`` block and register it."""
+    function = Function(name, FunctionType(return_type, param_types), param_names, attributes)
+    function.add_block("entry")
+    module.add_function(function)
+    return function
+
+
+def declare_function(
+    module: Module,
+    name: str,
+    return_type: Type,
+    param_types: Sequence[Type],
+    attributes: Sequence[str] = (),
+) -> Function:
+    """Create an external declaration (no body) and register it."""
+    function = Function(name, FunctionType(return_type, param_types), None, attributes)
+    module.add_function(function)
+    return function
+
+
+__all__ = ["IRBuilder", "create_function", "declare_function"]

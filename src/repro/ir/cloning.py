@@ -1,0 +1,137 @@
+"""Deep copying of functions and modules.
+
+Cloning is used by the validation driver (keep the original function while
+the optimizer mutates a copy), by the loop-unswitching pass (duplicate a
+loop body) and by tests that want to compare a pass's output against a
+pristine input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .instructions import (
+    Alloca,
+    BinaryOperator,
+    Branch,
+    Call,
+    Cast,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .values import Value
+
+
+def clone_instruction(inst: Instruction, value_map: Dict[Value, Value]) -> Instruction:
+    """Clone one instruction, mapping operands through ``value_map``.
+
+    Operands not present in the map (constants, globals, declarations,
+    values defined outside the cloned region) are shared with the original.
+    """
+
+    def m(value: Value) -> Value:
+        return value_map.get(value, value)
+
+    if isinstance(inst, BinaryOperator):
+        new = BinaryOperator(inst.opcode, m(inst.lhs), m(inst.rhs), inst.name)
+    elif isinstance(inst, ICmp):
+        new = ICmp(inst.predicate, m(inst.lhs), m(inst.rhs), inst.name)
+    elif isinstance(inst, Select):
+        new = Select(m(inst.condition), m(inst.if_true), m(inst.if_false), inst.name)
+    elif isinstance(inst, Cast):
+        new = Cast(inst.opcode, m(inst.value), inst.type, inst.name)
+    elif isinstance(inst, Alloca):
+        count = m(inst.count) if inst.count is not None else None
+        new = Alloca(inst.allocated_type, count, inst.name)
+    elif isinstance(inst, Load):
+        new = Load(m(inst.pointer), inst.name)
+    elif isinstance(inst, Store):
+        new = Store(m(inst.value), m(inst.pointer))
+    elif isinstance(inst, GetElementPtr):
+        new = GetElementPtr(inst.source_type, m(inst.pointer), [m(i) for i in inst.indices], inst.name)
+    elif isinstance(inst, Phi):
+        new = Phi(inst.type, [(m(v), m(b)) for v, b in inst.incoming], inst.name)
+    elif isinstance(inst, Call):
+        new = Call(m(inst.callee), [m(a) for a in inst.args], inst.type, inst.name)
+    elif isinstance(inst, Branch):
+        if inst.is_conditional:
+            new = Branch(m(inst.condition), m(inst.targets[0]), m(inst.targets[1]))
+        else:
+            new = Branch(m(inst.targets[0]))
+    elif isinstance(inst, Ret):
+        new = Ret(m(inst.value) if inst.value is not None else None)
+    elif isinstance(inst, Unreachable):
+        new = Unreachable()
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"cannot clone instruction of type {type(inst).__name__}")
+    return new
+
+
+def clone_function(function: Function, new_name: Optional[str] = None) -> Function:
+    """Return a deep copy of ``function``.
+
+    Constants and module-level values (globals, declared functions) are
+    shared; arguments, blocks and instructions are fresh objects.
+    """
+    clone = Function(
+        new_name or function.name,
+        function.function_type,
+        [a.name for a in function.args],
+        function.attributes,
+    )
+    value_map: Dict[Value, Value] = {}
+    for old_arg, new_arg in zip(function.args, clone.args):
+        value_map[old_arg] = new_arg
+
+    # First create all blocks so branch targets can be mapped.
+    for block in function.blocks:
+        new_block = BasicBlock(block.name, parent=clone)
+        clone.blocks.append(new_block)
+        value_map[block] = new_block
+
+    # Clone instructions.  φ-nodes may reference values defined later, so
+    # clone in two passes: create instructions, then fix forward references.
+    pending_phis = []
+    for block in function.blocks:
+        new_block = value_map[block]
+        for inst in block.instructions:
+            new_inst = clone_instruction(inst, value_map)
+            value_map[inst] = new_inst
+            new_block.append(new_inst)
+            if isinstance(inst, Phi):
+                pending_phis.append((inst, new_inst))
+
+    # Fix operands that were forward references at clone time (mostly φ
+    # incoming values from back edges, but any operand ordering quirk too).
+    for block in function.blocks:
+        new_block = value_map[block]
+        for old_inst, new_inst in zip(block.instructions, new_block.instructions):
+            for i, operand in enumerate(old_inst.operands):
+                mapped = value_map.get(operand, operand)
+                if new_inst.operands[i] is not mapped:
+                    new_inst.operands[i] = mapped
+    return clone
+
+
+def clone_module(module: Module) -> Module:
+    """Return a deep copy of a module (globals shared, functions cloned)."""
+    new_module = Module(module.name)
+    for global_var in module.globals.values():
+        new_module.add_global(global_var)
+    for function in module.functions.values():
+        if function.is_declaration:
+            new_module.add_function(function)
+        else:
+            new_module.add_function(clone_function(function))
+    return new_module
+
+
+__all__ = ["clone_instruction", "clone_function", "clone_module"]

@@ -1,0 +1,366 @@
+"""Reference interpreter for the LLVM-like IR.
+
+The interpreter gives the IR a concrete, executable semantics.  It is used
+for *differential testing*: run a function before and after an optimization
+pass on the same inputs and check that the observable results (return
+value, final contents of caller-visible memory) agree.  That is how the
+test suite convinces itself the optimizer substrate is trustworthy, which
+in turn makes the validator's verdicts on it meaningful.
+
+Semantics notes
+---------------
+* Integer arithmetic wraps modulo the bit width (two's complement);
+  division by zero and use of ``undef`` raise :class:`InterpreterError`.
+* Memory is a flat map from integer addresses to values, one slot per
+  element (not per byte) — pointer arithmetic via ``getelementptr`` moves
+  in whole elements, matching the simplified GEP in the IR.
+* Calls to *defined* functions are executed recursively (with a depth
+  limit).  Calls to *declarations* are modelled as deterministic pure
+  functions of their integer arguments, so that the "before" and "after"
+  versions of a caller observe identical results.
+* Execution is bounded by a step budget; exceeding it raises
+  :class:`InterpreterError`, which the differential harness treats as
+  "both sides must time out the same way".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import InterpreterError
+from .instructions import (
+    Alloca,
+    BinaryOperator,
+    Branch,
+    Call,
+    Cast,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .types import IntType, PointerType, to_signed, to_unsigned
+from .values import (
+    Argument,
+    Constant,
+    ConstantFloat,
+    ConstantInt,
+    ConstantPointerNull,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+
+
+def _truncating_div(lhs: int, rhs: int) -> int:
+    """C-style signed division: truncate toward zero."""
+    quotient = abs(lhs) // abs(rhs)
+    return quotient if (lhs < 0) == (rhs < 0) else -quotient
+
+
+class ExecutionResult:
+    """Outcome of one function execution."""
+
+    def __init__(self, return_value, memory_snapshot: Dict[int, object], steps: int):
+        self.return_value = return_value
+        self.memory_snapshot = memory_snapshot
+        self.steps = steps
+
+    def observable(self, addresses: Sequence[int]) -> Tuple:
+        """Observable state: the return value plus the given memory cells."""
+        return (self.return_value, tuple(self.memory_snapshot.get(a) for a in addresses))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ExecutionResult ret={self.return_value!r} steps={self.steps}>"
+
+
+class Interpreter:
+    """Executes functions of a module.
+
+    Parameters
+    ----------
+    module:
+        The module providing globals and callee definitions.
+    max_steps:
+        Total instruction budget for one :meth:`run` call (including
+        callees).
+    max_call_depth:
+        Recursion limit for calls to defined functions.
+    """
+
+    def __init__(self, module: Module, max_steps: int = 200_000, max_call_depth: int = 64):
+        self.module = module
+        self.max_steps = max_steps
+        self.max_call_depth = max_call_depth
+        self.memory: Dict[int, object] = {}
+        self._next_address = 1000
+        self.global_addresses: Dict[str, int] = {}
+        self._steps = 0
+        self._initialize_globals()
+
+    # -- setup -------------------------------------------------------------
+    def _initialize_globals(self) -> None:
+        for name, global_var in self.module.globals.items():
+            address = self.allocate(1)
+            self.global_addresses[name] = address
+            if global_var.initializer is not None:
+                self.memory[address] = self._constant_value(global_var.initializer)
+            else:
+                self.memory[address] = 0
+
+    def allocate(self, count: int) -> int:
+        """Reserve ``count`` consecutive memory slots, returning the address."""
+        address = self._next_address
+        self._next_address += max(count, 1) + 7  # pad so distinct objects never touch
+        for i in range(max(count, 1)):
+            self.memory.setdefault(address + i, 0)
+        return address
+
+    # -- value evaluation -----------------------------------------------------
+    def _constant_value(self, constant: Constant):
+        if isinstance(constant, ConstantInt):
+            return constant.value
+        if isinstance(constant, ConstantFloat):
+            return constant.value
+        if isinstance(constant, ConstantPointerNull):
+            return 0
+        if isinstance(constant, UndefValue):
+            raise InterpreterError("evaluated an undef value")
+        raise InterpreterError(f"cannot evaluate constant {constant!r}")
+
+    def _value(self, value: Value, frame: Dict[int, object]):
+        if isinstance(value, Constant):
+            return self._constant_value(value)
+        if isinstance(value, GlobalVariable):
+            return self.global_addresses[value.name]
+        if id(value) in frame:
+            return frame[id(value)]
+        raise InterpreterError(f"use of an unevaluated value {value!r}")
+
+    # -- public API -------------------------------------------------------------
+    def run(self, function: Function, args: Sequence[object]) -> ExecutionResult:
+        """Execute ``function`` with the given argument values.
+
+        Integer arguments are plain Python ints; pointer arguments are
+        addresses previously obtained from :meth:`allocate`.
+        """
+        self._steps = 0
+        value = self._call(function, list(args), depth=0)
+        return ExecutionResult(value, dict(self.memory), self._steps)
+
+    # -- execution engine ---------------------------------------------------------
+    def _call(self, function: Function, args: List[object], depth: int):
+        if depth > self.max_call_depth:
+            raise InterpreterError(f"call depth limit exceeded in @{function.name}")
+        if function.is_declaration:
+            return self._external_call(function, args)
+        if len(args) != len(function.args):
+            raise InterpreterError(
+                f"@{function.name} called with {len(args)} arguments, expected {len(function.args)}"
+            )
+        frame: Dict[int, object] = {id(a): v for a, v in zip(function.args, args)}
+        block = function.entry
+        previous_block: Optional[BasicBlock] = None
+        while True:
+            next_block, previous_block, result, returned = self._run_block(
+                function, block, previous_block, frame, depth
+            )
+            if returned:
+                return result
+            block = next_block
+
+    def _run_block(self, function: Function, block: BasicBlock,
+                   previous_block: Optional[BasicBlock],
+                   frame: Dict[int, object], depth: int):
+        # φ-nodes evaluate simultaneously from the incoming edge.
+        phi_values: List[Tuple[int, object]] = []
+        for phi in block.phis():
+            incoming = phi.incoming_for(previous_block) if previous_block is not None else None
+            if incoming is None and previous_block is not None:
+                raise InterpreterError(
+                    f"phi in %{block.name} has no entry for predecessor %{previous_block.name}"
+                )
+            if incoming is None:
+                raise InterpreterError(f"phi in entry block %{block.name}")
+            phi_values.append((id(phi), self._value(incoming, frame)))
+        for key, value in phi_values:
+            frame[key] = value
+
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                continue
+            self._steps += 1
+            if self._steps > self.max_steps:
+                raise InterpreterError("step budget exceeded")
+
+            if isinstance(inst, Branch):
+                if inst.is_conditional:
+                    cond = self._value(inst.condition, frame)
+                    target = inst.targets[0] if cond not in (0, False) else inst.targets[1]
+                else:
+                    target = inst.targets[0]
+                return target, block, None, False
+            if isinstance(inst, Ret):
+                value = self._value(inst.value, frame) if inst.value is not None else None
+                return None, block, value, True
+            if isinstance(inst, Unreachable):
+                raise InterpreterError(f"executed unreachable in @{function.name}")
+
+            frame[id(inst)] = self._execute(inst, frame, depth)
+        raise InterpreterError(f"block %{block.name} fell through without a terminator")
+
+    def _execute(self, inst, frame: Dict[int, object], depth: int):
+        if isinstance(inst, BinaryOperator):
+            return self._binary(inst, frame)
+        if isinstance(inst, ICmp):
+            return self._icmp(inst, frame)
+        if isinstance(inst, Select):
+            cond = self._value(inst.condition, frame)
+            return self._value(inst.if_true if cond not in (0, False) else inst.if_false, frame)
+        if isinstance(inst, Cast):
+            return self._cast(inst, frame)
+        if isinstance(inst, Alloca):
+            count = 1
+            if inst.count is not None:
+                count = int(self._value(inst.count, frame))
+            return self.allocate(count)
+        if isinstance(inst, Load):
+            address = int(self._value(inst.pointer, frame))
+            if address == 0:
+                raise InterpreterError("load from a null pointer")
+            return self.memory.get(address, 0)
+        if isinstance(inst, Store):
+            address = int(self._value(inst.pointer, frame))
+            if address == 0:
+                raise InterpreterError("store to a null pointer")
+            self.memory[address] = self._value(inst.value, frame)
+            return None
+        if isinstance(inst, GetElementPtr):
+            address = int(self._value(inst.pointer, frame))
+            for index in inst.indices:
+                address += int(self._value(index, frame))
+            return address
+        if isinstance(inst, Call):
+            callee = inst.callee
+            if not isinstance(callee, Function):
+                raise InterpreterError("indirect calls are not supported")
+            args = [self._value(a, frame) for a in inst.args]
+            return self._call(callee, args, depth + 1)
+        raise InterpreterError(f"cannot execute instruction {inst!r}")
+
+    # -- helpers -------------------------------------------------------------------
+    def _binary(self, inst: BinaryOperator, frame: Dict[int, object]):
+        lhs = self._value(inst.lhs, frame)
+        rhs = self._value(inst.rhs, frame)
+        opcode = inst.opcode
+        if opcode.startswith("f"):
+            lhs, rhs = float(lhs), float(rhs)
+            if opcode == "fadd":
+                return lhs + rhs
+            if opcode == "fsub":
+                return lhs - rhs
+            if opcode == "fmul":
+                return lhs * rhs
+            if opcode == "fdiv":
+                if rhs == 0.0:
+                    raise InterpreterError("floating point division by zero")
+                return lhs / rhs
+        bits = inst.type.bits if isinstance(inst.type, IntType) else 64
+        lhs, rhs = int(lhs), int(rhs)
+        unsigned_lhs = to_unsigned(lhs, bits)
+        unsigned_rhs = to_unsigned(rhs, bits)
+        if opcode == "add":
+            result = lhs + rhs
+        elif opcode == "sub":
+            result = lhs - rhs
+        elif opcode == "mul":
+            result = lhs * rhs
+        elif opcode == "sdiv":
+            if rhs == 0:
+                raise InterpreterError("signed division by zero")
+            result = _truncating_div(lhs, rhs)
+        elif opcode == "udiv":
+            if unsigned_rhs == 0:
+                raise InterpreterError("unsigned division by zero")
+            result = unsigned_lhs // unsigned_rhs
+        elif opcode == "srem":
+            if rhs == 0:
+                raise InterpreterError("signed remainder by zero")
+            result = lhs - _truncating_div(lhs, rhs) * rhs
+        elif opcode == "urem":
+            if unsigned_rhs == 0:
+                raise InterpreterError("unsigned remainder by zero")
+            result = unsigned_lhs % unsigned_rhs
+        elif opcode == "and":
+            result = unsigned_lhs & unsigned_rhs
+        elif opcode == "or":
+            result = unsigned_lhs | unsigned_rhs
+        elif opcode == "xor":
+            result = unsigned_lhs ^ unsigned_rhs
+        elif opcode == "shl":
+            result = unsigned_lhs << (unsigned_rhs % bits)
+        elif opcode == "lshr":
+            result = unsigned_lhs >> (unsigned_rhs % bits)
+        elif opcode == "ashr":
+            result = lhs >> (unsigned_rhs % bits)
+        else:  # pragma: no cover - defensive
+            raise InterpreterError(f"unknown binary opcode {opcode}")
+        return to_signed(result, bits)
+
+    def _icmp(self, inst: ICmp, frame: Dict[int, object]) -> int:
+        lhs = int(self._value(inst.lhs, frame))
+        rhs = int(self._value(inst.rhs, frame))
+        bits = inst.lhs.type.bits if isinstance(inst.lhs.type, IntType) else 64
+        signed_lhs, signed_rhs = to_signed(lhs, bits), to_signed(rhs, bits)
+        unsigned_lhs, unsigned_rhs = to_unsigned(lhs, bits), to_unsigned(rhs, bits)
+        predicate = inst.predicate
+        table = {
+            "eq": lhs == rhs,
+            "ne": lhs != rhs,
+            "slt": signed_lhs < signed_rhs,
+            "sle": signed_lhs <= signed_rhs,
+            "sgt": signed_lhs > signed_rhs,
+            "sge": signed_lhs >= signed_rhs,
+            "ult": unsigned_lhs < unsigned_rhs,
+            "ule": unsigned_lhs <= unsigned_rhs,
+            "ugt": unsigned_lhs > unsigned_rhs,
+            "uge": unsigned_lhs >= unsigned_rhs,
+        }
+        return 1 if table[predicate] else 0
+
+    def _cast(self, inst: Cast, frame: Dict[int, object]):
+        value = self._value(inst.value, frame)
+        if inst.opcode in ("bitcast", "inttoptr", "ptrtoint"):
+            return value
+        source_bits = inst.value.type.bits if isinstance(inst.value.type, IntType) else 64
+        target_bits = inst.type.bits if isinstance(inst.type, IntType) else 64
+        if inst.opcode == "zext":
+            return to_unsigned(int(value), source_bits)
+        if inst.opcode == "sext":
+            return to_signed(int(value), source_bits)
+        if inst.opcode == "trunc":
+            return to_signed(int(value), target_bits)
+        raise InterpreterError(f"unknown cast {inst.opcode}")
+
+    def _external_call(self, function: Function, args: List[object]):
+        """Deterministic model of a call to an external declaration."""
+        if function.return_type.is_void():
+            return None
+        seed = hash((function.name, tuple(int(a) if isinstance(a, (int, bool)) else 0 for a in args)))
+        bits = function.return_type.bits if isinstance(function.return_type, IntType) else 64
+        return to_signed(seed & 0xFFFF, bits)
+
+
+def run_function(module: Module, name: str, args: Sequence[object],
+                 max_steps: int = 200_000) -> ExecutionResult:
+    """Convenience wrapper: build an interpreter and run one function."""
+    interpreter = Interpreter(module, max_steps=max_steps)
+    return interpreter.run(module.get_function(name), args)
+
+
+__all__ = ["Interpreter", "ExecutionResult", "run_function"]

@@ -1,0 +1,168 @@
+"""Textual printer for the LLVM-like IR.
+
+The output syntax deliberately mirrors LLVM assembly so that IR written in
+tests and documentation reads familiarly, and so the companion parser can
+round-trip it.  Anonymous values are assigned ``%0``, ``%1``, ... names on
+the fly exactly as ``llvm-as`` would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .instructions import (
+    Alloca,
+    Branch,
+    Call,
+    Cast,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .values import Argument, Constant, GlobalVariable, Value
+
+
+class _Namer:
+    """Assigns stable, unique textual names within one function."""
+
+    def __init__(self) -> None:
+        self._names: Dict[int, str] = {}
+        self._used: set = set()
+        self._counter = 0
+
+    def name_of(self, value: Value) -> str:
+        key = id(value)
+        if key in self._names:
+            return self._names[key]
+        base = value.name
+        if not base:
+            name = str(self._counter)
+            self._counter += 1
+        else:
+            name = base
+            suffix = 1
+            while name in self._used:
+                name = f"{base}.{suffix}"
+                suffix += 1
+        self._names[key] = name
+        self._used.add(name)
+        return name
+
+
+def _operand(value: Value, namer: _Namer, with_type: bool = True) -> str:
+    """Format an operand, optionally prefixed with its type."""
+    text = _operand_name(value, namer)
+    if with_type:
+        return f"{value.type} {text}"
+    return text
+
+
+def _operand_name(value: Value, namer: _Namer) -> str:
+    if isinstance(value, Constant):
+        return value.ref()
+    if isinstance(value, (GlobalVariable, Function)):
+        return f"@{value.name}"
+    if isinstance(value, BasicBlock):
+        return f"%{namer.name_of(value)}"
+    return f"%{namer.name_of(value)}"
+
+
+def print_instruction(inst: Instruction, namer: Optional[_Namer] = None) -> str:
+    """Render one instruction as a line of assembly (no indentation)."""
+    namer = namer or _Namer()
+    result = ""
+    if inst.has_result():
+        result = f"%{namer.name_of(inst)} = "
+
+    if isinstance(inst, ICmp):
+        lhs = _operand(inst.lhs, namer)
+        rhs = _operand_name(inst.rhs, namer)
+        return f"{result}icmp {inst.predicate} {lhs}, {rhs}"
+    if isinstance(inst, Select):
+        return (
+            f"{result}select {_operand(inst.condition, namer)}, "
+            f"{_operand(inst.if_true, namer)}, {_operand(inst.if_false, namer)}"
+        )
+    if isinstance(inst, Cast):
+        return f"{result}{inst.opcode} {_operand(inst.value, namer)} to {inst.type}"
+    if isinstance(inst, Alloca):
+        if inst.count is not None:
+            return f"{result}alloca {inst.allocated_type}, {_operand(inst.count, namer)}"
+        return f"{result}alloca {inst.allocated_type}"
+    if isinstance(inst, Load):
+        return f"{result}load {inst.type}, {_operand(inst.pointer, namer)}"
+    if isinstance(inst, Store):
+        return f"store {_operand(inst.value, namer)}, {_operand(inst.pointer, namer)}"
+    if isinstance(inst, GetElementPtr):
+        indices = ", ".join(_operand(i, namer) for i in inst.indices)
+        return f"{result}getelementptr {inst.source_type}, {_operand(inst.pointer, namer)}, {indices}"
+    if isinstance(inst, Phi):
+        pairs = ", ".join(
+            f"[ {_operand_name(v, namer)}, %{namer.name_of(b)} ]" for v, b in inst.incoming
+        )
+        return f"{result}phi {inst.type} {pairs}"
+    if isinstance(inst, Call):
+        args = ", ".join(_operand(a, namer) for a in inst.args)
+        callee = _operand_name(inst.callee, namer)
+        return f"{result}call {inst.type} {callee}({args})"
+    if isinstance(inst, Branch):
+        if inst.is_conditional:
+            return (
+                f"br {_operand(inst.condition, namer)}, "
+                f"label %{namer.name_of(inst.targets[0])}, label %{namer.name_of(inst.targets[1])}"
+            )
+        return f"br label %{namer.name_of(inst.targets[0])}"
+    if isinstance(inst, Ret):
+        if inst.value is None:
+            return "ret void"
+        return f"ret {_operand(inst.value, namer)}"
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    # Generic binary operator (and any future simple opcode).
+    operands = ", ".join(
+        [_operand(inst.operands[0], namer)]
+        + [_operand_name(op, namer) for op in inst.operands[1:]]
+    )
+    return f"{result}{inst.opcode} {operands}"
+
+
+def print_function(function: Function) -> str:
+    """Render a function definition or declaration."""
+    namer = _Namer()
+    params = ", ".join(
+        f"{arg.type} %{namer.name_of(arg)}" for arg in function.args
+    )
+    attrs = (" " + " ".join(sorted(function.attributes))) if function.attributes else ""
+    header = f"{function.return_type} @{function.name}({params})"
+    if function.is_declaration:
+        return f"declare {header}{attrs}"
+    lines = [f"define {header}{attrs} {{"]
+    for block in function.blocks:
+        lines.append(f"{namer.name_of(block)}:")
+        for inst in block.instructions:
+            lines.append(f"  {print_instruction(inst, namer)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module."""
+    parts = [f"; ModuleID = '{module.name}'"]
+    for global_var in module.globals.values():
+        init = global_var.initializer.ref() if global_var.initializer is not None else "undef"
+        kind = "constant" if global_var.is_constant else "global"
+        parts.append(f"@{global_var.name} = {kind} {global_var.value_type} {init}")
+    for function in module.functions.values():
+        parts.append("")
+        parts.append(print_function(function))
+    return "\n".join(parts) + "\n"
+
+
+__all__ = ["print_instruction", "print_function", "print_module"]

@@ -1,0 +1,225 @@
+"""Core value classes for the LLVM-like IR.
+
+Everything that can appear as an instruction operand is a :class:`Value`:
+constants, function arguments, global variables, basic blocks (as branch
+targets), functions (as call targets) and instructions themselves.
+
+The IR is SSA: every register-producing instruction defines exactly one
+value, and that value is referenced by identity (Python object identity),
+not by name.  Names exist purely for printing and parsing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .types import (
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    to_signed,
+    truncate_unsigned,
+)
+
+
+class Value:
+    """Base class for everything usable as an operand.
+
+    Attributes
+    ----------
+    type:
+        The :class:`~repro.ir.types.Type` of the value.
+    name:
+        Optional textual name.  The printer invents ``%N`` names for
+        anonymous values; the parser records the names it reads.
+    """
+
+    __slots__ = ("type", "name")
+
+    def __init__(self, type_: Type, name: str = ""):
+        self.type = type_
+        self.name = name
+
+    def ref(self) -> str:
+        """Short printable reference used in operand position."""
+        return f"%{self.name}" if self.name else "%<anon>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.ref()}: {self.type}>"
+
+
+class Constant(Value):
+    """Base class for compile-time constants."""
+
+    def is_zero(self) -> bool:
+        """Return ``True`` if the constant is a literal zero."""
+        return False
+
+
+class ConstantInt(Constant):
+    """An integer constant of a particular width.
+
+    The stored ``value`` is always the *signed* interpretation of the bit
+    pattern, which matches how LLVM prints constants (``i8 -1`` rather than
+    ``i8 255``).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, type_: IntType, value: int):
+        if not isinstance(type_, IntType):
+            raise TypeError("ConstantInt requires an integer type")
+        super().__init__(type_)
+        if type_.bits == 1:
+            # Booleans are kept as 0/1 (the signed view of ``true`` would be
+            # -1, which reads badly and complicates value-graph constants).
+            self.value = value & 1
+        else:
+            self.value = to_signed(value, type_.bits)
+
+    @property
+    def unsigned(self) -> int:
+        """The unsigned interpretation of the stored bit pattern."""
+        return truncate_unsigned(self.value, self.type.bits)
+
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    def ref(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ConstantInt)
+            and other.type == self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash(("cint", self.type, self.value))
+
+
+class ConstantFloat(Constant):
+    """A floating point constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, type_: FloatType, value: float):
+        super().__init__(type_)
+        self.value = float(value)
+
+    def is_zero(self) -> bool:
+        return self.value == 0.0
+
+    def ref(self) -> str:
+        return repr(self.value)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ConstantFloat)
+            and other.type == self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash(("cfloat", self.type, self.value))
+
+
+class ConstantPointerNull(Constant):
+    """The ``null`` pointer constant of a given pointer type."""
+
+    def __init__(self, type_: PointerType):
+        super().__init__(type_)
+
+    def is_zero(self) -> bool:
+        return True
+
+    def ref(self) -> str:
+        return "null"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ConstantPointerNull) and other.type == self.type
+
+    def __hash__(self) -> int:
+        return hash(("cnull", self.type))
+
+
+class UndefValue(Constant):
+    """An ``undef`` value: any bit pattern of the given type."""
+
+    def ref(self) -> str:
+        return "undef"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, UndefValue) and other.type == self.type
+
+    def __hash__(self) -> int:
+        return hash(("undef", self.type))
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    __slots__ = ("parent", "index")
+
+    def __init__(self, type_: Type, name: str, parent=None, index: int = 0):
+        super().__init__(type_, name)
+        self.parent = parent
+        self.index = index
+
+
+class GlobalVariable(Value):
+    """A module-level global variable.
+
+    The value itself has pointer type (as in LLVM, ``@g`` names the address
+    of the global); ``value_type`` is the pointee type and ``initializer``
+    an optional constant initial value.
+    """
+
+    __slots__ = ("value_type", "initializer", "is_constant")
+
+    def __init__(
+        self,
+        name: str,
+        value_type: Type,
+        initializer: Optional[Constant] = None,
+        is_constant: bool = False,
+    ):
+        super().__init__(PointerType(value_type), name)
+        self.value_type = value_type
+        self.initializer = initializer
+        self.is_constant = is_constant
+
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+
+def const_int(value: int, bits: int = 32) -> ConstantInt:
+    """Convenience constructor: an integer constant of the given width."""
+    return ConstantInt(IntType(bits), value)
+
+
+def const_bool(value: bool) -> ConstantInt:
+    """Convenience constructor: an ``i1`` constant."""
+    return ConstantInt(IntType(1), 1 if value else 0)
+
+
+def is_constant_value(value: Value) -> bool:
+    """Return ``True`` for constants other than ``undef``."""
+    return isinstance(value, Constant) and not isinstance(value, UndefValue)
+
+
+__all__ = [
+    "Value",
+    "Constant",
+    "ConstantInt",
+    "ConstantFloat",
+    "ConstantPointerNull",
+    "UndefValue",
+    "Argument",
+    "GlobalVariable",
+    "const_int",
+    "const_bool",
+    "is_constant_value",
+]

@@ -1,0 +1,206 @@
+"""Structural verifier for the LLVM-like IR.
+
+The verifier checks the invariants every pass relies on:
+
+* every block ends in exactly one terminator and has no terminator earlier;
+* φ-nodes appear only at the head of a block and have exactly one incoming
+  entry per CFG predecessor;
+* every operand that is an instruction is defined in the same function and
+  its definition dominates the use (SSA dominance property), with the usual
+  exception for φ incoming values, which must dominate the end of the
+  corresponding predecessor block;
+* branch targets belong to the function;
+* operand types are consistent for the common instruction kinds.
+
+The checks are deliberately strict: the optimizer test-suite verifies each
+pass's output, so a pass bug surfaces as a :class:`VerificationError`
+rather than a mysterious validator result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..errors import VerificationError
+from ..analysis.dominators import DominatorTree
+from .instructions import (
+    Alloca,
+    BinaryOperator,
+    Branch,
+    Call,
+    Cast,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .types import IntType, PointerType, VoidType
+from .values import Argument, Constant, GlobalVariable, Value
+
+
+def verify_module(module: Module) -> None:
+    """Verify every defined function in the module.
+
+    Raises :class:`~repro.errors.VerificationError` on the first violation.
+    """
+    for function in module.defined_functions():
+        verify_function(function)
+
+
+def verify_function(function: Function) -> None:
+    """Verify one function definition."""
+    if function.is_declaration:
+        return
+    _check_blocks(function)
+    _check_phis(function)
+    _check_types(function)
+    _check_ssa_dominance(function)
+
+
+def _fail(function: Function, message: str) -> None:
+    raise VerificationError(f"@{function.name}: {message}")
+
+
+def _check_blocks(function: Function) -> None:
+    seen_names: Set[str] = set()
+    block_set = set(id(b) for b in function.blocks)
+    for block in function.blocks:
+        if block.name in seen_names:
+            _fail(function, f"duplicate block name %{block.name}")
+        seen_names.add(block.name)
+        if not block.instructions:
+            _fail(function, f"block %{block.name} is empty")
+        terminator = block.instructions[-1]
+        if not terminator.is_terminator():
+            _fail(function, f"block %{block.name} does not end in a terminator")
+        for inst in block.instructions[:-1]:
+            if inst.is_terminator():
+                _fail(function, f"terminator in the middle of block %{block.name}")
+        if isinstance(terminator, Branch):
+            for target in terminator.targets:
+                if id(target) not in block_set:
+                    _fail(function, f"branch in %{block.name} targets a foreign block")
+        if isinstance(terminator, Ret):
+            if terminator.value is None and not isinstance(function.return_type, VoidType):
+                _fail(function, "ret void in a non-void function")
+            if terminator.value is not None and isinstance(function.return_type, VoidType):
+                _fail(function, "ret with a value in a void function")
+
+
+def _check_phis(function: Function) -> None:
+    predecessors: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in function.blocks}
+    for block in function.blocks:
+        for successor in block.successors():
+            predecessors[successor].append(block)
+    for block in function.blocks:
+        in_prefix = True
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                if not in_prefix:
+                    _fail(function, f"phi not at head of block %{block.name}")
+                preds = predecessors[block]
+                incoming_blocks = [b for _, b in inst.incoming]
+                if len(incoming_blocks) != len(preds):
+                    _fail(
+                        function,
+                        f"phi in %{block.name} has {len(incoming_blocks)} entries "
+                        f"but the block has {len(preds)} predecessors",
+                    )
+                if {id(b) for b in incoming_blocks} != {id(b) for b in preds}:
+                    _fail(function, f"phi in %{block.name} does not cover its predecessors")
+            else:
+                in_prefix = False
+
+
+def _check_types(function: Function) -> None:
+    for inst in function.instructions():
+        if isinstance(inst, BinaryOperator):
+            if inst.lhs.type != inst.rhs.type:
+                _fail(function, f"binary operator {inst.opcode} with mismatched operand types")
+            if inst.type != inst.lhs.type:
+                _fail(function, f"binary operator {inst.opcode} result type mismatch")
+        elif isinstance(inst, ICmp):
+            if inst.lhs.type != inst.rhs.type:
+                _fail(function, "icmp with mismatched operand types")
+            if not isinstance(inst.type, IntType) or inst.type.bits != 1:
+                _fail(function, "icmp result must be i1")
+        elif isinstance(inst, Select):
+            if inst.if_true.type != inst.if_false.type:
+                _fail(function, "select arms have different types")
+        elif isinstance(inst, Load):
+            if not isinstance(inst.pointer.type, PointerType):
+                _fail(function, "load from a non-pointer")
+            if inst.pointer.type.pointee != inst.type:
+                _fail(function, "load result type does not match the pointee type")
+        elif isinstance(inst, Store):
+            if not isinstance(inst.pointer.type, PointerType):
+                _fail(function, "store to a non-pointer")
+            if inst.pointer.type.pointee != inst.value.type:
+                _fail(function, "store value type does not match the pointee type")
+        elif isinstance(inst, Branch):
+            if inst.is_conditional and not inst.condition.type.is_bool():
+                _fail(function, "conditional branch on a non-i1 value")
+        elif isinstance(inst, Phi):
+            for value, _ in inst.incoming:
+                if value.type != inst.type and not isinstance(value, Constant):
+                    _fail(function, "phi incoming value type mismatch")
+
+
+def _check_ssa_dominance(function: Function) -> None:
+    definitions: Dict[int, BasicBlock] = {}
+    positions: Dict[int, int] = {}
+    for block in function.blocks:
+        for index, inst in enumerate(block.instructions):
+            definitions[id(inst)] = block
+            positions[id(inst)] = index
+
+    dom = DominatorTree.compute(function)
+    reachable = set(id(b) for b in dom.reachable_blocks())
+
+    def defined_value_ok(value: Value) -> bool:
+        return isinstance(value, (Constant, Argument, GlobalVariable, Function, BasicBlock)) or id(value) in definitions
+
+    for block in function.blocks:
+        if id(block) not in reachable:
+            continue
+        for index, inst in enumerate(block.instructions):
+            if isinstance(inst, Phi):
+                for value, pred in inst.incoming:
+                    if not defined_value_ok(value):
+                        _fail(function, f"phi in %{block.name} uses an unknown value")
+                    if id(value) in definitions and id(pred) in reachable:
+                        def_block = definitions[id(value)]
+                        if not dom.dominates(def_block, pred):
+                            _fail(
+                                function,
+                                f"phi incoming value in %{block.name} is not dominated "
+                                f"by its definition (from %{pred.name})",
+                            )
+                continue
+            for value in inst.operands:
+                if isinstance(value, BasicBlock):
+                    continue
+                if not defined_value_ok(value):
+                    _fail(function, f"instruction in %{block.name} uses an unknown value")
+                if id(value) in definitions:
+                    def_block = definitions[id(value)]
+                    if def_block is block:
+                        if positions[id(value)] >= index:
+                            _fail(
+                                function,
+                                f"use before definition of %{value.name} in %{block.name}",
+                            )
+                    elif not dom.dominates(def_block, block):
+                        _fail(
+                            function,
+                            f"definition of %{value.name} does not dominate its use in %{block.name}",
+                        )
+
+
+__all__ = ["verify_module", "verify_function"]

@@ -1,0 +1,51 @@
+"""Aggressive dead-code elimination.
+
+Instructions are presumed dead until proven live.  The live roots are the
+observable operations — stores, calls that may have side effects, and
+terminators — plus everything they transitively depend on.  This subsumes
+plain dead-code and dead-instruction elimination, which is why the paper's
+pipeline only includes ADCE.
+
+The implementation keeps branches live (it does not rewrite control flow),
+matching the behaviour the validator has to cope with: ADCE removes value
+computations, not control structure; structural cleanups are done by
+``simplifycfg`` and the loop passes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..ir.instructions import Instruction
+from ..ir.module import Function
+from .pass_manager import register_pass
+
+
+@register_pass("adce")
+def adce(function: Function) -> bool:
+    """Run aggressive DCE on ``function``.  Returns ``True`` if changed."""
+    live: Set[int] = set()
+    worklist: List[Instruction] = []
+
+    for inst in function.instructions():
+        if inst.has_side_effects() or inst.is_terminator():
+            live.add(id(inst))
+            worklist.append(inst)
+
+    while worklist:
+        inst = worklist.pop()
+        for operand in inst.operands:
+            if isinstance(operand, Instruction) and id(operand) not in live:
+                live.add(id(operand))
+                worklist.append(operand)
+
+    changed = False
+    for block in function.blocks:
+        for inst in list(block.instructions):
+            if id(inst) not in live:
+                block.remove(inst)
+                changed = True
+    return changed
+
+
+__all__ = ["adce"]

@@ -1,0 +1,144 @@
+"""Constant folding helpers shared by the optimizer and the validator.
+
+Both sides must agree on arithmetic: the optimizer folds ``3 + 3`` to
+``6`` and the validator's normalization rules fold the corresponding
+value-graph node the same way (the paper's "optimization-specific" rule
+family ``add 3 2 ↓ 5``).  Keeping the evaluation in one module guarantees
+they cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.instructions import ICMP_PREDICATES
+from ..ir.types import IntType, to_signed, to_unsigned
+from ..ir.values import ConstantInt
+
+
+def fold_int_binary(opcode: str, lhs: int, rhs: int, bits: int) -> Optional[int]:
+    """Fold an integer binary operation over raw Python ints.
+
+    Returns the signed result truncated to ``bits`` bits, or ``None`` when
+    the operation cannot be folded (division by zero, unknown opcode) —
+    the caller must then leave the expression alone.
+    """
+    unsigned_lhs = to_unsigned(lhs, bits)
+    unsigned_rhs = to_unsigned(rhs, bits)
+    signed_lhs = to_signed(lhs, bits)
+    signed_rhs = to_signed(rhs, bits)
+    if opcode == "add":
+        result = signed_lhs + signed_rhs
+    elif opcode == "sub":
+        result = signed_lhs - signed_rhs
+    elif opcode == "mul":
+        result = signed_lhs * signed_rhs
+    elif opcode == "sdiv":
+        if signed_rhs == 0:
+            return None
+        quotient = abs(signed_lhs) // abs(signed_rhs)
+        result = quotient if (signed_lhs < 0) == (signed_rhs < 0) else -quotient
+    elif opcode == "udiv":
+        if unsigned_rhs == 0:
+            return None
+        result = unsigned_lhs // unsigned_rhs
+    elif opcode == "srem":
+        if signed_rhs == 0:
+            return None
+        quotient = abs(signed_lhs) // abs(signed_rhs)
+        quotient = quotient if (signed_lhs < 0) == (signed_rhs < 0) else -quotient
+        result = signed_lhs - quotient * signed_rhs
+    elif opcode == "urem":
+        if unsigned_rhs == 0:
+            return None
+        result = unsigned_lhs % unsigned_rhs
+    elif opcode == "and":
+        result = unsigned_lhs & unsigned_rhs
+    elif opcode == "or":
+        result = unsigned_lhs | unsigned_rhs
+    elif opcode == "xor":
+        result = unsigned_lhs ^ unsigned_rhs
+    elif opcode == "shl":
+        result = unsigned_lhs << (unsigned_rhs % bits)
+    elif opcode == "lshr":
+        result = unsigned_lhs >> (unsigned_rhs % bits)
+    elif opcode == "ashr":
+        result = signed_lhs >> (unsigned_rhs % bits)
+    else:
+        return None
+    return to_signed(result, bits)
+
+
+def fold_icmp(predicate: str, lhs: int, rhs: int, bits: int) -> Optional[bool]:
+    """Fold an integer comparison; returns ``None`` for unknown predicates."""
+    if predicate not in ICMP_PREDICATES:
+        return None
+    signed_lhs, signed_rhs = to_signed(lhs, bits), to_signed(rhs, bits)
+    unsigned_lhs, unsigned_rhs = to_unsigned(lhs, bits), to_unsigned(rhs, bits)
+    table = {
+        "eq": unsigned_lhs == unsigned_rhs,
+        "ne": unsigned_lhs != unsigned_rhs,
+        "slt": signed_lhs < signed_rhs,
+        "sle": signed_lhs <= signed_rhs,
+        "sgt": signed_lhs > signed_rhs,
+        "sge": signed_lhs >= signed_rhs,
+        "ult": unsigned_lhs < unsigned_rhs,
+        "ule": unsigned_lhs <= unsigned_rhs,
+        "ugt": unsigned_lhs > unsigned_rhs,
+        "uge": unsigned_lhs >= unsigned_rhs,
+    }
+    return table[predicate]
+
+
+def fold_cast(opcode: str, value: int, from_bits: int, to_bits: int) -> Optional[int]:
+    """Fold an integer cast; returns ``None`` for unsupported casts."""
+    if opcode == "zext":
+        return to_unsigned(value, from_bits)
+    if opcode == "sext":
+        return to_signed(value, from_bits)
+    if opcode == "trunc":
+        return to_signed(value, to_bits)
+    if opcode == "bitcast" and from_bits == to_bits:
+        return value
+    return None
+
+
+def fold_binary_constants(opcode: str, lhs: ConstantInt, rhs: ConstantInt) -> Optional[ConstantInt]:
+    """Fold a binary operation over two :class:`ConstantInt` operands."""
+    if not isinstance(lhs.type, IntType):
+        return None
+    result = fold_int_binary(opcode, lhs.value, rhs.value, lhs.type.bits)
+    if result is None:
+        return None
+    return ConstantInt(lhs.type, result)
+
+
+def fold_icmp_constants(predicate: str, lhs: ConstantInt, rhs: ConstantInt) -> Optional[ConstantInt]:
+    """Fold a comparison over two :class:`ConstantInt` operands into an i1."""
+    if not isinstance(lhs.type, IntType):
+        return None
+    result = fold_icmp(predicate, lhs.value, rhs.value, lhs.type.bits)
+    if result is None:
+        return None
+    return ConstantInt(IntType(1), 1 if result else 0)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Is ``value`` a positive power of two?"""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """The exponent of a power of two (caller must check :func:`is_power_of_two`)."""
+    return value.bit_length() - 1
+
+
+__all__ = [
+    "fold_int_binary",
+    "fold_icmp",
+    "fold_cast",
+    "fold_binary_constants",
+    "fold_icmp_constants",
+    "is_power_of_two",
+    "log2_exact",
+]

@@ -1,0 +1,97 @@
+"""Dead-store elimination.
+
+Removes a store when a later store definitely overwrites the same address
+before any intervening instruction could observe the first value.  The
+analysis is block-local (as the original LLVM DSE largely was) and relies
+on the same :class:`~repro.analysis.alias.AliasAnalysis` the validator's
+load/store rules use:
+
+* a store ``S1`` followed in the same block by a store ``S2`` with
+  *must-alias* pointers is dead if nothing between them may read the
+  stored-to memory;
+* additionally, stores to a non-escaping ``alloca`` that is never loaded
+  afterwards (anywhere in the function) are removed — this is the case the
+  paper's §4.2 example needs (the ``*t = 42`` store survives only because
+  ``t2`` is read back).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.alias import AliasAnalysis
+from ..analysis.usedef import users_of
+from ..ir.instructions import Alloca, Call, Load, Store
+from ..ir.module import Function
+from .pass_manager import register_pass
+
+
+def _may_read_between(instructions, start: int, end: int, pointer, alias: AliasAnalysis) -> bool:
+    """Could any instruction strictly between ``start`` and ``end`` read ``pointer``?"""
+    for index in range(start + 1, end):
+        inst = instructions[index]
+        if isinstance(inst, Load):
+            if not alias.no_alias(inst.pointer, pointer):
+                return True
+        elif isinstance(inst, Call):
+            if not inst.is_readnone():
+                return True
+        elif isinstance(inst, Store):
+            continue
+    return False
+
+
+def _block_local_dse(function: Function, alias: AliasAnalysis) -> int:
+    removed = 0
+    for block in function.blocks:
+        instructions = block.instructions
+        stores: List[int] = [i for i, inst in enumerate(instructions) if isinstance(inst, Store)]
+        dead: List[Store] = []
+        for position, index in enumerate(stores):
+            store = instructions[index]
+            for later_index in stores[position + 1 :]:
+                later = instructions[later_index]
+                if alias.must_alias(store.pointer, later.pointer):
+                    if not _may_read_between(instructions, index, later_index, store.pointer, alias):
+                        dead.append(store)
+                    break
+                if not alias.no_alias(store.pointer, later.pointer):
+                    break
+        for store in dead:
+            block.remove(store)
+            removed += 1
+    return removed
+
+
+def _dead_alloca_stores(function: Function, alias: AliasAnalysis) -> int:
+    """Remove stores to allocas that are never loaded and never escape."""
+    removed = 0
+    for inst in list(function.instructions()):
+        if not isinstance(inst, Alloca):
+            continue
+        loads_or_escapes = False
+        stores: List[Store] = []
+        for user in users_of(function, inst):
+            if isinstance(user, Store) and user.pointer is inst and user.value is not inst:
+                stores.append(user)
+            elif isinstance(user, Load):
+                loads_or_escapes = True
+            else:
+                loads_or_escapes = True
+        if not loads_or_escapes:
+            for store in stores:
+                store.parent.remove(store)
+                removed += 1
+    return removed
+
+
+@register_pass("dse")
+def dse(function: Function) -> bool:
+    """Run dead-store elimination.  Returns ``True`` if changed."""
+    alias = AliasAnalysis()
+    removed = _block_local_dse(function, alias)
+    removed += _dead_alloca_stores(function, alias)
+    return removed > 0
+
+
+__all__ = ["dse"]

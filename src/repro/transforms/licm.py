@@ -1,0 +1,137 @@
+"""Loop-invariant code motion (LICM).
+
+Hoists computations out of loops into the loop preheader when every
+operand is loop-invariant and the instruction is safe to execute
+speculatively:
+
+* pure arithmetic, comparisons, casts, selects and GEPs are always hoisted
+  (division only when the divisor is a non-zero constant);
+* loads are hoisted when the address is invariant and no store or
+  memory-writing call inside the loop may alias it;
+* calls are hoisted when their arguments are invariant and the callee is
+  ``readnone``, or ``readonly`` with no may-writing instruction in the
+  loop.
+
+The last case reproduces the paper's main LICM false-alarm source: LLVM
+hoists ``strlen``-style calls using function knowledge, while the
+validator's memory model (one threaded memory state) cannot justify the
+motion without call-specific rules (§5.3, Figure 7).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..analysis.alias import AliasAnalysis
+from ..analysis.loops import Loop, LoopInfo
+from ..ir.instructions import (
+    BinaryOperator,
+    Call,
+    Cast,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Select,
+    Store,
+)
+from ..ir.module import Function
+from ..ir.values import ConstantInt, Value
+from .pass_manager import register_pass
+
+
+def _defined_in_loop(value: Value, loop: Loop) -> bool:
+    return isinstance(value, Instruction) and value.parent is not None and loop.contains(value.parent)
+
+
+def _operands_invariant(inst: Instruction, loop: Loop, hoisted: Set[int]) -> bool:
+    for operand in inst.operands:
+        if _defined_in_loop(operand, loop) and id(operand) not in hoisted:
+            return False
+    return True
+
+
+def _loop_memory_writes(loop: Loop) -> List[Instruction]:
+    writes: List[Instruction] = []
+    for block in loop.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Store):
+                writes.append(inst)
+            elif isinstance(inst, Call) and inst.may_write_memory():
+                writes.append(inst)
+    return writes
+
+
+def _safe_to_hoist(inst: Instruction, loop: Loop, hoisted: Set[int],
+                   writes: List[Instruction], alias: AliasAnalysis) -> bool:
+    if not _operands_invariant(inst, loop, hoisted):
+        return False
+    if isinstance(inst, (ICmp, Select, Cast, GetElementPtr)):
+        return True
+    if isinstance(inst, BinaryOperator):
+        if inst.opcode in ("sdiv", "udiv", "srem", "urem"):
+            return isinstance(inst.rhs, ConstantInt) and inst.rhs.value != 0
+        return True
+    if isinstance(inst, Load):
+        for write in writes:
+            if isinstance(write, Store):
+                if not alias.no_alias(write.pointer, inst.pointer):
+                    return False
+            else:
+                return False
+        return True
+    if isinstance(inst, Call):
+        if inst.is_readnone():
+            return True
+        if inst.is_readonly():
+            return not writes
+        return False
+    return False
+
+
+def _hoist_loop(function: Function, loop: Loop, alias: AliasAnalysis) -> bool:
+    preheader = loop.preheader()
+    if preheader is None:
+        return False
+    writes = _loop_memory_writes(loop)
+    hoisted: Set[int] = set()
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for block in loop.blocks:
+            for inst in list(block.instructions):
+                if isinstance(inst, (Phi, Store)) or inst.is_terminator():
+                    continue
+                if not inst.has_result():
+                    continue
+                if id(inst) in hoisted:
+                    continue
+                if _safe_to_hoist(inst, loop, hoisted, writes, alias):
+                    block.remove(inst)
+                    preheader.insert_before_terminator(inst)
+                    hoisted.add(id(inst))
+                    progress = True
+                    changed = True
+    return changed
+
+
+@register_pass("licm")
+def licm(function: Function) -> bool:
+    """Run loop-invariant code motion.  Returns ``True`` if changed."""
+    if function.is_declaration:
+        return False
+    loop_info = LoopInfo.compute(function)
+    if not loop_info.loops:
+        return False
+    alias = AliasAnalysis()
+    changed = False
+    # Innermost loops first, so hoisted code can cascade outwards.
+    for loop in sorted(loop_info.loops, key=lambda l: -l.depth):
+        if _hoist_loop(function, loop, alias):
+            changed = True
+    return changed
+
+
+__all__ = ["licm"]

@@ -1,0 +1,155 @@
+"""Loop deletion.
+
+Removes loops whose execution cannot be observed: no stores or
+side-effecting calls inside, and every value the rest of the function
+reads from the loop is actually loop-invariant (a header φ that never
+changes).  Control flow is rewired so the preheader branches directly to
+the loop's (unique) exit block and the invariant values are replaced by
+their initial (pre-loop) values.
+
+As in the paper (§2), non-termination is not part of the preservation
+guarantee, so termination of the deleted loop is not proven; a validated
+deletion means "if the original terminates without a runtime error, the
+result is unchanged", which is exactly the validator's contract.  On the
+validator side, the η/μ rules (7)–(9) are what make deleted loops check
+out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.cfg import remove_unreachable_blocks
+from ..analysis.loops import Loop, LoopInfo
+from ..ir.instructions import Branch, Instruction, Phi
+from ..ir.module import BasicBlock, Function
+from ..ir.values import Value
+from .pass_manager import register_pass
+
+
+def _has_observable_effects(loop: Loop) -> bool:
+    for block in loop.blocks:
+        for inst in block.instructions:
+            if inst.is_terminator():
+                continue
+            if inst.has_side_effects():
+                return True
+    return False
+
+
+def _invariant_header_phi_value(loop: Loop, value: Value) -> Optional[Value]:
+    """If ``value`` is a header φ that never changes, return its initial value.
+
+    A header φ is invariant when every incoming value from inside the loop
+    is either the φ itself (``μ(x, self)``) or the same object as the
+    initial value (``μ(x, x)``) — the two shapes the paper's rules (8) and
+    (9) recognise.
+    """
+    if not isinstance(value, Phi) or value.parent is not loop.header:
+        return None
+    init: Optional[Value] = None
+    body_values: List[Value] = []
+    for incoming, pred in value.incoming:
+        if loop.contains(pred):
+            body_values.append(incoming)
+        else:
+            if init is not None and incoming is not init:
+                return None
+            init = incoming
+    if init is None:
+        return None
+    for body_value in body_values:
+        if body_value is not value and body_value is not init:
+            return None
+    return init
+
+
+def _escaping_values(function: Function, loop: Loop) -> Dict[int, Value]:
+    """Values defined inside the loop that are used outside it."""
+    inside = {id(inst): inst for block in loop.blocks for inst in block.instructions}
+    escaping: Dict[int, Value] = {}
+    for block in function.blocks:
+        if loop.contains(block):
+            continue
+        for inst in block.instructions:
+            for operand in inst.operands:
+                if id(operand) in inside:
+                    escaping[id(operand)] = operand
+    return escaping
+
+
+def _unique_exit(loop: Loop) -> Optional[BasicBlock]:
+    exits = loop.exit_blocks()
+    if len(exits) == 1:
+        return exits[0]
+    return None
+
+
+def _try_delete(function: Function, loop: Loop) -> bool:
+    preheader = loop.preheader()
+    exit_block = _unique_exit(loop)
+    if preheader is None or exit_block is None or loop.contains(exit_block):
+        return False
+    if _has_observable_effects(loop):
+        return False
+
+    # Every escaping value must be an invariant header φ.
+    replacements: Dict[int, Value] = {}
+    for value in _escaping_values(function, loop).values():
+        init = _invariant_header_phi_value(loop, value)
+        if init is None:
+            return False
+        replacements[id(value)] = init
+
+    # Substitute the invariant values outside the loop (including exit φs).
+    for block in function.blocks:
+        if loop.contains(block):
+            continue
+        for inst in block.instructions:
+            for index, operand in enumerate(inst.operands):
+                if id(operand) in replacements:
+                    inst.operands[index] = replacements[id(operand)]
+
+    # Exit-block φ-nodes: collapse loop-side entries into one preheader entry.
+    for phi in exit_block.phis():
+        incoming_from_loop = [value for value, pred in phi.incoming if loop.contains(pred)]
+        if incoming_from_loop:
+            first = incoming_from_loop[0]
+            if any(v is not first for v in incoming_from_loop):
+                # Entries disagree after substitution; give up (should not
+                # happen for the loops this pass accepts, but stay safe).
+                return False
+        for pred in [b for _, b in phi.incoming if loop.contains(b)]:
+            phi.remove_incoming(pred)
+        if incoming_from_loop:
+            phi.add_incoming(incoming_from_loop[0], preheader)
+
+    terminator = preheader.terminator
+    if isinstance(terminator, Branch):
+        terminator.replace_target(loop.header, exit_block)
+    remove_unreachable_blocks(function)
+    return True
+
+
+@register_pass("loop-deletion")
+def loop_deletion(function: Function) -> bool:
+    """Run loop deletion.  Returns ``True`` if changed."""
+    if function.is_declaration:
+        return False
+    changed = False
+    # Recompute loop info after each deletion; deleting one loop may expose
+    # or invalidate others.
+    for _ in range(16):
+        loop_info = LoopInfo.compute(function)
+        deleted = False
+        for loop in sorted(loop_info.loops, key=lambda l: -l.depth):
+            if _try_delete(function, loop):
+                changed = True
+                deleted = True
+                break
+        if not deleted:
+            break
+    return changed
+
+
+__all__ = ["loop_deletion"]

@@ -1,0 +1,27 @@
+"""The LLVM-MD translation validator: per-function validation and the driver."""
+
+from .config import (
+    DEFAULT_CONFIG,
+    GVN_ABLATION_STEPS,
+    LICM_ABLATION_STEPS,
+    SCCP_ABLATION_STEPS,
+    ValidatorConfig,
+)
+from .driver import llvm_md, validate_function_pipeline
+from .report import FunctionRecord, ValidationReport
+from .validate import ValidationResult, validate, validate_or_raise
+
+__all__ = [
+    "validate",
+    "validate_or_raise",
+    "ValidationResult",
+    "ValidatorConfig",
+    "DEFAULT_CONFIG",
+    "GVN_ABLATION_STEPS",
+    "SCCP_ABLATION_STEPS",
+    "LICM_ABLATION_STEPS",
+    "llvm_md",
+    "validate_function_pipeline",
+    "FunctionRecord",
+    "ValidationReport",
+]

@@ -1,0 +1,83 @@
+"""Validator configuration: rule sets, matcher choice, resource limits.
+
+The configuration exists mostly so the experiments can reproduce the
+paper's rule-set ablations: Figure 6 adds rule groups to GVN one at a
+time, Figure 8 does the same for SCCP, and Figure 7 compares LICM with no
+rules against all rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..vgraph.rules import ALL_RULE_GROUPS
+
+#: Cumulative rule sets used for the GVN ablation (paper Figure 6).
+GVN_ABLATION_STEPS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("no rules", ()),
+    ("+ phi simplification", ("phi",)),
+    ("+ constant folding", ("phi", "constfold", "boolean")),
+    ("+ load/store simplification", ("phi", "constfold", "boolean", "loadstore")),
+    ("+ eta simplification", ("phi", "constfold", "boolean", "loadstore", "eta")),
+    ("+ commuting rules", ("phi", "constfold", "boolean", "loadstore", "eta", "commuting")),
+)
+
+#: Rule sets used for the SCCP ablation (paper Figure 8).
+SCCP_ABLATION_STEPS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("no rules", ()),
+    ("constant folding", ("constfold", "boolean")),
+    ("+ phi simplification", ("constfold", "boolean", "phi")),
+    ("all rules", tuple(ALL_RULE_GROUPS)),
+)
+
+#: Rule sets used for the LICM ablation (paper Figure 7).
+LICM_ABLATION_STEPS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("no rules", ()),
+    ("all rules", tuple(ALL_RULE_GROUPS)),
+)
+
+
+@dataclass(frozen=True)
+class ValidatorConfig:
+    """Settings for one validation run.
+
+    Attributes
+    ----------
+    rule_groups:
+        Normalization rule groups to enable (default: all of them).
+    matcher:
+        Cycle-matching strategy: ``"simple"``, ``"partition"`` or
+        ``"combined"`` (default, as in the paper §5.4).
+    max_iterations:
+        Bound on normalization rounds.
+    recursion_limit:
+        Python recursion limit installed while building value graphs
+        (symbolic evaluation is recursive over the SSA def-use chains).
+    """
+
+    rule_groups: Tuple[str, ...] = tuple(ALL_RULE_GROUPS)
+    matcher: str = "combined"
+    max_iterations: int = 25
+    recursion_limit: int = 50_000
+
+    def with_rules(self, rule_groups) -> "ValidatorConfig":
+        """A copy of this configuration with different rule groups."""
+        return ValidatorConfig(
+            rule_groups=tuple(rule_groups),
+            matcher=self.matcher,
+            max_iterations=self.max_iterations,
+            recursion_limit=self.recursion_limit,
+        )
+
+
+#: The default configuration (all rules, combined matcher).
+DEFAULT_CONFIG = ValidatorConfig()
+
+__all__ = [
+    "ValidatorConfig",
+    "DEFAULT_CONFIG",
+    "GVN_ABLATION_STEPS",
+    "SCCP_ABLATION_STEPS",
+    "LICM_ABLATION_STEPS",
+]

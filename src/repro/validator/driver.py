@@ -1,0 +1,101 @@
+"""The LLVM-MD driver: optimize, validate, keep or reject per function.
+
+This is the paper's §2 pseudo-code::
+
+    function llvm-md(var input) {
+        output = opt -options input
+        for each function f in input {
+            extract f from input as fi and output as fo
+            if (!validate fi fo) { replace fo by fi in output }
+        }
+        return output
+    }
+
+Our ``opt`` is the pass pipeline from :mod:`repro.transforms`; everything
+else is the same: the validator treats the optimizer as a black box, needs
+no instrumentation, and runs once over the result of the whole pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from ..ir.cloning import clone_function
+from ..ir.module import Function, Module
+from ..transforms.pass_manager import PAPER_PIPELINE, PassManager
+from .config import DEFAULT_CONFIG, ValidatorConfig
+from .report import FunctionRecord, ValidationReport
+from .validate import validate
+
+
+def validate_function_pipeline(
+    function: Function,
+    passes: Sequence[str] = PAPER_PIPELINE,
+    config: Optional[ValidatorConfig] = None,
+    skip_unchanged: bool = True,
+) -> Tuple[Function, FunctionRecord]:
+    """Optimize one function and validate the result.
+
+    Returns ``(kept_function, record)`` where ``kept_function`` is the
+    optimized clone when validation succeeded and the original function
+    otherwise.
+    """
+    config = config or DEFAULT_CONFIG
+    record = FunctionRecord(name=function.name)
+    if function.is_declaration:
+        return function, record
+
+    optimized = clone_function(function)
+    manager = PassManager(passes)
+    record.transformed_by = manager.run_on_function(optimized)
+
+    if skip_unchanged and not record.transformed:
+        # Nothing changed; validation is trivial and the paper does not
+        # count such functions in its per-optimization charts.
+        return function, record
+
+    record.result = validate(function, optimized, config)
+    kept = optimized if record.result.is_success else function
+    return kept, record
+
+
+def llvm_md(
+    module: Module,
+    passes: Sequence[str] = PAPER_PIPELINE,
+    config: Optional[ValidatorConfig] = None,
+    label: str = "",
+    function_names: Optional[Iterable[str]] = None,
+) -> Tuple[Module, ValidationReport]:
+    """Run the semantics-preserving optimizer over a module.
+
+    Every defined function is optimized with ``passes``; the optimized body
+    is kept only if the validator can prove it equivalent to the original.
+    Returns the resulting module (a new :class:`Module`; the input is not
+    mutated) and the per-function :class:`ValidationReport`.
+    """
+    config = config or DEFAULT_CONFIG
+    report = ValidationReport(label=label or module.name)
+    result_module = Module(module.name)
+    for global_var in module.globals.values():
+        result_module.add_global(global_var)
+
+    selected = set(function_names) if function_names is not None else None
+    for function in module.functions.values():
+        if function.is_declaration:
+            result_module.add_function(function)
+            continue
+        if selected is not None and function.name not in selected:
+            result_module.add_function(function)
+            continue
+        kept, record = validate_function_pipeline(function, passes, config)
+        report.add(record)
+        if kept is function:
+            # Keep the original body: clone it so the result module does not
+            # share mutable structure with the input module.
+            result_module.add_function(clone_function(function))
+        else:
+            result_module.add_function(kept)
+    return result_module, report
+
+
+__all__ = ["llvm_md", "validate_function_pipeline"]

@@ -1,0 +1,124 @@
+"""Aggregation of validation outcomes into reports.
+
+The paper's metrics (Figure 4, Figure 5) are per-function: a function
+counts as *transformed* when at least one pass changed it, and as
+*validated* only when the whole pipeline's effect on it could be proved
+semantics-preserving ("even though we may validate many optimizations, if
+even one optimization fails to validate we count the entire function as
+failed", §5.1).  :class:`ValidationReport` collects per-function records
+and computes those aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .validate import ValidationResult
+
+
+@dataclass
+class FunctionRecord:
+    """Validation outcome for one function."""
+
+    name: str
+    #: Per-pass "did it change the function" flags (from the pass manager).
+    transformed_by: Dict[str, bool] = field(default_factory=dict)
+    #: Validation result, or ``None`` when the function was never validated
+    #: (e.g. it was not transformed and validation was skipped).
+    result: Optional[ValidationResult] = None
+
+    @property
+    def transformed(self) -> bool:
+        """Was the function changed by at least one pass?"""
+        return any(self.transformed_by.values())
+
+    @property
+    def validated(self) -> bool:
+        """Did validation succeed (trivially true for untransformed functions)?"""
+        if self.result is None:
+            return not self.transformed
+        return self.result.is_success
+
+
+@dataclass
+class ValidationReport:
+    """Validation outcomes for all functions of one module / benchmark run."""
+
+    #: Label for the run (benchmark name, pipeline description, ...).
+    label: str = ""
+    records: List[FunctionRecord] = field(default_factory=list)
+
+    def add(self, record: FunctionRecord) -> None:
+        """Append one function record."""
+        self.records.append(record)
+
+    # -- aggregate counts -------------------------------------------------
+    @property
+    def total_functions(self) -> int:
+        """Number of functions processed."""
+        return len(self.records)
+
+    @property
+    def transformed_functions(self) -> int:
+        """Number of functions changed by at least one pass."""
+        return sum(1 for record in self.records if record.transformed)
+
+    @property
+    def validated_functions(self) -> int:
+        """Number of *transformed* functions whose validation succeeded."""
+        return sum(1 for record in self.records if record.transformed and record.validated)
+
+    @property
+    def rejected_functions(self) -> int:
+        """Number of transformed functions the validator rejected (false alarms)."""
+        return self.transformed_functions - self.validated_functions
+
+    @property
+    def validation_rate(self) -> float:
+        """Fraction of transformed functions validated (1.0 when none transformed)."""
+        if self.transformed_functions == 0:
+            return 1.0
+        return self.validated_functions / self.transformed_functions
+
+    @property
+    def total_time(self) -> float:
+        """Total validation wall-clock time in seconds."""
+        return sum(record.result.elapsed for record in self.records if record.result is not None)
+
+    def failures(self) -> List[FunctionRecord]:
+        """Records of transformed functions that failed to validate."""
+        return [r for r in self.records if r.transformed and not r.validated]
+
+    def reasons_histogram(self) -> Dict[str, int]:
+        """Histogram of failure reasons."""
+        histogram: Dict[str, int] = {}
+        for record in self.failures():
+            reason = record.result.reason if record.result is not None else "not-run"
+            histogram[reason] = histogram.get(reason, 0) + 1
+        return histogram
+
+    # -- rendering -------------------------------------------------------------
+    def summary_line(self) -> str:
+        """One-line human readable summary."""
+        return (
+            f"{self.label or 'run'}: {self.validated_functions}/{self.transformed_functions} "
+            f"transformed functions validated "
+            f"({self.validation_rate * 100.0:.1f}%), "
+            f"{self.total_functions} functions total, "
+            f"{self.total_time:.2f}s validation time"
+        )
+
+    def to_table_row(self) -> Dict[str, object]:
+        """Row dict used by the benchmark harness table renderers."""
+        return {
+            "benchmark": self.label,
+            "functions": self.total_functions,
+            "transformed": self.transformed_functions,
+            "validated": self.validated_functions,
+            "rate": round(self.validation_rate * 100.0, 1),
+            "time_s": round(self.total_time, 2),
+        }
+
+
+__all__ = ["FunctionRecord", "ValidationReport"]

@@ -1,0 +1,134 @@
+"""The per-function validation entry point.
+
+``validate(before, after)`` is the paper's ``validate fi fo``: build both
+functions into one shared value graph, normalize, and report whether the
+observable roots (return value and final memory state) merged into the
+same nodes.  A positive answer means: *if the original function terminates
+without a runtime error, the transformed function computes the same return
+value and leaves memory in the same state* (§2's guarantee).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import IrreducibleCFGError, ReproError, ValidationInternalError
+from ..ir.module import Function
+from ..vgraph.builder import build_shared_graph
+from ..vgraph.normalize import NormalizationStats, Normalizer
+from .config import DEFAULT_CONFIG, ValidatorConfig
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating one function pair."""
+
+    #: Name of the function that was validated.
+    function_name: str
+    #: Did the two functions' value graphs merge?
+    is_success: bool
+    #: Short machine-readable reason: ``"equal"``, ``"trivially-equal"``,
+    #: ``"normalization-exhausted"``, ``"irreducible-cfg"``, ``"build-error"``.
+    reason: str
+    #: Wall-clock seconds spent on this validation.
+    elapsed: float = 0.0
+    #: Number of nodes in the shared graph after construction.
+    graph_nodes: int = 0
+    #: Normalization statistics (empty when construction failed).
+    stats: Dict[str, int] = field(default_factory=dict)
+    #: Human-readable detail for failures (best-effort diff rendering).
+    detail: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.is_success
+
+
+def validate(before: Function, after: Function,
+             config: Optional[ValidatorConfig] = None) -> ValidationResult:
+    """Validate that ``after`` preserves the semantics of ``before``.
+
+    Any internal failure (irreducible CFG, unexpected IR, recursion blow-up)
+    is reported as a *rejection*, never as a success — the driver then keeps
+    the original function, exactly as the paper's ``llvm-md`` wrapper does.
+    """
+    config = config or DEFAULT_CONFIG
+    start = time.perf_counter()
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, config.recursion_limit))
+    try:
+        graph, summary_before, summary_after = build_shared_graph(before, after)
+    except IrreducibleCFGError:
+        return ValidationResult(before.name, False, "irreducible-cfg",
+                                elapsed=time.perf_counter() - start)
+    except (ReproError, RecursionError) as error:
+        return ValidationResult(before.name, False, "build-error",
+                                elapsed=time.perf_counter() - start, detail=str(error))
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    goal_pairs = [
+        (summary_before.result, summary_after.result),
+        (summary_before.memory, summary_after.memory),
+    ]
+
+    sys.setrecursionlimit(max(old_limit, config.recursion_limit))
+    try:
+        normalizer = Normalizer(
+            graph,
+            rule_groups=config.rule_groups,
+            matcher=config.matcher,
+            max_iterations=config.max_iterations,
+        )
+        matched, stats = normalizer.normalize_until_equal(goal_pairs)
+    except (ReproError, RecursionError) as error:
+        return ValidationResult(
+            before.name, False, "build-error",
+            elapsed=time.perf_counter() - start,
+            graph_nodes=graph.live_node_count(), detail=str(error),
+        )
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    elapsed = time.perf_counter() - start
+    if matched:
+        reason = "trivially-equal" if stats.trivially_equal else "equal"
+        return ValidationResult(before.name, True, reason, elapsed=elapsed,
+                                graph_nodes=graph.live_node_count(), stats=stats.as_dict())
+
+    detail = _failure_detail(graph, summary_before, summary_after)
+    return ValidationResult(before.name, False, "normalization-exhausted", elapsed=elapsed,
+                            graph_nodes=graph.live_node_count(), stats=stats.as_dict(),
+                            detail=detail)
+
+
+def _failure_detail(graph, summary_before, summary_after) -> str:
+    """Render the mismatching roots (bounded depth) for diagnostics."""
+    lines = []
+    if summary_before.result is not None or summary_after.result is not None:
+        left = graph.format_node(summary_before.result, 5) if summary_before.result is not None else "<void>"
+        right = graph.format_node(summary_after.result, 5) if summary_after.result is not None else "<void>"
+        if (summary_before.result is None or summary_after.result is None
+                or not graph.same(summary_before.result, summary_after.result)):
+            lines.append(f"result:   before = {left}")
+            lines.append(f"          after  = {right}")
+    if not graph.same(summary_before.memory, summary_after.memory):
+        lines.append(f"memory:   before = {graph.format_node(summary_before.memory, 5)}")
+        lines.append(f"          after  = {graph.format_node(summary_after.memory, 5)}")
+    return "\n".join(lines)
+
+
+def validate_or_raise(before: Function, after: Function,
+                      config: Optional[ValidatorConfig] = None) -> ValidationResult:
+    """Like :func:`validate` but raises on rejection (useful in tests)."""
+    result = validate(before, after, config)
+    if not result.is_success:
+        raise ValidationInternalError(
+            f"validation of @{before.name} failed ({result.reason})\n{result.detail}"
+        )
+    return result
+
+
+__all__ = ["validate", "validate_or_raise", "ValidationResult"]

@@ -1,0 +1,32 @@
+"""Shared value graphs: construction, normalization and sharing maximization."""
+
+from .builder import FunctionSummary, GraphBuilder, build_function_graph, build_shared_graph
+from .galias import GraphAliasResult, graph_alias, graph_must_alias, graph_no_alias
+from .graph import ValueGraph
+from .nodes import VNode
+from .normalize import NormalizationStats, Normalizer
+from .partition import merge_by_partition, refine_partition
+from .rules import ALL_RULE_GROUPS, RULE_GROUPS, rules_for
+from .sharing import merge_cycles, unify
+
+__all__ = [
+    "ValueGraph",
+    "VNode",
+    "GraphBuilder",
+    "FunctionSummary",
+    "build_function_graph",
+    "build_shared_graph",
+    "Normalizer",
+    "NormalizationStats",
+    "RULE_GROUPS",
+    "ALL_RULE_GROUPS",
+    "rules_for",
+    "merge_cycles",
+    "unify",
+    "refine_partition",
+    "merge_by_partition",
+    "graph_alias",
+    "graph_no_alias",
+    "graph_must_alias",
+    "GraphAliasResult",
+]

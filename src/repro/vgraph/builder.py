@@ -1,0 +1,553 @@
+"""Construction of the shared value graph from functions.
+
+This is the "hash-consed symbolic analysis" box of the paper's Figure 1.
+For each function we:
+
+1. check the CFG is reducible (the front end rejects irreducible control
+   flow, §5.1);
+2. compute dominators, natural loops and gate (path-condition) formulas;
+3. symbolically evaluate the function bottom-up into graph nodes:
+   ordinary instructions become operator nodes over their operands'
+   nodes, φ-nodes at join points become *gated* φ nodes, φ-nodes at loop
+   headers become μ nodes, and uses of loop-defined values outside their
+   loop are wrapped in η nodes;
+4. thread an abstract memory state through loads, stores and calls (the
+   monadic interpretation of §3.1), giving memory its own φ/μ/η structure;
+5. return the function's observable roots: the (gated) return value and
+   the final memory state.
+
+Both functions of a validation query are built into the *same*
+:class:`~repro.vgraph.graph.ValueGraph`, so equal sub-terms are shared and
+the final equality check is a pointer comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.cfg import is_reducible, predecessor_map
+from ..analysis.dominators import DominatorTree
+from ..analysis.loops import Loop, LoopInfo
+from ..errors import IrreducibleCFGError, ValidationInternalError
+from ..gated.gates import (
+    AndGate,
+    CondGate,
+    FalseGate,
+    GateAnalysis,
+    GateExpr,
+    OrGate,
+    ReachedGate,
+    TrueGate,
+)
+from ..gated.monadic import MemoryEffects, defines_memory
+from ..ir.instructions import (
+    Alloca,
+    BinaryOperator,
+    Call,
+    Cast,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from ..ir.module import BasicBlock, Function
+from ..ir.values import (
+    Argument,
+    ConstantFloat,
+    ConstantInt,
+    ConstantPointerNull,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+from .graph import ValueGraph
+
+
+class FunctionSummary:
+    """The observable roots of one function in the shared graph."""
+
+    def __init__(self, function: Function, result: Optional[int], memory: int):
+        self.function = function
+        #: Node id of the (gated) return value, or ``None`` for void functions.
+        self.result = result
+        #: Node id of the final memory state.
+        self.memory = memory
+
+    def roots(self) -> List[int]:
+        """The root node ids (result first when present, then memory)."""
+        roots = []
+        if self.result is not None:
+            roots.append(self.result)
+        roots.append(self.memory)
+        return roots
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FunctionSummary @{self.function.name} result={self.result} memory={self.memory}>"
+
+
+class GraphBuilder:
+    """Builds the value-graph representation of one function."""
+
+    def __init__(self, graph: ValueGraph, function: Function):
+        if function.is_declaration:
+            raise ValidationInternalError(f"@{function.name} has no body to analyse")
+        if not is_reducible(function):
+            raise IrreducibleCFGError(f"@{function.name} has an irreducible CFG")
+        self.graph = graph
+        self.function = function
+        self.dom = DominatorTree.compute(function)
+        self.loops = LoopInfo.compute(function, self.dom)
+        self.gates = GateAnalysis(function, self.dom)
+        self.memory_effects = MemoryEffects(function)
+        self.preds = predecessor_map(function)
+
+        self._value_nodes: Dict[int, int] = {}
+        self._mem_entry: Dict[int, int] = {}
+        self._mem_after: Dict[int, int] = {}
+        self._mem_exit: Dict[int, int] = {}
+        self._loop_exit_cond: Dict[int, int] = {}
+        self._alloca_names: Dict[int, str] = {}
+        self._building_mem: set = set()
+        self._name_allocas()
+
+    # -- public entry point -------------------------------------------------
+    def build(self) -> FunctionSummary:
+        """Symbolically evaluate the function; return its summary."""
+        self._precompute_memory()
+        ret_blocks = [
+            block
+            for block in self.dom.reachable_blocks()
+            if isinstance(block.terminator, Ret)
+        ]
+        if not ret_blocks:
+            # A function that never returns: its observable state is just the
+            # initial memory (nothing the caller can see changes).
+            return FunctionSummary(self.function, None, self.graph.make("mem0"))
+
+        entry = self.function.entry
+        result_branches: List[Tuple[int, int]] = []
+        memory_branches: List[Tuple[int, int]] = []
+        for block in ret_blocks:
+            terminator = block.terminator
+            condition = self._gate_to_node(
+                self.gates.path_condition(entry, block), context=block
+            )
+            condition = self._wrap_loop_exits_for_block(condition, block)
+            memory = self._memory_before(terminator)
+            memory = self._wrap_loop_exits_for_block(memory, block)
+            memory_branches.append((condition, memory))
+            if terminator.value is not None:
+                value = self._node_for_use(terminator.value, block)
+                value = self._wrap_loop_exits_for_block(value, block)
+                result_branches.append((condition, value))
+
+        memory_root = self._combine_branches(memory_branches)
+        result_root: Optional[int] = None
+        if result_branches:
+            result_root = self._combine_branches(result_branches)
+        return FunctionSummary(self.function, result_root, memory_root)
+
+    # -- naming ----------------------------------------------------------------
+    def _name_allocas(self) -> None:
+        index = 0
+        for inst in self.function.instructions():
+            if isinstance(inst, Alloca):
+                name = inst.name if inst.name else f"site{index}"
+                self._alloca_names[id(inst)] = name
+                index += 1
+
+    # -- small helpers ------------------------------------------------------------
+    def _combine_branches(self, branches: List[Tuple[int, int]]) -> int:
+        """Combine (condition, value) pairs into a single node."""
+        if len(branches) == 1:
+            return branches[0][1]
+        values = {self.graph.resolve(v) for _, v in branches}
+        if len(values) == 1:
+            return branches[0][1]
+        return self.graph.phi(branches)
+
+    def _loop_chain_outside(self, definition_block: BasicBlock, use_block: Optional[BasicBlock]
+                            ) -> List[Loop]:
+        """Loops containing the definition but not the use, innermost first."""
+        loops: List[Loop] = []
+        loop = self.loops.loop_for(definition_block)
+        while loop is not None:
+            if use_block is not None and loop.contains(use_block):
+                break
+            loops.append(loop)
+            loop = loop.parent
+        return loops
+
+    def _wrap_loop_exits(self, node: int, definition_block: BasicBlock,
+                         use_block: Optional[BasicBlock]) -> int:
+        """Wrap ``node`` in an η for every loop left between definition and use."""
+        for loop in self._loop_chain_outside(definition_block, use_block):
+            node = self.graph.make("eta", None, [self._exit_condition(loop), node])
+        return node
+
+    def _wrap_loop_exits_for_block(self, node: int, block: BasicBlock) -> int:
+        """Wrap a node computed at ``block`` in η for every loop containing the block.
+
+        Used for return blocks inside loops (early returns): the observable
+        value is the one at the iteration where the function actually
+        leaves the loop.
+        """
+        return self._wrap_loop_exits(node, block, None)
+
+    def _exit_condition(self, loop: Loop) -> int:
+        key = id(loop.header)
+        if key not in self._loop_exit_cond:
+            expr = self.gates.loop_exit_condition(loop)
+            self._loop_exit_cond[key] = self._gate_to_node(expr, context=loop.header)
+        return self._loop_exit_cond[key]
+
+    # -- gate translation -----------------------------------------------------------
+    def _gate_to_node(self, gate: GateExpr, context: BasicBlock) -> int:
+        """Translate a gate formula into a graph node."""
+        if isinstance(gate, TrueGate):
+            return self.graph.true()
+        if isinstance(gate, FalseGate):
+            return self.graph.false()
+        if isinstance(gate, CondGate):
+            node = self._node_for_use(gate.value, context)
+            return self.graph.not_(node) if gate.negated else node
+        if isinstance(gate, ReachedGate):
+            return self.graph.make("reach", gate.block_name)
+        if isinstance(gate, AndGate):
+            result = self.graph.true()
+            for operand in gate.operands:
+                result = self.graph.and_(result, self._gate_to_node(operand, context))
+            return result
+        if isinstance(gate, OrGate):
+            result = self.graph.false()
+            for operand in gate.operands:
+                result = self.graph.or_(result, self._gate_to_node(operand, context))
+            return result
+        raise ValidationInternalError(f"unknown gate expression {gate!r}")
+
+    # -- value translation -----------------------------------------------------------
+    def _node_for_use(self, value: Value, use_block: Optional[BasicBlock]) -> int:
+        """Node for ``value`` as observed from ``use_block`` (adds η wrappers)."""
+        node = self._node_of(value)
+        if isinstance(value, Instruction) and value.parent is not None:
+            node = self._wrap_loop_exits(node, value.parent, use_block)
+        return node
+
+    def _node_of(self, value: Value) -> int:
+        """Node for ``value`` at its definition site (memoized)."""
+        key = id(value)
+        if key in self._value_nodes:
+            return self._value_nodes[key]
+        node = self._translate(value)
+        self._value_nodes[key] = node
+        return node
+
+    def _translate(self, value: Value) -> int:
+        graph = self.graph
+        if isinstance(value, ConstantInt):
+            return graph.const(value.value, str(value.type))
+        if isinstance(value, ConstantFloat):
+            return graph.make("const", (value.value, str(value.type)))
+        if isinstance(value, ConstantPointerNull):
+            return graph.make("const", (0, str(value.type)))
+        if isinstance(value, UndefValue):
+            return graph.make("undef", str(value.type))
+        if isinstance(value, Argument):
+            return graph.make("param", value.index)
+        if isinstance(value, GlobalVariable):
+            return graph.make("global", value.name)
+        if isinstance(value, Function):
+            return graph.make("global", value.name)
+        if isinstance(value, Instruction):
+            return self._translate_instruction(value)
+        raise ValidationInternalError(f"cannot translate value {value!r}")
+
+    def _translate_instruction(self, inst: Instruction) -> int:
+        graph = self.graph
+        block = inst.parent
+        if isinstance(inst, Phi):
+            return self._translate_phi(inst)
+        if isinstance(inst, BinaryOperator):
+            return graph.make(
+                "binop",
+                inst.opcode,
+                [self._node_for_use(inst.lhs, block), self._node_for_use(inst.rhs, block)],
+            )
+        if isinstance(inst, ICmp):
+            return graph.make(
+                "icmp",
+                inst.predicate,
+                [self._node_for_use(inst.lhs, block), self._node_for_use(inst.rhs, block)],
+            )
+        if isinstance(inst, Select):
+            condition = self._node_for_use(inst.condition, block)
+            return graph.phi(
+                [
+                    (condition, self._node_for_use(inst.if_true, block)),
+                    (graph.not_(condition), self._node_for_use(inst.if_false, block)),
+                ]
+            )
+        if isinstance(inst, Cast):
+            return graph.make(
+                "cast", (inst.opcode, str(inst.type)), [self._node_for_use(inst.value, block)]
+            )
+        if isinstance(inst, GetElementPtr):
+            args = [self._node_for_use(inst.pointer, block)]
+            args.extend(self._node_for_use(index, block) for index in inst.indices)
+            return graph.make("gep", None, args)
+        if isinstance(inst, Alloca):
+            return graph.make("alloca", self._alloca_names[id(inst)])
+        if isinstance(inst, Load):
+            return graph.make(
+                "load",
+                None,
+                [self._node_for_use(inst.pointer, block), self._memory_before(inst)],
+            )
+        if isinstance(inst, Call):
+            return self._translate_call(inst)
+        raise ValidationInternalError(f"cannot translate instruction {inst!r}")
+
+    def _translate_call(self, call: Call) -> int:
+        block = call.parent
+        callee_name = call.callee.name if hasattr(call.callee, "name") else "<indirect>"
+        reads = call.may_read_memory()
+        writes = call.may_write_memory()
+        args = [self._node_for_use(arg, block) for arg in call.args]
+        if reads or writes:
+            args.append(self._memory_before(call))
+        return self.graph.make("call", (callee_name, reads, writes), args)
+
+    def _translate_phi(self, phi: Phi) -> int:
+        block = phi.parent
+        loop = self.loops.loop_for(block)
+        if loop is not None and loop.header is block:
+            return self._translate_mu(phi, loop)
+
+        gates = dict()
+        for pred, gate in self.gates.phi_gates(block):
+            gates[id(pred)] = gate
+        branches: List[Tuple[int, int]] = []
+        for value, pred in phi.incoming:
+            gate = gates.get(id(pred))
+            if gate is None:
+                gate = ReachedGate(pred.name)
+            condition = self._gate_to_node(gate, context=block)
+            node = self._node_for_use(value, block)
+            branches.append((condition, node))
+        return self._combine_branches(branches) if branches else self.graph.make("undef", "phi")
+
+    def _translate_mu(self, phi: Phi, loop: Loop) -> int:
+        graph = self.graph
+        block = phi.parent
+        mu = graph.make_mu()
+        self._value_nodes[id(phi)] = mu
+
+        initial_branches: List[Tuple[int, int]] = []
+        iteration_branches: List[Tuple[int, int]] = []
+        entry_gates = {id(pred): gate for pred, gate in self.gates.phi_gates(block)}
+        for value, pred in phi.incoming:
+            node = self._node_for_use(value, block)
+            if loop.contains(pred):
+                condition = self._gate_to_node(
+                    self.gates.path_condition(loop.header, pred), context=block
+                )
+                iteration_branches.append((condition, node))
+            else:
+                gate = entry_gates.get(id(pred), ReachedGate(pred.name))
+                condition = self._gate_to_node(gate, context=block)
+                initial_branches.append((condition, node))
+
+        if not initial_branches or not iteration_branches:
+            # Degenerate "loop" (e.g. unreachable back edge); fall back to a
+            # plain gated φ so construction stays total.
+            branches = initial_branches + iteration_branches
+            node = self._combine_branches(branches) if branches else graph.make("undef", "phi")
+            self._value_nodes[id(phi)] = node
+            return node
+
+        initial = self._combine_branches(initial_branches)
+        iteration = self._combine_branches(iteration_branches)
+        graph.set_args(mu, [initial, iteration])
+        return mu
+
+    # -- memory threading ---------------------------------------------------------
+    def _precompute_memory(self) -> None:
+        """Materialise memory states block-by-block in reverse postorder.
+
+        Every block's entry state only depends on forward predecessors
+        (already processed) and on loop-header μ placeholders (created the
+        moment the header is reached), so the recursion during symbolic
+        evaluation always finds memory states memoized and cycles are
+        broken at headers.  The μ iteration arguments — which depend on the
+        loop bodies' exits — are filled in afterwards.
+        """
+        from ..analysis.cfg import reverse_postorder
+
+        pending: List[Tuple[Loop, int]] = []
+        for block in reverse_postorder(self.function):
+            loop = self.loops.loop_for(block)
+            if (loop is not None and loop.header is block
+                    and self._loop_writes_memory(loop)
+                    and id(block) not in self._mem_entry):
+                mu = self.graph.make_mu()
+                self._mem_entry[id(block)] = mu
+                pending.append((loop, mu))
+            self._memory_entry(block)
+            self._memory_exit(block)
+        for loop, mu in pending:
+            initial = self._memory_from_edges(loop.header, inside_loop=None, restrict_outside=loop)
+            iteration = self._memory_from_edges(loop.header, inside_loop=loop, restrict_outside=None)
+            self.graph.set_args(mu, [initial, iteration])
+
+    def _memory_before(self, inst: Instruction) -> int:
+        """The abstract memory state just before ``inst`` executes."""
+        block = inst.parent
+        current = self._memory_entry(block)
+        for other in block.instructions:
+            if other is inst:
+                return current
+            if defines_memory(other):
+                current = self._memory_after(other, current)
+        return current
+
+    def _memory_after(self, inst: Instruction, memory_in: int) -> int:
+        key = id(inst)
+        if key in self._mem_after:
+            return self._mem_after[key]
+        graph = self.graph
+        block = inst.parent
+        if isinstance(inst, Store):
+            node = graph.make(
+                "store",
+                None,
+                [
+                    self._node_for_use(inst.value, block),
+                    self._node_for_use(inst.pointer, block),
+                    memory_in,
+                ],
+            )
+        elif isinstance(inst, Call):
+            call_node = self._node_of(inst)
+            node = graph.make("callmem", None, [call_node])
+        else:  # pragma: no cover - defensive
+            raise ValidationInternalError(f"{inst!r} does not define memory")
+        self._mem_after[key] = node
+        return node
+
+    def _memory_entry(self, block: BasicBlock) -> int:
+        key = id(block)
+        if key in self._mem_entry:
+            return self._mem_entry[key]
+        graph = self.graph
+
+        if block is self.function.entry:
+            node = graph.make("mem0")
+            self._mem_entry[key] = node
+            return node
+
+        loop = self.loops.loop_for(block)
+        if loop is not None and loop.header is block and self._loop_writes_memory(loop):
+            mu = graph.make_mu()
+            self._mem_entry[key] = mu
+            initial = self._memory_from_edges(block, inside_loop=None, restrict_outside=loop)
+            iteration = self._memory_from_edges(block, inside_loop=loop, restrict_outside=None)
+            graph.set_args(mu, [initial, iteration])
+            return mu
+
+        if loop is not None and loop.header is block:
+            # Loop does not write memory: the state is whatever flowed in
+            # from outside the loop.
+            node = self._memory_from_edges(block, inside_loop=None, restrict_outside=loop)
+            self._mem_entry[key] = node
+            return node
+
+        node = self._memory_from_edges(block, inside_loop=None, restrict_outside=None)
+        self._mem_entry[key] = node
+        return node
+
+    def _memory_from_edges(self, block: BasicBlock, inside_loop: Optional[Loop],
+                           restrict_outside: Optional[Loop]) -> int:
+        """Combine predecessors' outgoing memory along the edges into ``block``.
+
+        ``inside_loop`` selects only predecessors inside the given loop (for
+        the μ iteration argument); ``restrict_outside`` selects only
+        predecessors outside the given loop (for the μ initial argument).
+        """
+        predecessors = self.preds.get(block, [])
+        selected: List[BasicBlock] = []
+        for pred in predecessors:
+            if inside_loop is not None and not inside_loop.contains(pred):
+                continue
+            if restrict_outside is not None and restrict_outside.contains(pred):
+                continue
+            selected.append(pred)
+        if not selected:
+            return self.graph.make("mem0")
+
+        if inside_loop is not None:
+            start = inside_loop.header
+        else:
+            start = self.dom.idom(block) or self.function.entry
+
+        branches: List[Tuple[int, int]] = []
+        for pred in selected:
+            memory = self._memory_exit(pred)
+            # Loop-exit edges: the memory leaving the loop is the state at
+            # the iteration where the loop exits, so wrap in η for every
+            # loop that contains the predecessor but not this block — but
+            # only when the loop actually writes memory (otherwise the state
+            # is invariant across iterations and the η would be noise).
+            chain_loop = self.loops.loop_for(pred)
+            while chain_loop is not None and not chain_loop.contains(block):
+                if self._loop_writes_memory(chain_loop):
+                    memory = self.graph.make(
+                        "eta", None, [self._exit_condition(chain_loop), memory]
+                    )
+                chain_loop = chain_loop.parent
+            condition = self.graph.and_(
+                self._gate_to_node(self.gates.path_condition(start, pred), context=block),
+                self._gate_to_node(self.gates.edge_condition(pred, block), context=block),
+            )
+            branches.append((condition, memory))
+        return self._combine_branches(branches)
+
+    def _memory_exit(self, block: BasicBlock) -> int:
+        key = id(block)
+        if key in self._mem_exit:
+            return self._mem_exit[key]
+        if key in self._building_mem:
+            # A memory cycle not broken by a μ (should not happen for
+            # reducible CFGs); fall back to an opaque state.
+            return self.graph.make("reach", f"mem:{block.name}")
+        self._building_mem.add(key)
+        current = self._memory_entry(block)
+        for inst in block.instructions:
+            if defines_memory(inst):
+                current = self._memory_after(inst, current)
+        self._building_mem.discard(key)
+        self._mem_exit[key] = current
+        return current
+
+    def _loop_writes_memory(self, loop: Loop) -> bool:
+        return any(self.memory_effects.block_writes(b) for b in loop.blocks)
+
+
+def build_function_graph(graph: ValueGraph, function: Function) -> FunctionSummary:
+    """Convenience wrapper: build ``function`` into ``graph``."""
+    return GraphBuilder(graph, function).build()
+
+
+def build_shared_graph(before: Function, after: Function
+                       ) -> Tuple[ValueGraph, FunctionSummary, FunctionSummary]:
+    """Build both functions into one shared graph (the paper's Figure 1)."""
+    graph = ValueGraph()
+    summary_before = GraphBuilder(graph, before).build()
+    summary_after = GraphBuilder(graph, after).build()
+    return graph, summary_before, summary_after
+
+
+__all__ = ["GraphBuilder", "FunctionSummary", "build_function_graph", "build_shared_graph"]

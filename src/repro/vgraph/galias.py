@@ -1,0 +1,96 @@
+"""Alias queries over value-graph pointer nodes.
+
+The validator's load/store rewrite rules need the same "simple
+non-aliasing rules" (§4) the optimizer's alias analysis uses, but phrased
+over graph nodes instead of IR values:
+
+* two distinct ``alloca`` nodes never alias;
+* an ``alloca`` never aliases a ``global`` or a ``param`` pointer (fresh
+  stack memory cannot have escaped into either);
+* two distinct ``global`` nodes never alias;
+* two ``gep`` nodes with the same base and different constant offsets
+  never alias; with identical arguments they are the same node anyway;
+* a node must-aliases itself.
+
+Everything else is *may alias*, and the memory rules then refuse to fire.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from .graph import ValueGraph
+
+
+class GraphAliasResult(enum.Enum):
+    """Outcome of a graph-level alias query."""
+
+    NO_ALIAS = "no"
+    MAY_ALIAS = "may"
+    MUST_ALIAS = "must"
+
+
+_IDENTIFIED_KINDS = ("alloca", "global")
+_POINTER_SOURCE_KINDS = ("alloca", "global", "param")
+
+
+def _strip_gep(graph: ValueGraph, node_id: int) -> Tuple[int, Optional[int]]:
+    """Peel constant-offset GEPs; returns (base id, total offset or None)."""
+    offset: Optional[int] = 0
+    current = graph.resolve(node_id)
+    while True:
+        node = graph.node(current)
+        if node.kind != "gep" or len(node.args) < 1:
+            return current, offset
+        indices = node.args[1:]
+        if offset is not None and len(indices) == 1:
+            index_node = graph.node(indices[0])
+            if index_node.kind == "const":
+                offset += index_node.data[0]
+            else:
+                offset = None
+        else:
+            offset = None
+        current = graph.resolve(node.args[0])
+
+
+def graph_alias(graph: ValueGraph, a: int, b: int) -> GraphAliasResult:
+    """Classify the aliasing relationship of two pointer-valued nodes."""
+    a, b = graph.resolve(a), graph.resolve(b)
+    if a == b:
+        return GraphAliasResult.MUST_ALIAS
+
+    base_a, offset_a = _strip_gep(graph, a)
+    base_b, offset_b = _strip_gep(graph, b)
+    node_a, node_b = graph.node(base_a), graph.node(base_b)
+
+    if base_a == base_b:
+        if offset_a is not None and offset_b is not None:
+            return (
+                GraphAliasResult.MUST_ALIAS
+                if offset_a == offset_b
+                else GraphAliasResult.NO_ALIAS
+            )
+        return GraphAliasResult.MAY_ALIAS
+
+    if node_a.kind in _IDENTIFIED_KINDS and node_b.kind in _IDENTIFIED_KINDS:
+        return GraphAliasResult.NO_ALIAS
+    if node_a.kind == "alloca" and node_b.kind in _POINTER_SOURCE_KINDS:
+        return GraphAliasResult.NO_ALIAS
+    if node_b.kind == "alloca" and node_a.kind in _POINTER_SOURCE_KINDS:
+        return GraphAliasResult.NO_ALIAS
+    return GraphAliasResult.MAY_ALIAS
+
+
+def graph_no_alias(graph: ValueGraph, a: int, b: int) -> bool:
+    """Shorthand: definitely disjoint addresses."""
+    return graph_alias(graph, a, b) is GraphAliasResult.NO_ALIAS
+
+
+def graph_must_alias(graph: ValueGraph, a: int, b: int) -> bool:
+    """Shorthand: definitely the same address."""
+    return graph_alias(graph, a, b) is GraphAliasResult.MUST_ALIAS
+
+
+__all__ = ["GraphAliasResult", "graph_alias", "graph_no_alias", "graph_must_alias"]

@@ -1,0 +1,318 @@
+"""The shared, hash-consed value graph.
+
+One :class:`ValueGraph` holds the nodes of *both* functions being
+compared, so that identical sub-terms (arguments, constants, common
+sub-expressions) are literally the same node — the paper's key trick for
+making the equality check O(1) in the best case.
+
+The graph supports:
+
+* **hash-consing** — :meth:`make` returns an existing node when an
+  identical one (same kind, data and resolved arguments) already exists;
+* **redirection** — normalization rules replace a node by another via
+  :meth:`redirect`; a union-find style forwarding table with path
+  compression keeps lookups cheap;
+* **cycle support** — μ-nodes are created as placeholders with
+  :meth:`make_mu` and patched with :meth:`set_args` once the loop body has
+  been translated;
+* **structural signatures** — an iterated (Weisfeiler–Lehman style) hash
+  that is stable across graphs and tolerant of cycles, used to order φ
+  branches canonically and to seed cycle matching;
+* **sharing maximization** — re-hash-consing to a fixpoint after rewrites
+  (:meth:`maximize_sharing`), used together with the μ-cycle unification
+  in :mod:`repro.vgraph.sharing`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .nodes import CYCLIC_KINDS, VNode
+
+
+class ValueGraph:
+    """A mutable, hash-consed term graph (possibly cyclic)."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, VNode] = {}
+        self._forward: Dict[int, int] = {}
+        self._table: Dict[Tuple, int] = {}
+        self._next_id = 0
+
+    # -- identity --------------------------------------------------------
+    def resolve(self, node_id: int) -> int:
+        """Follow redirections to the canonical id (with path compression)."""
+        root = node_id
+        while root in self._forward:
+            root = self._forward[root]
+        while node_id in self._forward and self._forward[node_id] is not root:
+            next_id = self._forward[node_id]
+            self._forward[node_id] = root
+            node_id = next_id
+        return root
+
+    def node(self, node_id: int) -> VNode:
+        """The canonical :class:`VNode` for ``node_id``."""
+        return self._nodes[self.resolve(node_id)]
+
+    def same(self, a: int, b: int) -> bool:
+        """Do two ids denote the same canonical node?"""
+        return self.resolve(a) == self.resolve(b)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def live_node_count(self) -> int:
+        """Number of canonical (non-redirected) nodes."""
+        return sum(1 for node_id in self._nodes if node_id not in self._forward)
+
+    # -- construction ------------------------------------------------------
+    def make(self, kind: str, data=None, args: Sequence[int] = ()) -> int:
+        """Create (or reuse) a node.  Returns its id."""
+        resolved = tuple(self.resolve(a) for a in args)
+        key = (kind, data, resolved)
+        existing = self._table.get(key)
+        if existing is not None:
+            return self.resolve(existing)
+        node_id = self._next_id
+        self._next_id += 1
+        node = VNode(node_id, kind, data, list(resolved))
+        self._nodes[node_id] = node
+        self._table[key] = node_id
+        return node_id
+
+    def make_mu(self) -> int:
+        """Create a fresh (non-hash-consed) μ placeholder node."""
+        node_id = self._next_id
+        self._next_id += 1
+        self._nodes[node_id] = VNode(node_id, "mu", None, [])
+        return node_id
+
+    def set_args(self, node_id: int, args: Sequence[int]) -> None:
+        """Patch the arguments of a placeholder node (μ construction)."""
+        node = self._nodes[self.resolve(node_id)]
+        if node.kind not in CYCLIC_KINDS:
+            raise ValueError(f"set_args is only for cyclic nodes, not {node.kind!r}")
+        node.args = [self.resolve(a) for a in args]
+
+    # -- convenience constructors ----------------------------------------------
+    def const(self, value: int, type_str: str = "i32") -> int:
+        """An integer constant node."""
+        return self.make("const", (value, type_str))
+
+    def true(self) -> int:
+        """The boolean constant ``true``."""
+        return self.make("const", (1, "i1"))
+
+    def false(self) -> int:
+        """The boolean constant ``false``."""
+        return self.make("const", (0, "i1"))
+
+    def not_(self, condition: int) -> int:
+        """Boolean negation with the obvious simplifications."""
+        node = self.node(condition)
+        if node.is_true():
+            return self.false()
+        if node.is_false():
+            return self.true()
+        if node.kind == "not":
+            return self.resolve(node.args[0])
+        return self.make("not", None, [condition])
+
+    def and_(self, a: int, b: int) -> int:
+        """Boolean conjunction with the obvious simplifications."""
+        node_a, node_b = self.node(a), self.node(b)
+        if node_a.is_true():
+            return self.resolve(b)
+        if node_b.is_true():
+            return self.resolve(a)
+        if node_a.is_false() or node_b.is_false():
+            return self.false()
+        if self.same(a, b):
+            return self.resolve(a)
+        return self.make("binop", "and", [a, b])
+
+    def or_(self, a: int, b: int) -> int:
+        """Boolean disjunction with the obvious simplifications."""
+        node_a, node_b = self.node(a), self.node(b)
+        if node_a.is_false():
+            return self.resolve(b)
+        if node_b.is_false():
+            return self.resolve(a)
+        if node_a.is_true() or node_b.is_true():
+            return self.true()
+        if self.same(a, b):
+            return self.resolve(a)
+        return self.make("binop", "or", [a, b])
+
+    def phi(self, branches: Sequence[Tuple[int, int]]) -> int:
+        """A gated φ-node from (condition, value) pairs."""
+        args: List[int] = []
+        for condition, value in branches:
+            args.extend([condition, value])
+        return self.make("phi", None, args)
+
+    # -- rewriting ------------------------------------------------------------
+    def redirect(self, old: int, new: int) -> bool:
+        """Make every reference to ``old`` mean ``new``.  Returns ``True`` if effective."""
+        old_root, new_root = self.resolve(old), self.resolve(new)
+        if old_root == new_root:
+            return False
+        self._forward[old_root] = new_root
+        return True
+
+    def resolve_args(self, node: VNode) -> List[int]:
+        """The node's arguments, each resolved to its canonical id."""
+        return [self.resolve(a) for a in node.args]
+
+    def canonicalize_args(self) -> None:
+        """Rewrite every live node's argument list to canonical ids."""
+        for node_id, node in self._nodes.items():
+            if node_id in self._forward:
+                continue
+            node.args = [self.resolve(a) for a in node.args]
+
+    def maximize_sharing(self, max_rounds: int = 50) -> int:
+        """Merge structurally identical nodes until a fixpoint.
+
+        Returns the number of merges performed.  Cyclic structures that
+        are equivalent but not syntactically identical are *not* merged
+        here; that is the job of :func:`repro.vgraph.sharing.merge_cycles`.
+        """
+        merges = 0
+        for _ in range(max_rounds):
+            self.canonicalize_args()
+            table: Dict[Tuple, int] = {}
+            changed = False
+            for node_id in sorted(self._nodes):
+                if node_id in self._forward:
+                    continue
+                node = self._nodes[node_id]
+                if node.kind in CYCLIC_KINDS:
+                    # μ-nodes may be self-referential; only merge when the
+                    # key (with self-references normalized) matches.
+                    key = self._mu_key(node)
+                else:
+                    key = node.key(tuple(node.args))
+                other = table.get(key)
+                if other is None:
+                    table[key] = node_id
+                elif other != node_id:
+                    self._forward[node_id] = other
+                    merges += 1
+                    changed = True
+            if not changed:
+                break
+        self._rebuild_table()
+        return merges
+
+    def _mu_key(self, node: VNode) -> Tuple:
+        args = []
+        for arg in node.args:
+            resolved = self.resolve(arg)
+            args.append("self" if resolved == node.id else resolved)
+        return (node.kind, node.data, tuple(args))
+
+    def _rebuild_table(self) -> None:
+        self.canonicalize_args()
+        self._table = {}
+        for node_id, node in self._nodes.items():
+            if node_id in self._forward:
+                continue
+            if node.kind in CYCLIC_KINDS:
+                continue
+            self._table.setdefault(node.key(tuple(node.args)), node_id)
+
+    # -- queries ------------------------------------------------------------
+    def reachable(self, roots: Iterable[int]) -> Set[int]:
+        """Canonical ids reachable from the given roots."""
+        seen: Set[int] = set()
+        stack = [self.resolve(r) for r in roots]
+        while stack:
+            node_id = stack.pop()
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            for arg in self._nodes[node_id].args:
+                resolved = self.resolve(arg)
+                if resolved not in seen:
+                    stack.append(resolved)
+        return seen
+
+    def live_nodes(self) -> List[VNode]:
+        """All canonical nodes."""
+        return [node for node_id, node in self._nodes.items() if node_id not in self._forward]
+
+    def depends_on_mu(self, node_id: int, _cache: Optional[Dict[int, bool]] = None) -> bool:
+        """Does the sub-graph rooted at ``node_id`` contain a μ-node?
+
+        μ-free sub-graphs denote loop-invariant values; the η rules use
+        this to drop η wrappers around invariant values.
+        """
+        root = self.resolve(node_id)
+        seen: Set[int] = set()
+        stack = [root]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            node = self._nodes[current]
+            if node.kind == "mu":
+                return True
+            for arg in node.args:
+                resolved = self.resolve(arg)
+                if resolved not in seen:
+                    stack.append(resolved)
+        return False
+
+    # -- structural signatures ---------------------------------------------------
+    def signatures(self, rounds: int = 4, roots: Optional[Iterable[int]] = None) -> Dict[int, int]:
+        """Iterated structural hashes, stable under node-id renaming.
+
+        Every node starts with a hash of its ``(kind, data, arity)`` and is
+        refined ``rounds`` times by hashing in its arguments' signatures.
+        Cycles are handled naturally (the refinement just stops improving).
+        The result is used to order φ branches canonically and to pick
+        candidate pairs for μ-cycle unification.
+        """
+        if roots is None:
+            node_ids = [n.id for n in self.live_nodes()]
+        else:
+            node_ids = list(self.reachable(roots))
+        signature: Dict[int, int] = {}
+        for node_id in node_ids:
+            node = self._nodes[node_id]
+            signature[node_id] = hash((node.kind, node.data, len(node.args)))
+        for _ in range(rounds):
+            updated: Dict[int, int] = {}
+            for node_id in node_ids:
+                node = self._nodes[node_id]
+                arg_signatures = tuple(
+                    signature.get(self.resolve(a), 0) for a in node.args
+                )
+                updated[node_id] = hash((node.kind, node.data, arg_signatures))
+            signature = updated
+        return signature
+
+    # -- debugging -----------------------------------------------------------------
+    def format_node(self, node_id: int, max_depth: int = 6) -> str:
+        """A bounded-depth textual rendering of a sub-graph (for messages/tests)."""
+        seen: Set[int] = set()
+
+        def render(current: int, depth: int) -> str:
+            current = self.resolve(current)
+            node = self._nodes[current]
+            if depth <= 0 or current in seen:
+                return f"#{current}"
+            seen.add(current)
+            label = node.kind if node.data is None else f"{node.kind}[{node.data}]"
+            if not node.args:
+                return label
+            rendered_args = ", ".join(render(a, depth - 1) for a in node.args)
+            return f"{label}({rendered_args})"
+
+        return render(node_id, max_depth)
+
+
+__all__ = ["ValueGraph"]

@@ -1,0 +1,264 @@
+"""The normalization engine.
+
+Applies the rewrite rules to every node reachable from the roots, then
+maximizes sharing (hash-consing plus μ-cycle matching), and repeats until
+either the goal node pairs have merged or nothing changes any more (§4 of
+the paper).  Checking the goal after every round keeps the best case
+cheap: when the optimizer did little, one or two rounds suffice — "the
+amount of work done by the validator is proportional to the number of
+transformations performed by the optimizer" (§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .graph import ValueGraph
+from .partition import merge_by_partition
+from .rules import ALL_RULE_GROUPS, Rule, rules_for
+from .sharing import merge_cycles
+
+
+class NormalizationStats:
+    """Counters describing one normalization run (reported by the validator)."""
+
+    def __init__(self) -> None:
+        #: Number of rule/sharing rounds executed.
+        self.iterations = 0
+        #: Number of successful rule applications.
+        self.rewrites = 0
+        #: Number of nodes merged by hash-consing.
+        self.sharing_merges = 0
+        #: Number of nodes merged by μ-cycle unification.
+        self.cycle_merges = 0
+        #: Number of nodes merged by partition refinement (fallback matcher).
+        self.partition_merges = 0
+        #: Whether the goal pairs were already equal before any rewriting.
+        self.trivially_equal = False
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (handy for reports and benchmarks)."""
+        return {
+            "iterations": self.iterations,
+            "rewrites": self.rewrites,
+            "sharing_merges": self.sharing_merges,
+            "cycle_merges": self.cycle_merges,
+            "partition_merges": self.partition_merges,
+            "trivially_equal": int(self.trivially_equal),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NormalizationStats {self.as_dict()}>"
+
+
+class Normalizer:
+    """Drives rewriting and sharing maximization over a shared value graph.
+
+    Parameters
+    ----------
+    graph:
+        The shared :class:`ValueGraph`.
+    rule_groups:
+        Which rule groups to enable (see :data:`repro.vgraph.rules.RULE_GROUPS`).
+        The paper's ablations (Figures 6–8) are produced by varying this.
+    matcher:
+        Cycle-matching strategy: ``"simple"`` (pairwise unification),
+        ``"partition"`` (Hopcroft-style refinement) or ``"combined"``
+        (unification first, partitioning as a fallback) — the default, as
+        in the paper (§5.4).
+    max_iterations:
+        Upper bound on rewrite/sharing rounds.
+    """
+
+    def __init__(
+        self,
+        graph: ValueGraph,
+        rule_groups: Iterable[str] = ALL_RULE_GROUPS,
+        matcher: str = "combined",
+        max_iterations: int = 40,
+    ):
+        if matcher not in ("simple", "partition", "combined"):
+            raise ValueError(f"unknown matcher {matcher!r}")
+        self.graph = graph
+        self.rule_groups = tuple(rule_groups)
+        self.rules: List[Rule] = rules_for(self.rule_groups)
+        self.matcher = matcher
+        self.max_iterations = max_iterations
+
+    # -- public API ------------------------------------------------------------
+    def normalize_until_equal(self, goal_pairs: Sequence[Tuple[Optional[int], Optional[int]]]
+                              ) -> Tuple[bool, NormalizationStats]:
+        """Normalize until every goal pair denotes the same node.
+
+        ``goal_pairs`` are pairs of node ids (or ``None``); a pair with a
+        single ``None`` can never match.  Returns ``(matched, stats)``.
+        """
+        stats = NormalizationStats()
+        if self._pairs_equal(goal_pairs):
+            stats.trivially_equal = True
+            return True, stats
+
+        roots = [node for pair in goal_pairs for node in pair if node is not None]
+        for _ in range(self.max_iterations):
+            stats.iterations += 1
+            rewrites = self._apply_rules(roots)
+            rewrites += self._sort_phi_branches(roots)
+            if "loadstore" in self.rule_groups:
+                rewrites += self._prune_unobservable_stores(roots)
+            stats.rewrites += rewrites
+            stats.sharing_merges += self.graph.maximize_sharing()
+            if self.matcher in ("simple", "combined"):
+                stats.cycle_merges += merge_cycles(self.graph, roots)
+            if self.matcher == "partition":
+                stats.partition_merges += merge_by_partition(self.graph, roots)
+            if self._pairs_equal(goal_pairs):
+                return True, stats
+            if rewrites == 0:
+                break
+
+        # Fallback matcher: the paper reports that partitioning after the
+        # simple algorithm fails is slightly better than either alone.
+        if self.matcher == "combined":
+            stats.partition_merges += merge_by_partition(self.graph, roots)
+            if self._pairs_equal(goal_pairs):
+                return True, stats
+        return False, stats
+
+    def normalize(self, roots: Sequence[int]) -> NormalizationStats:
+        """Normalize the sub-graph under ``roots`` to a fixpoint (no goal)."""
+        stats = NormalizationStats()
+        for _ in range(self.max_iterations):
+            stats.iterations += 1
+            rewrites = self._apply_rules(list(roots))
+            rewrites += self._sort_phi_branches(list(roots))
+            stats.rewrites += rewrites
+            merges = self.graph.maximize_sharing()
+            stats.sharing_merges += merges
+            if self.matcher in ("simple", "combined"):
+                merges += merge_cycles(self.graph, list(roots))
+            if self.matcher == "partition":
+                merges += merge_by_partition(self.graph, list(roots))
+            if rewrites == 0 and merges == 0:
+                break
+        return stats
+
+    # -- internals --------------------------------------------------------------
+    def _pairs_equal(self, goal_pairs: Sequence[Tuple[Optional[int], Optional[int]]]) -> bool:
+        for left, right in goal_pairs:
+            if left is None and right is None:
+                continue
+            if left is None or right is None:
+                return False
+            if not self.graph.same(left, right):
+                return False
+        return True
+
+    def _apply_rules(self, roots: List[int]) -> int:
+        if not self.rules:
+            return 0
+        applied = 0
+        for node_id in sorted(self.graph.reachable(roots)):
+            node_id = self.graph.resolve(node_id)
+            node = self.graph.node(node_id)
+            for rule in self.rules:
+                replacement = rule(self.graph, node)
+                if replacement is None:
+                    continue
+                if self.graph.redirect(node_id, replacement):
+                    applied += 1
+                    break
+        return applied
+
+    def _prune_unobservable_stores(self, roots: List[int]) -> int:
+        """Drop stores to local allocations that nothing can ever read.
+
+        A store to an ``alloca`` is observable only through loads (or
+        memory-reading calls) inside the function — the allocation is dead
+        once the function returns.  If no load or call argument reachable
+        from the roots may alias the stored-to allocation, the store can be
+        removed from every memory chain.  This is the graph-level mirror of
+        dead-store elimination on non-escaping locals and is required to
+        validate DSE (and the ``*t = 42`` store of the paper's §4.2
+        example).
+        """
+
+        def base_object(node_id: int) -> int:
+            current = self.graph.resolve(node_id)
+            node = self.graph.node(current)
+            while node.kind == "gep":
+                current = self.graph.resolve(node.args[0])
+                node = self.graph.node(current)
+            return current
+
+        reachable = self.graph.reachable(roots)
+        loaded_bases = set()
+        escape_roots: List[int] = []
+        store_nodes: List[int] = []
+        for node_id in reachable:
+            node = self.graph.node(node_id)
+            if node.kind == "load":
+                loaded_bases.add(base_object(node.args[0]))
+            elif node.kind == "call":
+                # The allocation's address may escape through any argument.
+                escape_roots.extend(node.args)
+            elif node.kind == "store":
+                store_nodes.append(node_id)
+                # Storing a pointer publishes it: the *value* operand escapes.
+                escape_roots.append(node.args[0])
+
+        # An allocation whose address was never passed to a call nor stored
+        # into memory can only be read through loads whose pointer is a GEP
+        # chain rooted at the allocation itself.
+        escaped = {
+            node_id
+            for node_id in self.graph.reachable(escape_roots)
+            if self.graph.node(node_id).kind == "alloca"
+        }
+
+        pruned = 0
+        for store_id in store_nodes:
+            store = self.graph.node(store_id)
+            if store.kind != "store":
+                continue
+            base = base_object(store.args[1])
+            if self.graph.node(base).kind != "alloca":
+                continue
+            if base in escaped or base in loaded_bases:
+                continue
+            if self.graph.redirect(store_id, store.args[2]):
+                pruned += 1
+        return pruned
+
+    def _sort_phi_branches(self, roots: List[int]) -> int:
+        """Order φ branches canonically (by structural signature).
+
+        This is part of the comparison machinery rather than a rewrite rule
+        (the paper sorts branches before the syntactic equality check), so
+        it runs regardless of which rule groups are enabled.
+        """
+        signatures = self.graph.signatures(rounds=4, roots=roots)
+        changed = 0
+        for node_id in list(self.graph.reachable(roots)):
+            node = self.graph.node(node_id)
+            if node.kind != "phi" or len(node.args) <= 2:
+                continue
+            branches = node.phi_branches()
+            def sort_key(branch: Tuple[int, int]) -> Tuple:
+                condition, value = branch
+                condition = self.graph.resolve(condition)
+                value = self.graph.resolve(value)
+                return (
+                    signatures.get(condition, 0),
+                    signatures.get(value, 0),
+                    self.graph.format_node(condition, max_depth=3),
+                    self.graph.format_node(value, max_depth=3),
+                )
+            ordered = sorted(branches, key=sort_key)
+            if ordered != branches:
+                replacement = self.graph.phi(ordered)
+                if self.graph.redirect(node_id, replacement):
+                    changed += 1
+        return changed
+
+
+__all__ = ["Normalizer", "NormalizationStats"]

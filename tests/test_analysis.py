@@ -1,0 +1,246 @@
+"""Tests for the analysis package: CFG, dominators, loops, aliasing, use-def."""
+
+from repro.analysis import (
+    AliasAnalysis,
+    AliasResult,
+    DominatorTree,
+    LoopInfo,
+    PostDominatorTree,
+    UseDefInfo,
+    is_reducible,
+    predecessor_map,
+    reachable_blocks,
+    remove_unreachable_blocks,
+    reverse_postorder,
+    split_critical_edges,
+    users_of,
+)
+from repro.ir import (
+    Alloca,
+    Argument,
+    GetElementPtr,
+    GlobalVariable,
+    I32,
+    const_int,
+    parse_function,
+    parse_module,
+    verify_function,
+)
+
+IRREDUCIBLE = """
+define i32 @irr(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %b
+b:
+  br i1 %c, label %a, label %exit
+exit:
+  ret i32 0
+}
+"""
+
+NESTED_LOOPS = """
+define i32 @nested(i32 %n) {
+entry:
+  br label %outer
+outer:
+  %i = phi i32 [ 0, %entry ], [ %inext, %outer_latch ]
+  %ci = icmp slt i32 %i, %n
+  br i1 %ci, label %inner, label %exit
+inner:
+  %j = phi i32 [ 0, %outer ], [ %jnext, %inner ]
+  %cj = icmp slt i32 %j, 3
+  %jnext = add i32 %j, 1
+  br i1 %cj, label %inner, label %outer_latch
+outer_latch:
+  %inext = add i32 %i, 1
+  br label %outer
+exit:
+  ret i32 %i
+}
+"""
+
+
+class TestCFG:
+    def test_reachable_and_rpo(self, diamond_source):
+        fn = parse_function(diamond_source)
+        blocks = reachable_blocks(fn)
+        assert [b.name for b in blocks][0] == "entry"
+        assert len(blocks) == 4
+        rpo = reverse_postorder(fn)
+        names = [b.name for b in rpo]
+        assert names[0] == "entry"
+        assert names.index("join") > names.index("then")
+        assert names.index("join") > names.index("else")
+
+    def test_predecessor_map(self, diamond_source):
+        fn = parse_function(diamond_source)
+        preds = predecessor_map(fn)
+        join = fn.block("join")
+        assert {b.name for b in preds[join]} == {"then", "else"}
+
+    def test_remove_unreachable(self, diamond_source):
+        fn = parse_function(diamond_source)
+        dead = fn.add_block("dead")
+        from repro.ir import Branch
+
+        dead.append(Branch(fn.block("join")))
+        removed = remove_unreachable_blocks(fn)
+        assert removed == 1
+        verify_function(fn)
+
+    def test_reducibility(self, loop_source):
+        assert is_reducible(parse_function(loop_source))
+        assert is_reducible(parse_function(NESTED_LOOPS))
+        assert not is_reducible(parse_function(IRREDUCIBLE))
+
+    def test_split_critical_edges(self):
+        fn = parse_function(
+            """
+            define i32 @f(i1 %c) {
+            entry:
+              br i1 %c, label %join, label %other
+            other:
+              br label %join
+            join:
+              %r = phi i32 [ 1, %entry ], [ 2, %other ]
+              ret i32 %r
+            }
+            """
+        )
+        split = split_critical_edges(fn)
+        assert split == 1
+        verify_function(fn)
+
+
+class TestDominators:
+    def test_idom_chain(self, diamond_source):
+        fn = parse_function(diamond_source)
+        dom = DominatorTree.compute(fn)
+        entry, then, else_, join = (fn.block(n) for n in ("entry", "then", "else", "join"))
+        assert dom.idom(entry) is None
+        assert dom.idom(then) is entry
+        assert dom.idom(join) is entry
+        assert dom.dominates(entry, join)
+        assert not dom.dominates(then, join)
+        assert dom.strictly_dominates(entry, then)
+        assert not dom.strictly_dominates(entry, entry)
+
+    def test_dominance_frontier(self, diamond_source):
+        fn = parse_function(diamond_source)
+        dom = DominatorTree.compute(fn)
+        frontier = dom.dominance_frontier()
+        assert fn.block("join") in frontier[fn.block("then")]
+        assert fn.block("join") in frontier[fn.block("else")]
+        assert not frontier[fn.block("entry")]
+
+    def test_loop_dominators(self, loop_source):
+        fn = parse_function(loop_source)
+        dom = DominatorTree.compute(fn)
+        assert dom.dominates(fn.block("loop"), fn.block("body"))
+        assert dom.dominates(fn.block("loop"), fn.block("exit"))
+        assert not dom.dominates(fn.block("body"), fn.block("exit"))
+
+    def test_post_dominators(self, diamond_source):
+        fn = parse_function(diamond_source)
+        pdom = PostDominatorTree.compute(fn)
+        assert pdom.postdominates(fn.block("join"), fn.block("entry"))
+        assert pdom.postdominates(fn.block("join"), fn.block("then"))
+        assert not pdom.postdominates(fn.block("then"), fn.block("entry"))
+
+    def test_preorder_walk_covers_all_blocks(self, loop_source):
+        fn = parse_function(loop_source)
+        dom = DominatorTree.compute(fn)
+        assert len(dom.dominator_tree_preorder()) == len(reachable_blocks(fn))
+
+
+class TestLoops:
+    def test_simple_loop(self, loop_source):
+        fn = parse_function(loop_source)
+        info = LoopInfo.compute(fn)
+        assert len(info) == 1
+        loop = info.loops[0]
+        assert loop.header.name == "loop"
+        assert {b.name for b in loop.blocks} == {"loop", "body"}
+        assert loop.preheader().name == "entry"
+        assert [b.name for b in loop.exit_blocks()] == ["exit"]
+        assert info.loop_depth(fn.block("body")) == 1
+        assert info.loop_depth(fn.block("exit")) == 0
+
+    def test_nested_loops(self):
+        fn = parse_function(NESTED_LOOPS)
+        info = LoopInfo.compute(fn)
+        assert len(info) == 2
+        outer = info.loop_for(fn.block("outer_latch"))
+        inner = info.loop_for(fn.block("inner"))
+        assert inner.parent is outer
+        assert outer.depth == 1 and inner.depth == 2
+        assert inner in outer.children
+        assert info.loop_depth(fn.block("inner")) == 2
+
+    def test_no_loops(self, diamond_source):
+        fn = parse_function(diamond_source)
+        assert len(LoopInfo.compute(fn)) == 0
+
+
+class TestAliasAnalysis:
+    def test_distinct_allocas(self):
+        aa = AliasAnalysis()
+        a, b = Alloca(I32), Alloca(I32)
+        assert aa.alias(a, b) is AliasResult.NO_ALIAS
+        assert aa.alias(a, a) is AliasResult.MUST_ALIAS
+
+    def test_alloca_vs_argument_and_global(self):
+        aa = AliasAnalysis()
+        slot = Alloca(I32)
+        from repro.ir import ptr
+
+        arg = Argument(ptr(I32), "p")
+        g = GlobalVariable("g", I32)
+        assert aa.no_alias(slot, arg)
+        assert aa.no_alias(slot, g)
+        assert aa.alias(g, GlobalVariable("h", I32)) is AliasResult.NO_ALIAS
+
+    def test_gep_constant_offsets(self):
+        aa = AliasAnalysis()
+        base = Alloca(I32, const_int(8))
+        g1 = GetElementPtr(I32, base, [const_int(1)])
+        g2 = GetElementPtr(I32, base, [const_int(2)])
+        g1b = GetElementPtr(I32, base, [const_int(1)])
+        assert aa.no_alias(g1, g2)
+        assert aa.alias(g1, g1b) is AliasResult.MUST_ALIAS
+
+    def test_gep_unknown_offsets_may_alias(self):
+        aa = AliasAnalysis()
+        base = Alloca(I32, const_int(8))
+        idx = Argument(I32, "i")
+        g1 = GetElementPtr(I32, base, [idx])
+        g2 = GetElementPtr(I32, base, [const_int(2)])
+        assert aa.alias(g1, g2) is AliasResult.MAY_ALIAS
+
+    def test_arguments_may_alias_each_other(self):
+        from repro.ir import ptr
+
+        aa = AliasAnalysis()
+        p = Argument(ptr(I32), "p")
+        q = Argument(ptr(I32), "q")
+        assert aa.alias(p, q) is AliasResult.MAY_ALIAS
+
+
+class TestUseDef:
+    def test_users_of(self, diamond_source):
+        fn = parse_function(diamond_source)
+        x = fn.block("then").instructions[0]
+        phi = fn.block("join").phis()[0]
+        assert phi in users_of(fn, x)
+
+    def test_usedef_snapshot(self, loop_source):
+        fn = parse_function(loop_source)
+        info = UseDefInfo(fn)
+        acc_phi = [p for p in fn.block("loop").phis() if p.name == "acc"][0]
+        users = info.users(acc_phi)
+        assert any(u.opcode == "add" for u in users)
+        assert any(u.opcode == "ret" for u in users)
+        dead = fn.block("body").instructions[0]  # %t has a user, so not dead
+        assert not info.is_dead(dead)

@@ -1,0 +1,123 @@
+"""Tests for the IRBuilder and function/module cloning."""
+
+from repro.ir import (
+    I32,
+    IRBuilder,
+    Module,
+    clone_function,
+    clone_module,
+    create_function,
+    declare_function,
+    parse_module,
+    print_function,
+    run_function,
+    verify_function,
+    verify_module,
+)
+
+
+class TestIRBuilder:
+    def test_build_straightline(self):
+        module = Module("m")
+        fn = create_function(module, "f", I32, [I32, I32], ["a", "b"])
+        builder = IRBuilder(fn.entry)
+        a, b = fn.args
+        total = builder.add(a, b)
+        shifted = builder.shl(total, builder.const(1))
+        builder.ret(shifted)
+        verify_function(fn)
+        assert run_function(module, "f", [2, 3]).return_value == 10
+
+    def test_build_branches_and_phi(self):
+        module = Module("m")
+        fn = create_function(module, "f", I32, [I32], ["a"])
+        builder = IRBuilder(fn.entry)
+        (a,) = fn.args
+        then_block = fn.add_block("then")
+        else_block = fn.add_block("else")
+        join_block = fn.add_block("join")
+        cond = builder.icmp("sgt", a, builder.const(0))
+        builder.cbr(cond, then_block, else_block)
+        builder.position_at_end(then_block)
+        doubled = builder.mul(a, builder.const(2))
+        builder.br(join_block)
+        builder.position_at_end(else_block)
+        negated = builder.sub(builder.const(0), a)
+        builder.br(join_block)
+        builder.position_at_end(join_block)
+        merged = builder.phi(I32, [(doubled, then_block), (negated, else_block)])
+        builder.ret(merged)
+        verify_function(fn)
+        assert run_function(module, "f", [4]).return_value == 8
+        assert run_function(module, "f", [-4]).return_value == 4
+
+    def test_build_memory(self):
+        module = Module("m")
+        fn = create_function(module, "f", I32, [I32], ["a"])
+        builder = IRBuilder(fn.entry)
+        (a,) = fn.args
+        slot = builder.alloca(I32)
+        builder.store(a, slot)
+        loaded = builder.load(slot)
+        builder.ret(loaded)
+        verify_function(fn)
+        assert run_function(module, "f", [17]).return_value == 17
+
+    def test_declare_and_call(self):
+        module = Module("m")
+        ext = declare_function(module, "ext", I32, [I32], attributes=["readnone"])
+        fn = create_function(module, "f", I32, [I32], ["a"])
+        builder = IRBuilder(fn.entry)
+        call = builder.call(ext, [fn.args[0]])
+        builder.ret(call)
+        verify_function(fn)
+        assert ext.is_declaration
+
+    def test_unique_block_names(self):
+        module = Module("m")
+        fn = create_function(module, "f", I32, [])
+        first = fn.add_block("bb")
+        second = fn.add_block("bb")
+        assert first.name != second.name
+
+
+class TestCloning:
+    def test_clone_is_structurally_identical(self, loop_source):
+        module = parse_module(loop_source)
+        fn = module.get_function("loopy")
+        clone = clone_function(fn)
+        verify_function(clone)
+        assert print_function(clone) == print_function(fn)
+
+    def test_clone_is_independent(self, loop_source):
+        module = parse_module(loop_source)
+        fn = module.get_function("loopy")
+        clone = clone_function(fn)
+        clone.entry.instructions.clear()
+        assert fn.entry.instructions  # original untouched
+
+    def test_clone_remaps_backedge_phis(self, loop_source):
+        module = parse_module(loop_source)
+        fn = module.get_function("loopy")
+        clone = clone_function(fn)
+        original_instructions = set(map(id, fn.instructions()))
+        phi = clone.block("loop").phis()[0]
+        for value, block in phi.incoming:
+            assert id(value) not in original_instructions or value.ref().startswith("0")
+            assert block.parent is clone
+
+    def test_clone_module_behaviour_preserved(self, mini_corpus):
+        clone = clone_module(mini_corpus)
+        verify_module(clone)
+        for fn in mini_corpus.defined_functions():
+            args = [3] * len(fn.args)
+            original = run_function(mini_corpus, fn.name, args).return_value
+            copied = run_function(clone, fn.name, args).return_value
+            assert original == copied
+
+    def test_clone_new_name(self, diamond_source):
+        module = parse_module(diamond_source)
+        fn = module.get_function("diamond")
+        clone = clone_function(fn, new_name="diamond2")
+        assert clone.name == "diamond2"
+        assert fn.name == "diamond"

@@ -1,0 +1,105 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir.types import (
+    ArrayType,
+    FloatType,
+    FunctionType,
+    I1,
+    I32,
+    I64,
+    IntType,
+    LabelType,
+    PointerType,
+    VoidType,
+    int_type,
+    ptr,
+    to_signed,
+    to_unsigned,
+    truncate_unsigned,
+)
+
+
+class TestIntType:
+    def test_equality_is_structural(self):
+        assert IntType(32) == IntType(32)
+        assert IntType(32) != IntType(64)
+        assert hash(IntType(8)) == hash(IntType(8))
+
+    def test_singletons_match_fresh_instances(self):
+        assert I32 == IntType(32)
+        assert I1 == IntType(1)
+        assert I64 == int_type(64)
+
+    def test_str(self):
+        assert str(IntType(16)) == "i16"
+
+    def test_bounds(self):
+        assert IntType(8).max_signed == 127
+        assert IntType(8).min_signed == -128
+        assert IntType(8).max_unsigned == 255
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+        with pytest.raises(ValueError):
+            IntType(-4)
+
+    def test_is_bool(self):
+        assert IntType(1).is_bool()
+        assert not IntType(32).is_bool()
+        assert IntType(32).is_integer()
+
+
+class TestPointerAndAggregateTypes:
+    def test_pointer_equality(self):
+        assert PointerType(I32) == ptr(IntType(32))
+        assert PointerType(I32) != PointerType(I64)
+
+    def test_pointer_str(self):
+        assert str(ptr(ptr(I32))) == "i32**"
+
+    def test_array_type(self):
+        array = ArrayType(I32, 4)
+        assert str(array) == "[4 x i32]"
+        assert array == ArrayType(IntType(32), 4)
+        assert array != ArrayType(I32, 5)
+
+    def test_array_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(I32, -1)
+
+    def test_function_type(self):
+        signature = FunctionType(I32, [I32, ptr(I32)])
+        assert str(signature) == "i32 (i32, i32*)"
+        assert signature == FunctionType(I32, [I32, ptr(I32)])
+        assert signature != FunctionType(I32, [I32])
+
+    def test_void_and_label(self):
+        assert VoidType() == VoidType()
+        assert LabelType() == LabelType()
+        assert VoidType().is_void()
+        assert not VoidType().is_first_class()
+        assert I32.is_first_class()
+
+
+class TestBitManipulation:
+    def test_truncate_unsigned(self):
+        assert truncate_unsigned(256, 8) == 0
+        assert truncate_unsigned(257, 8) == 1
+        assert truncate_unsigned(-1, 8) == 255
+
+    def test_to_signed(self):
+        assert to_signed(255, 8) == -1
+        assert to_signed(127, 8) == 127
+        assert to_signed(128, 8) == -128
+
+    def test_to_unsigned(self):
+        assert to_unsigned(-1, 8) == 255
+        assert to_unsigned(5, 8) == 5
+
+    @pytest.mark.parametrize("value", [-130, -1, 0, 1, 127, 128, 255, 300])
+    def test_roundtrip_signed_unsigned(self, value):
+        bits = 8
+        assert to_signed(to_unsigned(value, bits), bits) == to_signed(value, bits)

@@ -1,0 +1,181 @@
+"""Unit tests for IR values and instruction classes."""
+
+import pytest
+
+from repro.ir import (
+    Alloca,
+    Argument,
+    BinaryOperator,
+    Branch,
+    Call,
+    Cast,
+    ConstantInt,
+    Function,
+    FunctionType,
+    GetElementPtr,
+    GlobalVariable,
+    ICmp,
+    I32,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    UndefValue,
+    Unreachable,
+    const_bool,
+    const_int,
+    ptr,
+)
+from repro.ir.module import BasicBlock
+
+
+class TestConstants:
+    def test_constant_wraps_to_signed(self):
+        assert ConstantInt(I32, 2**31).value == -(2**31)
+        assert const_int(-1, 8).value == -1
+        assert const_int(255, 8).value == -1
+
+    def test_constant_equality(self):
+        assert const_int(5) == const_int(5)
+        assert const_int(5) != const_int(6)
+        assert const_int(5, 32) != const_int(5, 64)
+
+    def test_unsigned_view(self):
+        assert const_int(-1, 8).unsigned == 255
+
+    def test_bool_constants(self):
+        assert const_bool(True).value == 1
+        assert const_bool(False).is_zero()
+
+    def test_undef(self):
+        assert UndefValue(I32) == UndefValue(I32)
+        assert UndefValue(I32).ref() == "undef"
+
+    def test_global_variable_has_pointer_type(self):
+        g = GlobalVariable("g", I32, const_int(3))
+        assert g.type == ptr(I32)
+        assert g.value_type == I32
+        assert g.ref() == "@g"
+
+
+class TestBinaryAndCompare:
+    def test_binary_operator_basic(self):
+        a, b = Argument(I32, "a"), Argument(I32, "b")
+        add = BinaryOperator("add", a, b)
+        assert add.opcode == "add"
+        assert add.lhs is a and add.rhs is b
+        assert add.type == I32
+        assert add.is_commutative()
+        assert not BinaryOperator("sub", a, b).is_commutative()
+
+    def test_unknown_opcode_rejected(self):
+        a = Argument(I32, "a")
+        with pytest.raises(ValueError):
+            BinaryOperator("frobnicate", a, a)
+
+    def test_icmp_result_is_i1(self):
+        a = Argument(I32, "a")
+        cmp = ICmp("slt", a, const_int(3))
+        assert cmp.type.is_bool()
+        with pytest.raises(ValueError):
+            ICmp("weird", a, a)
+
+    def test_replace_operand(self):
+        a, b = Argument(I32, "a"), Argument(I32, "b")
+        add = BinaryOperator("add", a, a)
+        assert add.replace_operand(a, b) == 2
+        assert add.lhs is b and add.rhs is b
+
+
+class TestMemoryInstructions:
+    def test_alloca_type(self):
+        slot = Alloca(I32)
+        assert slot.type == ptr(I32)
+        assert slot.count is None
+
+    def test_load_store_types(self):
+        slot = Alloca(I32)
+        load = Load(slot)
+        assert load.type == I32
+        store = Store(const_int(1), slot)
+        assert not store.has_result()
+        assert store.has_side_effects()
+
+    def test_load_requires_pointer(self):
+        with pytest.raises(TypeError):
+            Load(const_int(3))
+        with pytest.raises(TypeError):
+            Store(const_int(1), const_int(2))
+
+    def test_gep(self):
+        slot = Alloca(I32)
+        gep = GetElementPtr(I32, slot, [const_int(2)])
+        assert gep.pointer is slot
+        assert len(gep.indices) == 1
+        assert gep.type == ptr(I32)
+
+
+class TestControlFlow:
+    def test_unconditional_branch(self):
+        target = BasicBlock("bb")
+        br = Branch(target)
+        assert not br.is_conditional
+        assert br.targets == [target]
+        assert br.is_terminator()
+
+    def test_conditional_branch(self):
+        t, f = BasicBlock("t"), BasicBlock("f")
+        br = Branch(const_bool(True), t, f)
+        assert br.is_conditional
+        assert br.targets == [t, f]
+        br.replace_target(f, t)
+        assert br.targets == [t, t]
+
+    def test_branch_arity_check(self):
+        with pytest.raises(TypeError):
+            Branch(const_bool(True), BasicBlock("x"))
+
+    def test_ret(self):
+        assert Ret().value is None
+        assert Ret(const_int(1)).value == const_int(1)
+        assert Ret().is_terminator()
+        assert Unreachable().is_terminator()
+
+
+class TestPhiAndCall:
+    def test_phi_incoming(self):
+        b1, b2 = BasicBlock("b1"), BasicBlock("b2")
+        phi = Phi(I32, [(const_int(1), b1), (const_int(2), b2)])
+        assert len(phi.incoming) == 2
+        assert phi.incoming_for(b1) == const_int(1)
+        assert phi.incoming_for(BasicBlock("other")) is None
+        phi.set_incoming(b2, const_int(9))
+        assert phi.incoming_for(b2) == const_int(9)
+        phi.remove_incoming(b1)
+        assert len(phi.incoming) == 1
+
+    def test_phi_set_incoming_missing_raises(self):
+        phi = Phi(I32, [])
+        with pytest.raises(KeyError):
+            phi.set_incoming(BasicBlock("nope"), const_int(1))
+
+    def test_call_attributes(self):
+        readonly = Function("ro", FunctionType(I32, [I32]), attributes=["readonly"])
+        readnone = Function("rn", FunctionType(I32, [I32]), attributes=["readnone"])
+        plain = Function("pl", FunctionType(I32, [I32]))
+        assert Call(readonly, [const_int(1)], I32).is_readonly()
+        assert Call(readnone, [const_int(1)], I32).is_readnone()
+        call = Call(plain, [const_int(1)], I32)
+        assert call.may_read_memory() and call.may_write_memory()
+        assert not Call(readnone, [const_int(1)], I32).may_read_memory()
+        assert Call(readonly, [const_int(1)], I32).may_read_memory()
+        assert not Call(readonly, [const_int(1)], I32).may_write_memory()
+
+    def test_side_effect_classification(self):
+        a = Argument(I32, "a")
+        assert not BinaryOperator("add", a, a).has_side_effects()
+        readnone = Function("rn", FunctionType(I32, [I32]), attributes=["readnone"])
+        assert not Call(readnone, [a], I32).has_side_effects()
+        plain = Function("pl", FunctionType(I32, [I32]))
+        assert Call(plain, [a], I32).has_side_effects()

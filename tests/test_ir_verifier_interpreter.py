@@ -1,0 +1,191 @@
+"""Tests for the IR verifier and the reference interpreter."""
+
+import pytest
+
+from repro.errors import InterpreterError, VerificationError
+from repro.ir import (
+    Interpreter,
+    parse_module,
+    run_function,
+    verify_function,
+    verify_module,
+)
+
+
+class TestVerifier:
+    def test_accepts_well_formed(self, loop_source, diamond_source, memory_source):
+        for source in (loop_source, diamond_source, memory_source):
+            verify_module(parse_module(source))
+
+    def test_rejects_missing_terminator(self, parse):
+        module = parse("define i32 @f() {\nentry:\n  ret i32 1\n}")
+        fn = module.get_function("f")
+        fn.entry.instructions.pop()
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_rejects_phi_with_wrong_predecessors(self, diamond_source, parse):
+        module = parse(diamond_source)
+        fn = module.get_function("diamond")
+        phi = fn.block("join").phis()[0]
+        phi.remove_incoming(fn.block("then"))
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_rejects_use_before_def_in_block(self, parse):
+        module = parse("define i32 @f(i32 %a) {\nentry:\n  %x = add i32 %a, 1\n  ret i32 %x\n}")
+        fn = module.get_function("f")
+        add = fn.entry.instructions[0]
+        ret = fn.entry.instructions[1]
+        fn.entry.instructions[:] = [ret, add]
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_rejects_non_dominating_definition(self, diamond_source, parse):
+        module = parse(diamond_source)
+        fn = module.get_function("diamond")
+        then_value = fn.block("then").instructions[0]
+        ret = fn.block("join").terminator
+        ret.operands[0] = then_value  # 'then' does not dominate 'join'
+        # Remove the phi so its own use does not mask the error.
+        phi = fn.block("join").phis()[0]
+        fn.block("join").remove(phi)
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_rejects_type_mismatch(self, parse):
+        module = parse("define i32 @f(i32 %a) {\nentry:\n  %x = add i32 %a, 1\n  ret i32 %x\n}")
+        fn = module.get_function("f")
+        from repro.ir import const_int
+
+        fn.entry.instructions[0].operands[1] = const_int(1, 64)
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+
+class TestInterpreter:
+    def test_arithmetic(self, parse):
+        module = parse(
+            """
+            define i32 @f(i32 %a, i32 %b) {
+            entry:
+              %s = add i32 %a, %b
+              %d = sub i32 %s, 3
+              %m = mul i32 %d, %d
+              ret i32 %m
+            }
+            """
+        )
+        assert run_function(module, "f", [5, 6]).return_value == 64
+
+    def test_wrapping_arithmetic(self, parse):
+        module = parse(
+            "define i8 @f(i8 %a) {\nentry:\n  %x = add i8 %a, 1\n  ret i8 %x\n}"
+        )
+        assert run_function(module, "f", [127]).return_value == -128
+
+    def test_division_semantics(self, parse):
+        module = parse(
+            "define i32 @f(i32 %a, i32 %b) {\nentry:\n  %q = sdiv i32 %a, %b\n  ret i32 %q\n}"
+        )
+        assert run_function(module, "f", [-7, 2]).return_value == -3  # truncates toward zero
+        with pytest.raises(InterpreterError):
+            run_function(module, "f", [1, 0])
+
+    def test_branches_and_phis(self, diamond_source, parse):
+        module = parse(diamond_source)
+        assert run_function(module, "diamond", [1, 5]).return_value == 2   # then: a+1
+        assert run_function(module, "diamond", [9, 5]).return_value == 10  # else: b*2
+
+    def test_loop(self, loop_source, parse):
+        module = parse(loop_source)
+        assert run_function(module, "loopy", [3, 4]).return_value == 3 * 2 * 4
+        assert run_function(module, "loopy", [3, 0]).return_value == 0
+
+    def test_memory(self, memory_source, parse):
+        module = parse(memory_source)
+        assert run_function(module, "memops", [11, 31]).return_value == 42
+
+    def test_globals(self, parse):
+        module = parse(
+            """
+            @g = global i32 10
+            define i32 @f(i32 %a) {
+            entry:
+              %v = load i32, i32* @g
+              store i32 %a, i32* @g
+              %w = load i32, i32* @g
+              %r = add i32 %v, %w
+              ret i32 %r
+            }
+            """
+        )
+        assert run_function(module, "f", [5]).return_value == 15
+
+    def test_call_defined_function(self, parse):
+        module = parse(
+            """
+            define i32 @inc(i32 %x) {
+            entry:
+              %r = add i32 %x, 1
+              ret i32 %r
+            }
+            define i32 @f(i32 %a) {
+            entry:
+              %r = call i32 @inc(i32 %a)
+              ret i32 %r
+            }
+            """
+        )
+        assert run_function(module, "f", [41]).return_value == 42
+
+    def test_external_calls_are_deterministic(self, parse):
+        module = parse(
+            """
+            declare i32 @ext(i32 %x) readonly
+            define i32 @f(i32 %a) {
+            entry:
+              %r1 = call i32 @ext(i32 %a)
+              %r2 = call i32 @ext(i32 %a)
+              %d = sub i32 %r1, %r2
+              ret i32 %d
+            }
+            """
+        )
+        assert run_function(module, "f", [3]).return_value == 0
+
+    def test_step_budget(self, parse):
+        module = parse(
+            """
+            define i32 @spin() {
+            entry:
+              br label %loop
+            loop:
+              br label %loop
+            }
+            """
+        )
+        with pytest.raises(InterpreterError):
+            run_function(module, "spin", [], max_steps=1000)
+
+    def test_null_pointer_deref(self, parse):
+        module = parse(
+            "define i32 @f(i32* %p) {\nentry:\n  %v = load i32, i32* %p\n  ret i32 %v\n}"
+        )
+        with pytest.raises(InterpreterError):
+            run_function(module, "f", [0])
+
+    def test_pointer_arguments_via_allocate(self, parse):
+        module = parse(
+            """
+            define void @write(i32* %p, i32 %v) {
+            entry:
+              store i32 %v, i32* %p
+              ret void
+            }
+            """
+        )
+        interpreter = Interpreter(module)
+        address = interpreter.allocate(1)
+        interpreter.run(module.get_function("write"), [address, 99])
+        assert interpreter.memory[address] == 99

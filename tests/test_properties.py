@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These check the load-bearing correspondences of the system:
+
+* constant folding agrees with the reference interpreter's arithmetic;
+* parser/printer round-trips preserve structure;
+* value-graph hash-consing is idempotent and order-insensitive;
+* the optimizer pipeline preserves interpreter behaviour on random
+  generated programs (differential testing);
+* whenever the validator accepts an optimized function, the interpreter
+  agrees on random inputs (empirical soundness).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.generator import GeneratorConfig, ModuleShape, ProgramGenerator
+from repro.ir import (
+    Interpreter,
+    clone_module,
+    parse_module,
+    print_module,
+    verify_module,
+)
+from repro.ir.types import to_signed, to_unsigned
+from repro.transforms import PAPER_PIPELINE, PassManager
+from repro.transforms.constfold import fold_icmp, fold_int_binary
+from repro.transforms.mem2reg import mem2reg
+from repro.validator import validate
+from repro.vgraph import ValueGraph
+
+_INTS = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+_SMALL_INTS = st.integers(min_value=-100, max_value=100)
+_BINOPS = st.sampled_from(["add", "sub", "mul", "and", "or", "xor", "shl", "lshr", "ashr"])
+_PREDICATES = st.sampled_from(["eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge"])
+
+
+class TestConstantFoldingMatchesInterpreter:
+    @given(_BINOPS, _INTS, _INTS)
+    def test_binary_fold_matches_interpreter(self, opcode, lhs, rhs):
+        folded = fold_int_binary(opcode, lhs, rhs, 32)
+        source = f"""
+        define i32 @f() {{
+        entry:
+          %x = {opcode} i32 {to_signed(lhs, 32)}, {to_signed(rhs, 32)}
+          ret i32 %x
+        }}
+        """
+        module = parse_module(source)
+        from repro.errors import InterpreterError
+        from repro.ir import run_function
+
+        try:
+            executed = run_function(module, "f", []).return_value
+        except InterpreterError:
+            # Division by zero and friends: folding must refuse as well.
+            assert folded is None
+            return
+        assert folded == executed
+
+    @given(_PREDICATES, _INTS, _INTS)
+    def test_icmp_fold_matches_interpreter(self, predicate, lhs, rhs):
+        folded = fold_icmp(predicate, lhs, rhs, 32)
+        source = f"""
+        define i1 @f() {{
+        entry:
+          %x = icmp {predicate} i32 {to_signed(lhs, 32)}, {to_signed(rhs, 32)}
+          ret i1 %x
+        }}
+        """
+        from repro.ir import run_function
+
+        executed = run_function(parse_module(source), "f", []).return_value
+        assert int(folded) == executed
+
+    @given(_INTS, st.integers(min_value=1, max_value=64))
+    def test_signed_unsigned_roundtrip(self, value, bits):
+        assert to_signed(to_unsigned(value, bits), bits) == to_signed(value, bits)
+        assert 0 <= to_unsigned(value, bits) < (1 << bits)
+
+
+class TestValueGraphProperties:
+    @given(st.lists(st.tuples(_BINOPS, _SMALL_INTS, _SMALL_INTS), min_size=1, max_size=20))
+    def test_hash_consing_is_order_insensitive(self, expressions):
+        graph_forward = ValueGraph()
+        graph_backward = ValueGraph()
+        for opcode, lhs, rhs in expressions:
+            graph_forward.make("binop", opcode, [graph_forward.const(lhs), graph_forward.const(rhs)])
+        for opcode, lhs, rhs in reversed(expressions):
+            graph_backward.make("binop", opcode, [graph_backward.const(lhs), graph_backward.const(rhs)])
+        assert graph_forward.live_node_count() == graph_backward.live_node_count()
+
+    @given(st.lists(st.tuples(_BINOPS, _SMALL_INTS, _SMALL_INTS), min_size=1, max_size=20))
+    def test_duplicate_construction_creates_no_new_nodes(self, expressions):
+        graph = ValueGraph()
+        for opcode, lhs, rhs in expressions:
+            graph.make("binop", opcode, [graph.const(lhs), graph.const(rhs)])
+        count = graph.live_node_count()
+        for opcode, lhs, rhs in expressions:
+            graph.make("binop", opcode, [graph.const(lhs), graph.const(rhs)])
+        assert graph.live_node_count() == count
+
+    @given(_SMALL_INTS)
+    def test_maximize_sharing_idempotent(self, seed):
+        graph = ValueGraph()
+        a = graph.make("param", 0)
+        graph.make("binop", "add", [a, graph.const(seed)])
+        first = graph.maximize_sharing()
+        second = graph.maximize_sharing()
+        assert second == 0 or first >= second
+
+
+def _generated_module(seed: int, functions: int = 2):
+    config = GeneratorConfig(statements=(3, 6), max_trip_count=6)
+    shape = ModuleShape(functions=functions, seed=seed, function_config=config)
+    module = ProgramGenerator(shape).generate_module()
+    for fn in module.defined_functions():
+        mem2reg(fn)
+    return module
+
+
+class TestGeneratedProgramProperties:
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_roundtrip_and_verify(self, seed):
+        module = _generated_module(seed)
+        verify_module(module)
+        reparsed = parse_module(print_module(module))
+        verify_module(reparsed)
+        assert reparsed.instruction_count() == module.instruction_count()
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.lists(_SMALL_INTS, min_size=5, max_size=5))
+    def test_pipeline_is_behaviour_preserving(self, seed, arguments):
+        module = _generated_module(seed)
+        optimized = clone_module(module)
+        PassManager(PAPER_PIPELINE).run_on_module(optimized)
+        verify_module(optimized)
+        for fn in module.defined_functions():
+            args = arguments[: len(fn.args)]
+            before = Interpreter(module).run(fn, args).return_value
+            after = Interpreter(optimized).run(optimized.get_function(fn.name), args).return_value
+            assert before == after
+
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.lists(_SMALL_INTS, min_size=5, max_size=5))
+    def test_validator_acceptance_implies_behavioural_equality(self, seed, arguments):
+        """Empirical soundness: accepted ⇒ interpreter agrees."""
+        module = _generated_module(seed, functions=1)
+        optimized = clone_module(module)
+        PassManager(PAPER_PIPELINE).run_on_module(optimized)
+        for fn in module.defined_functions():
+            result = validate(fn, optimized.get_function(fn.name))
+            if not result.is_success:
+                continue
+            args = arguments[: len(fn.args)]
+            before = Interpreter(module).run(fn, args).return_value
+            after = Interpreter(optimized).run(optimized.get_function(fn.name), args).return_value
+            assert before == after

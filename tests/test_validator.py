@@ -1,0 +1,263 @@
+"""Tests for the validator: per-function validation, the driver, and reports."""
+
+import pytest
+
+from repro.errors import ValidationInternalError
+from repro.ir import clone_function, parse_function, parse_module
+from repro.transforms import PAPER_PIPELINE, get_pass, optimize
+from repro.validator import (
+    DEFAULT_CONFIG,
+    ValidationResult,
+    ValidatorConfig,
+    llvm_md,
+    validate,
+    validate_function_pipeline,
+    validate_or_raise,
+)
+from repro.validator.report import FunctionRecord, ValidationReport
+
+
+class TestValidateBasics:
+    def test_identical_straightline_functions_trivially_equal(self, diamond_source):
+        fn = parse_function(diamond_source)
+        result = validate(fn, clone_function(fn))
+        assert result.is_success
+        assert result.reason == "trivially-equal"
+        assert result.stats["trivially_equal"] == 1
+
+    def test_identical_loop_functions_validate(self, loop_source):
+        fn = parse_function(loop_source)
+        result = validate(fn, clone_function(fn))
+        assert result.is_success
+
+    def test_validates_each_single_pass(self, mini_corpus):
+        for pass_name in PAPER_PIPELINE:
+            for fn in mini_corpus.defined_functions():
+                optimized = clone_function(fn)
+                if not get_pass(pass_name)(optimized):
+                    continue
+                result = validate(fn, optimized)
+                # Not all passes validate 100% (that is the paper's point),
+                # but ADCE and GVN should on this tiny corpus.
+                if pass_name in ("adce", "gvn"):
+                    assert result.is_success, (pass_name, fn.name, result.detail)
+
+    def test_rejects_wrong_constant(self):
+        before = parse_function(
+            "define i32 @f(i32 %a) {\nentry:\n  %x = mul i32 %a, 6\n  ret i32 %x\n}"
+        )
+        after = parse_function(
+            "define i32 @f(i32 %a) {\nentry:\n  %x = mul i32 %a, 7\n  ret i32 %x\n}"
+        )
+        result = validate(before, after)
+        assert not result.is_success
+        assert result.reason == "normalization-exhausted"
+        assert "result" in result.detail
+
+    def test_rejects_swapped_branches(self, diamond_source):
+        before = parse_function(diamond_source)
+        after = clone_function(before)
+        branch = after.entry.terminator
+        branch.operands[1], branch.operands[2] = branch.operands[2], branch.operands[1]
+        assert not validate(before, after).is_success
+
+    def test_rejects_dropped_store_to_visible_memory(self):
+        before = parse_function(
+            """
+            define void @f(i32* %p, i32 %v) {
+            entry:
+              store i32 %v, i32* %p
+              ret void
+            }
+            """
+        )
+        after = parse_function(
+            """
+            define void @f(i32* %p, i32 %v) {
+            entry:
+              ret void
+            }
+            """
+        )
+        assert not validate(before, after).is_success
+
+    def test_accepts_dropped_store_to_dead_alloca(self):
+        before = parse_function(
+            """
+            define i32 @f(i32 %v) {
+            entry:
+              %p = alloca i32
+              store i32 %v, i32* %p
+              ret i32 %v
+            }
+            """
+        )
+        after = parse_function(
+            "define i32 @f(i32 %v) {\nentry:\n  ret i32 %v\n}"
+        )
+        assert validate(before, after).is_success
+
+    def test_void_vs_value_mismatch(self):
+        before = parse_function("define void @f(i32 %a) {\nentry:\n  ret void\n}")
+        after = parse_function("define i32 @f(i32 %a) {\nentry:\n  ret i32 %a\n}")
+        assert not validate(before, after).is_success
+
+    def test_irreducible_cfg_reported(self):
+        fn = parse_function(
+            """
+            define i32 @irr(i1 %c) {
+            entry:
+              br i1 %c, label %a, label %b
+            a:
+              br label %b
+            b:
+              br i1 %c, label %a, label %exit
+            exit:
+              ret i32 0
+            }
+            """
+        )
+        result = validate(fn, clone_function(fn))
+        assert not result.is_success
+        assert result.reason == "irreducible-cfg"
+
+    def test_validate_or_raise(self, loop_source):
+        fn = parse_function(loop_source)
+        validate_or_raise(fn, clone_function(fn))
+        bad = clone_function(fn)
+        bad.block("body").instructions[0].opcode = "sub"
+        with pytest.raises(ValidationInternalError):
+            validate_or_raise(fn, bad)
+
+    def test_result_is_truthy(self, loop_source):
+        fn = parse_function(loop_source)
+        assert validate(fn, clone_function(fn))
+
+
+class TestRuleConfiguration:
+    SCCP_EXAMPLE = """
+    define i32 @f(i1 %c) {
+    entry:
+      br i1 %c, label %then, label %else
+    then:
+      br label %join
+    else:
+      br label %join
+    join:
+      %a = phi i32 [ 1, %then ], [ 2, %else ]
+      %b = phi i32 [ 1, %then ], [ 2, %else ]
+      %cc = icmp eq i32 %a, %b
+      br i1 %cc, label %t2, label %f2
+    t2:
+      br label %join2
+    f2:
+      br label %join2
+    join2:
+      %x = phi i32 [ 1, %t2 ], [ 0, %f2 ]
+      ret i32 %x
+    }
+    """
+
+    def test_needs_phi_rules(self):
+        before = parse_function(self.SCCP_EXAMPLE)
+        after = parse_function("define i32 @f(i1 %c) {\nentry:\n  ret i32 1\n}")
+        with_rules = validate(before, after)
+        assert with_rules.is_success
+        without_rules = validate(before, after, ValidatorConfig(rule_groups=()))
+        assert not without_rules.is_success
+
+    def test_constfold_alone_insufficient_for_phi_collapse(self):
+        before = parse_function(self.SCCP_EXAMPLE)
+        after = parse_function("define i32 @f(i1 %c) {\nentry:\n  ret i32 1\n}")
+        config = ValidatorConfig(rule_groups=("constfold",))
+        assert not validate(before, after, config).is_success
+
+    def test_matcher_variants_agree_on_simple_case(self, loop_source):
+        fn = parse_function(loop_source)
+        optimized = optimize(clone_function(fn), ["licm", "instcombine"])
+        for matcher in ("simple", "partition", "combined"):
+            result = validate(fn, optimized, ValidatorConfig(matcher=matcher))
+            assert result.is_success, matcher
+
+    def test_invalid_matcher_rejected(self):
+        from repro.vgraph import Normalizer, ValueGraph
+
+        with pytest.raises(ValueError):
+            Normalizer(ValueGraph(), matcher="bogus")
+
+    def test_with_rules_copy(self):
+        config = DEFAULT_CONFIG.with_rules(("phi",))
+        assert config.rule_groups == ("phi",)
+        assert DEFAULT_CONFIG.rule_groups != ("phi",)
+
+
+class TestDriverAndReport:
+    def test_driver_keeps_validated_and_rolls_back_failures(self, mini_corpus):
+        optimized_module, report = llvm_md(mini_corpus, PAPER_PIPELINE, label="mini")
+        assert report.total_functions == len(mini_corpus.defined_functions())
+        assert 0 <= report.validated_functions <= report.transformed_functions
+        # The output module has the same function names and the originals
+        # are untouched.
+        assert set(optimized_module.functions) == set(mini_corpus.functions)
+        for record in report.records:
+            assert isinstance(record, FunctionRecord)
+
+    def test_driver_rolls_back_buggy_pass(self, mini_corpus):
+        _, report = llvm_md(mini_corpus, ["bug-swap-branch"], label="buggy")
+        # Every function the injector touched and that misbehaves must be rejected;
+        # the report must not claim a 100% validation rate unless nothing was
+        # actually broken observably.
+        for record in report.failures():
+            assert record.result is not None and not record.result.is_success
+
+    def test_validate_function_pipeline_skips_unchanged(self):
+        fn = parse_function("define i32 @id(i32 %a) {\nentry:\n  ret i32 %a\n}")
+        kept, record = validate_function_pipeline(fn, PAPER_PIPELINE)
+        assert kept is fn
+        assert not record.transformed
+        assert record.result is None
+        assert record.validated  # untransformed counts as fine
+
+    def test_report_aggregates(self):
+        report = ValidationReport(label="x")
+        ok = FunctionRecord("a", {"gvn": True},
+                            ValidationResult("a", True, "equal", elapsed=0.1))
+        bad = FunctionRecord("b", {"gvn": True},
+                             ValidationResult("b", False, "normalization-exhausted", elapsed=0.2))
+        untouched = FunctionRecord("c", {"gvn": False}, None)
+        for record in (ok, bad, untouched):
+            report.add(record)
+        assert report.total_functions == 3
+        assert report.transformed_functions == 2
+        assert report.validated_functions == 1
+        assert report.rejected_functions == 1
+        assert report.validation_rate == pytest.approx(0.5)
+        assert report.total_time == pytest.approx(0.3)
+        assert report.reasons_histogram() == {"normalization-exhausted": 1}
+        assert "50.0%" in report.summary_line()
+        row = report.to_table_row()
+        assert row["transformed"] == 2 and row["validated"] == 1
+
+
+class TestPipelineValidation:
+    def test_full_pipeline_on_corpus(self, mini_corpus):
+        """The pipeline validates a reasonable fraction of this tiny corpus."""
+        _, report = llvm_md(mini_corpus, PAPER_PIPELINE, label="mini")
+        assert report.transformed_functions > 0
+        assert report.validation_rate >= 0.5
+
+    def test_validated_functions_really_equivalent(self, mini_corpus):
+        """Spot-check soundness: validated optimized bodies behave identically."""
+        from repro.ir import Interpreter, clone_module
+
+        optimized_module, report = llvm_md(mini_corpus, PAPER_PIPELINE)
+        for record in report.records:
+            if not (record.transformed and record.validated):
+                continue
+            original = mini_corpus.get_function(record.name)
+            optimized = optimized_module.get_function(record.name)
+            for base in [(2, 4, 6, 8, 10), (-1, 3, 0, 5, 2)]:
+                args = list(base[: len(original.args)])
+                before = Interpreter(mini_corpus).run(original, args).return_value
+                after = Interpreter(optimized_module).run(optimized, args).return_value
+                assert before == after, record.name
