@@ -10,6 +10,7 @@ from .corpus import (
 )
 from .experiments import (
     ALL_BENCHMARKS,
+    engine_comparison,
     figure4,
     figure5,
     figure6,
@@ -40,6 +41,7 @@ __all__ = [
     "figure7",
     "figure8",
     "validation_timing",
+    "engine_comparison",
     "matching_ablation",
     "ALL_BENCHMARKS",
     "format_table",

@@ -80,6 +80,22 @@ def table1(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = None
 # Figure 4 — validation of the whole pipeline
 # ---------------------------------------------------------------------------
 
+def _pipeline_reports(scale: float, benchmarks: Optional[Sequence[str]],
+                      passes: Sequence[str] = PAPER_PIPELINE,
+                      config: Optional[ValidatorConfig] = None):
+    """Run ``llvm_md`` over each selected corpus; yields ``(spec, report)``.
+
+    The shared substrate of :func:`figure4` and :func:`validation_timing`,
+    so the two experiments cannot diverge in how they build and validate
+    the corpora.
+    """
+    config = config or DEFAULT_CONFIG
+    for spec in _selected_specs(benchmarks):
+        module = build_corpus(spec, scale)
+        _, report = llvm_md(module, passes, config, label=spec.name)
+        yield spec, report
+
+
 def figure4(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = None,
             passes: Sequence[str] = PAPER_PIPELINE,
             config: Optional[ValidatorConfig] = None) -> List[Dict[str, object]]:
@@ -89,13 +105,10 @@ def figure4(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = None,
     (the paper reports ≈80% overall, SQLite close to 90%, gcc and
     perlbench lower).
     """
-    config = config or DEFAULT_CONFIG
     rows: List[Dict[str, object]] = []
     total_transformed = total_validated = total_functions = 0
     total_time = 0.0
-    for spec in _selected_specs(benchmarks):
-        module = build_corpus(spec, scale)
-        _, report = llvm_md(module, passes, config, label=spec.name)
+    for _, report in _pipeline_reports(scale, benchmarks, passes, config):
         row = report.to_table_row()
         rows.append(row)
         total_functions += report.total_functions
@@ -225,13 +238,86 @@ def validation_timing(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = 
 
     The paper reports 19m19s for GCC, 2m56s for perl and 55s for SQLite on
     2011 hardware; here only the *ordering* (gcc ≫ perlbench ≫ sqlite) is
-    expected to reproduce.
+    expected to reproduce.  Each row also carries the normalization
+    engine's work counters (rule invocations, worklist pushes, dispatch
+    index hits) so the perf trajectory can be tracked across PRs.
     """
-    rows = figure4(scale, benchmarks, config=config)
-    return [
-        {"benchmark": row["benchmark"], "time_s": row["time_s"], "transformed": row["transformed"]}
-        for row in rows
-    ]
+    rows: List[Dict[str, object]] = []
+    overall_time = 0.0
+    overall_transformed = 0
+    overall_engine: Dict[str, int] = {}
+    for spec, report in _pipeline_reports(scale, benchmarks, config=config):
+        totals = report.engine_totals()
+        row: Dict[str, object] = {
+            "benchmark": spec.name,
+            "time_s": round(report.total_time, 2),
+            "transformed": report.transformed_functions,
+            "rule_invocations": totals.get("rule_invocations", 0),
+            "worklist_pushes": totals.get("worklist_pushes", 0),
+            "index_hits": totals.get("index_hits", 0),
+        }
+        rows.append(row)
+        overall_time += report.total_time
+        overall_transformed += report.transformed_functions
+        for key in ("rule_invocations", "worklist_pushes", "index_hits"):
+            overall_engine[key] = overall_engine.get(key, 0) + int(row[key])
+    rows.append({
+        "benchmark": "overall",
+        "time_s": round(overall_time, 2),
+        "transformed": overall_transformed,
+        **overall_engine,
+    })
+    return rows
+
+
+def engine_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = None,
+                      passes: Sequence[str] = PAPER_PIPELINE,
+                      config: Optional[ValidatorConfig] = None) -> List[Dict[str, object]]:
+    """Worklist engine vs the full-scan baseline on identical inputs.
+
+    Optimizes each benchmark once, then validates every transformed
+    function under both normalization engines.  Returns one row per
+    benchmark with the verdict-parity flag and the rule-application work
+    of both engines — the ISSUE's acceptance evidence that the worklist
+    engine produces identical verdicts with strictly less rule work.
+    """
+    base = config or DEFAULT_CONFIG
+    rows: List[Dict[str, object]] = []
+    for spec in _selected_specs(benchmarks):
+        module = build_corpus(spec, scale)
+        pairs = []
+        for function in module.defined_functions():
+            optimized = clone_function(function)
+            manager_changed = PassManager(passes).run_on_function(optimized)
+            if any(manager_changed.values()):
+                pairs.append((function, optimized))
+        totals = {}
+        verdicts_agree = True
+        for engine in ("fullscan", "worklist"):
+            engine_config = base.with_engine(engine)
+            invocations = 0
+            elapsed = 0.0
+            verdicts = []
+            for before, after in pairs:
+                result = validate(before, after, engine_config)
+                invocations += result.stats.get("rule_invocations", 0)
+                elapsed += result.elapsed
+                verdicts.append(result.is_success)
+            totals[engine] = (invocations, elapsed, verdicts)
+        fullscan_inv, fullscan_time, fullscan_verdicts = totals["fullscan"]
+        worklist_inv, worklist_time, worklist_verdicts = totals["worklist"]
+        verdicts_agree = fullscan_verdicts == worklist_verdicts
+        rows.append({
+            "benchmark": spec.name,
+            "pairs": len(pairs),
+            "verdicts_agree": verdicts_agree,
+            "fullscan_invocations": fullscan_inv,
+            "worklist_invocations": worklist_inv,
+            "invocation_ratio": round(worklist_inv / fullscan_inv, 3) if fullscan_inv else 1.0,
+            "fullscan_time_s": round(fullscan_time, 2),
+            "worklist_time_s": round(worklist_time, 2),
+        })
+    return rows
 
 
 def matching_ablation(scale: float = 0.5, benchmarks: Optional[Sequence[str]] = None,
@@ -261,5 +347,6 @@ __all__ = [
     "figure7",
     "figure8",
     "validation_timing",
+    "engine_comparison",
     "matching_ablation",
 ]

@@ -7,7 +7,13 @@ from .config import (
     SCCP_ABLATION_STEPS,
     ValidatorConfig,
 )
-from .driver import llvm_md, validate_function_pipeline
+from .driver import (
+    ValidationCache,
+    function_fingerprint,
+    llvm_md,
+    validate_function_pipeline,
+    validate_module_batch,
+)
 from .report import FunctionRecord, ValidationReport
 from .validate import ValidationResult, validate, validate_or_raise
 
@@ -22,6 +28,9 @@ __all__ = [
     "LICM_ABLATION_STEPS",
     "llvm_md",
     "validate_function_pipeline",
+    "validate_module_batch",
+    "ValidationCache",
+    "function_fingerprint",
     "FunctionRecord",
     "ValidationReport",
 ]

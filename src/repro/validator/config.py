@@ -8,9 +8,10 @@ rules against all rules.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Tuple
 
+from ..vgraph.normalize import ENGINES
 from ..vgraph.rules import ALL_RULE_GROUPS
 
 #: Cumulative rule sets used for the GVN ablation (paper Figure 6).
@@ -54,21 +55,33 @@ class ValidatorConfig:
     recursion_limit:
         Python recursion limit installed while building value graphs
         (symbolic evaluation is recursive over the SSA def-use chains).
+    engine:
+        Normalization engine: ``"worklist"`` (incremental, the default)
+        or ``"fullscan"`` (the original re-scan-everything loop, kept as
+        a baseline for parity tests and benchmarks).
+    concurrency:
+        Number of worker processes :func:`repro.validator.driver.validate_module_batch`
+        may use.  ``0`` or ``1`` validates serially in-process.
     """
 
     rule_groups: Tuple[str, ...] = tuple(ALL_RULE_GROUPS)
     matcher: str = "combined"
     max_iterations: int = 25
     recursion_limit: int = 50_000
+    engine: str = "worklist"
+    concurrency: int = 0
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r} (known: {ENGINES})")
 
     def with_rules(self, rule_groups) -> "ValidatorConfig":
         """A copy of this configuration with different rule groups."""
-        return ValidatorConfig(
-            rule_groups=tuple(rule_groups),
-            matcher=self.matcher,
-            max_iterations=self.max_iterations,
-            recursion_limit=self.recursion_limit,
-        )
+        return replace(self, rule_groups=tuple(rule_groups))
+
+    def with_engine(self, engine: str) -> "ValidatorConfig":
+        """A copy of this configuration with a different normalization engine."""
+        return replace(self, engine=engine)
 
 
 #: The default configuration (all rules, combined matcher).

@@ -14,18 +14,94 @@ This is the paper's §2 pseudo-code::
 Our ``opt`` is the pass pipeline from :mod:`repro.transforms`; everything
 else is the same: the validator treats the optimizer as a black box, needs
 no instrumentation, and runs once over the result of the whole pipeline.
+
+For corpus-scale traffic the module adds a batch layer on top:
+:func:`validate_module_batch` validates many modules through one
+:class:`ValidationCache` (results keyed on the *content* of the function
+pair plus the rule configuration, so identical pairs are validated once)
+and can fan the actual validation work out to a process pool via
+``config.concurrency``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+import hashlib
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..ir.cloning import clone_function
 from ..ir.module import Function, Module
+from ..ir.printer import print_function
 from ..transforms.pass_manager import PAPER_PIPELINE, PassManager
 from .config import DEFAULT_CONFIG, ValidatorConfig
 from .report import FunctionRecord, ValidationReport
-from .validate import validate
+from .validate import ValidationResult, validate
+
+#: Cache key: content hashes of both functions plus everything about the
+#: configuration that can change a verdict.
+CacheKey = Tuple[str, str, Tuple[str, ...], str, str, int, int]
+
+
+def function_fingerprint(function: Function) -> str:
+    """A content hash of a function's printed IR (stable across clones)."""
+    return hashlib.sha256(print_function(function).encode("utf-8")).hexdigest()
+
+
+class ValidationCache:
+    """Memoizes validation results by function-pair content.
+
+    The key is ``(original-hash, optimized-hash, rule-groups, matcher,
+    engine, max-iterations, recursion-limit)``: everything the verdict
+    can depend on (a too-small recursion limit turns a deep build into a
+    ``build-error`` rejection, so it is part of the key too).  Two
+    different functions with identical bodies share an entry, so batch
+    validation of a corpus full of near-duplicate traffic only pays for
+    the distinct pairs.
+    """
+
+    def __init__(self) -> None:
+        self._results: Dict[CacheKey, ValidationResult] = {}
+        #: Number of lookups answered from the cache.
+        self.hits = 0
+        #: Number of lookups that had to validate.
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def key(self, before: Function, after: Function,
+            config: ValidatorConfig) -> CacheKey:
+        """The cache key for one validation query."""
+        return (
+            function_fingerprint(before),
+            function_fingerprint(after),
+            tuple(config.rule_groups),
+            config.matcher,
+            config.engine,
+            config.max_iterations,
+            config.recursion_limit,
+        )
+
+    def peek(self, key: CacheKey) -> Optional[ValidationResult]:
+        """The stored result for ``key`` (no hit/miss accounting)."""
+        return self._results.get(key)
+
+    def get(self, key: CacheKey, function_name: str) -> Optional[ValidationResult]:
+        """A cached result renamed for ``function_name``, or ``None``."""
+        cached = self._results.get(key)
+        if cached is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return replace(cached, function_name=function_name)
+
+    def put(self, key: CacheKey, result: ValidationResult) -> None:
+        """Store one validation outcome."""
+        self._results[key] = result
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters as a plain dict (for reports)."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._results)}
 
 
 def validate_function_pipeline(
@@ -33,12 +109,14 @@ def validate_function_pipeline(
     passes: Sequence[str] = PAPER_PIPELINE,
     config: Optional[ValidatorConfig] = None,
     skip_unchanged: bool = True,
+    cache: Optional[ValidationCache] = None,
 ) -> Tuple[Function, FunctionRecord]:
     """Optimize one function and validate the result.
 
     Returns ``(kept_function, record)`` where ``kept_function`` is the
     optimized clone when validation succeeded and the original function
-    otherwise.
+    otherwise.  When ``cache`` is given, a previously validated identical
+    pair is answered from it and the record is marked ``from_cache``.
     """
     config = config or DEFAULT_CONFIG
     record = FunctionRecord(name=function.name)
@@ -54,7 +132,17 @@ def validate_function_pipeline(
         # count such functions in its per-optimization charts.
         return function, record
 
-    record.result = validate(function, optimized, config)
+    if cache is not None:
+        key = cache.key(function, optimized, config)
+        cached = cache.get(key, function.name)
+        if cached is not None:
+            record.result = cached
+            record.from_cache = True
+        else:
+            record.result = validate(function, optimized, config)
+            cache.put(key, record.result)
+    else:
+        record.result = validate(function, optimized, config)
     kept = optimized if record.result.is_success else function
     return kept, record
 
@@ -65,6 +153,7 @@ def llvm_md(
     config: Optional[ValidatorConfig] = None,
     label: str = "",
     function_names: Optional[Iterable[str]] = None,
+    cache: Optional[ValidationCache] = None,
 ) -> Tuple[Module, ValidationReport]:
     """Run the semantics-preserving optimizer over a module.
 
@@ -81,21 +170,141 @@ def llvm_md(
 
     selected = set(function_names) if function_names is not None else None
     for function in module.functions.values():
-        if function.is_declaration:
-            result_module.add_function(function)
+        # Every function inserted into the result module is cloned — also
+        # declarations and unselected functions — so the result never
+        # shares mutable structure with (or re-parents functions of) the
+        # input module.
+        if function.is_declaration or (selected is not None and function.name not in selected):
+            result_module.add_function(clone_function(function))
             continue
-        if selected is not None and function.name not in selected:
-            result_module.add_function(function)
-            continue
-        kept, record = validate_function_pipeline(function, passes, config)
+        kept, record = validate_function_pipeline(function, passes, config, cache=cache)
         report.add(record)
         if kept is function:
-            # Keep the original body: clone it so the result module does not
-            # share mutable structure with the input module.
             result_module.add_function(clone_function(function))
         else:
             result_module.add_function(kept)
+    if cache is not None:
+        report.cache_stats = cache.stats()
     return result_module, report
 
 
-__all__ = ["llvm_md", "validate_function_pipeline"]
+def _validate_pair(item: Tuple[Function, Function, ValidatorConfig]) -> ValidationResult:
+    """Process-pool worker: validate one (before, after) pair."""
+    before, after, config = item
+    return validate(before, after, config)
+
+
+def validate_module_batch(
+    modules: Sequence[Module],
+    passes: Sequence[str] = PAPER_PIPELINE,
+    config: Optional[ValidatorConfig] = None,
+    labels: Optional[Sequence[str]] = None,
+    cache: Optional[ValidationCache] = None,
+) -> List[Tuple[Module, ValidationReport]]:
+    """Optimize and validate a batch of modules through one shared cache.
+
+    The batch layer is what lets module-level validation scale to large
+    corpora:
+
+    * every function of every module is optimized first, and the
+      resulting (original, optimized) pairs are *deduplicated* by content
+      hash — identical pairs (common in template-heavy or generated
+      corpora) are validated once;
+    * the distinct pairs are validated either serially or, when
+      ``config.concurrency > 1``, on a ``ProcessPoolExecutor`` with that
+      many workers (falling back to serial execution if the platform
+      cannot spawn processes);
+    * results are assembled into per-module reports identical to what
+      per-module :func:`llvm_md` calls would have produced, with
+      ``from_cache`` records marking the deduplicated functions.
+
+    Returns ``[(result_module, report), ...]`` in input order.
+    """
+    config = config or DEFAULT_CONFIG
+    cache = cache if cache is not None else ValidationCache()
+    if labels is not None and len(labels) != len(modules):
+        raise ValueError("labels must match modules one to one")
+
+    # Phase 1: optimize everything, recording the work each module needs.
+    plans = []  # per module: (result_module, report, [(function, optimized, record, key)])
+    pending: Dict[CacheKey, Tuple[Function, Function]] = {}
+    for index, module in enumerate(modules):
+        label = labels[index] if labels is not None else module.name
+        report = ValidationReport(label=label)
+        result_module = Module(module.name)
+        for global_var in module.globals.values():
+            result_module.add_global(global_var)
+        work = []
+        for function in module.functions.values():
+            if function.is_declaration:
+                result_module.add_function(clone_function(function))
+                continue
+            record = FunctionRecord(name=function.name)
+            optimized = clone_function(function)
+            record.transformed_by = PassManager(passes).run_on_function(optimized)
+            report.add(record)
+            if not record.transformed:
+                result_module.add_function(clone_function(function))
+                continue
+            key = cache.key(function, optimized, config)
+            if cache.peek(key) is None and key not in pending:
+                pending[key] = (function, optimized)
+            work.append((function, optimized, record, key))
+        plans.append((result_module, report, work))
+
+    # Phase 2: validate the distinct pairs (optionally in parallel).
+    items = [(before, after, config) for before, after in pending.values()]
+    outcomes = _run_validations(items, config)
+    for key, result in zip(pending, outcomes):
+        cache.put(key, result)
+
+    # Phase 3: assemble result modules and reports from the cache.  The
+    # first consumer of a freshly validated pair paid for the validation
+    # (a miss); every further function with the same key — within this
+    # module, across modules, or from an earlier batch — is a cache hit.
+    fresh = set(pending)
+    consumed: set = set()
+    results: List[Tuple[Module, ValidationReport]] = []
+    for result_module, report, work in plans:
+        for function, optimized, record, key in work:
+            stored = cache.peek(key)
+            if key in fresh and key not in consumed:
+                cache.misses += 1
+                record.from_cache = False
+            else:
+                cache.hits += 1
+                record.from_cache = True
+            consumed.add(key)
+            record.result = replace(stored, function_name=function.name)
+            if record.result.is_success:
+                result_module.add_function(optimized)
+            else:
+                result_module.add_function(clone_function(function))
+        report.cache_stats = cache.stats()
+        results.append((result_module, report))
+    return results
+
+
+def _run_validations(items: List[Tuple[Function, Function, ValidatorConfig]],
+                     config: ValidatorConfig) -> List[ValidationResult]:
+    """Validate a list of pairs, using a process pool when configured."""
+    if config.concurrency and config.concurrency > 1 and len(items) > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=config.concurrency) as pool:
+                return list(pool.map(_validate_pair, items))
+        except (ImportError, OSError, ValueError):  # pragma: no cover
+            # Platforms without working process spawning (or pickling
+            # restrictions) fall back to serial validation.
+            pass
+    return [_validate_pair(item) for item in items]
+
+
+__all__ = [
+    "llvm_md",
+    "validate_function_pipeline",
+    "validate_module_batch",
+    "ValidationCache",
+    "function_fingerprint",
+]

@@ -27,6 +27,9 @@ class FunctionRecord:
     #: Validation result, or ``None`` when the function was never validated
     #: (e.g. it was not transformed and validation was skipped).
     result: Optional[ValidationResult] = None
+    #: Was the result answered from a :class:`~repro.validator.driver.ValidationCache`
+    #: instead of a fresh validation?
+    from_cache: bool = False
 
     @property
     def transformed(self) -> bool:
@@ -48,6 +51,10 @@ class ValidationReport:
     #: Label for the run (benchmark name, pipeline description, ...).
     label: str = ""
     records: List[FunctionRecord] = field(default_factory=list)
+    #: Hit/miss/size counters of the :class:`ValidationCache` the run used
+    #: (``None`` when no cache was involved).  With a shared batch cache
+    #: these are the cache's cumulative counters at report-assembly time.
+    cache_stats: Optional[Dict[str, int]] = None
 
     def add(self, record: FunctionRecord) -> None:
         """Append one function record."""
@@ -83,8 +90,39 @@ class ValidationReport:
 
     @property
     def total_time(self) -> float:
-        """Total validation wall-clock time in seconds."""
-        return sum(record.result.elapsed for record in self.records if record.result is not None)
+        """Validation wall-clock actually spent, in seconds.
+
+        Cache-answered records carry a *copy* of the original validation's
+        elapsed time; counting them would claim the cache saved nothing,
+        so only freshly validated records contribute.
+        """
+        return sum(record.result.elapsed for record in self.records
+                   if record.result is not None and not record.from_cache)
+
+    @property
+    def cache_hits(self) -> int:
+        """Number of function records answered from a validation cache."""
+        return sum(1 for record in self.records if record.from_cache)
+
+    def engine_totals(self) -> Dict[str, int]:
+        """Normalization-engine counters summed over the work performed.
+
+        Aggregates the per-function :class:`NormalizationStats` the engine
+        reported: rule invocations, worklist pushes, dispatch-index hits,
+        rewrites, merges and iterations — the "is validator work
+        proportional to optimizer work" telemetry.  Cache-answered records
+        are excluded (their stats describe work done once elsewhere, not
+        work done for this record), so the totals reflect what actually
+        ran.
+        """
+        totals: Dict[str, int] = {}
+        for record in self.records:
+            if record.result is None or record.from_cache:
+                continue
+            for key, value in record.result.stats.items():
+                totals[key] = totals.get(key, 0) + int(value)
+        totals["cache_hits"] = self.cache_hits
+        return totals
 
     def failures(self) -> List[FunctionRecord]:
         """Records of transformed functions that failed to validate."""

@@ -81,6 +81,7 @@ def validate(before: Function, after: Function,
             rule_groups=config.rule_groups,
             matcher=config.matcher,
             max_iterations=config.max_iterations,
+            engine=config.engine,
         )
         matched, stats = normalizer.normalize_until_equal(goal_pairs)
     except (ReproError, RecursionError) as error:

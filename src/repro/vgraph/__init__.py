@@ -4,9 +4,9 @@ from .builder import FunctionSummary, GraphBuilder, build_function_graph, build_
 from .galias import GraphAliasResult, graph_alias, graph_must_alias, graph_no_alias
 from .graph import ValueGraph
 from .nodes import VNode
-from .normalize import NormalizationStats, Normalizer
+from .normalize import ENGINES, NormalizationStats, Normalizer
 from .partition import merge_by_partition, refine_partition
-from .rules import ALL_RULE_GROUPS, RULE_GROUPS, rules_for
+from .rules import ALL_RULE_GROUPS, RULE_GROUPS, build_rule_index, rule, rules_for
 from .sharing import merge_cycles, unify
 
 __all__ = [
@@ -18,9 +18,12 @@ __all__ = [
     "build_shared_graph",
     "Normalizer",
     "NormalizationStats",
+    "ENGINES",
     "RULE_GROUPS",
     "ALL_RULE_GROUPS",
+    "rule",
     "rules_for",
+    "build_rule_index",
     "merge_cycles",
     "unify",
     "refine_partition",

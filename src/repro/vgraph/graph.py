@@ -20,14 +20,28 @@ The graph supports:
   branches canonically and to seed cycle matching;
 * **sharing maximization** — re-hash-consing to a fixpoint after rewrites
   (:meth:`maximize_sharing`), used together with the μ-cycle unification
-  in :mod:`repro.vgraph.sharing`.
+  in :mod:`repro.vgraph.sharing`;
+* **reverse use-edges** — every node knows which nodes use it as an
+  argument (:meth:`parents`), so a redirect can enumerate exactly the
+  nodes whose hash-consing keys became stale;
+* **change notification** — listeners registered with
+  :meth:`add_listener` observe every merge as ``(old, new, stale_parents)``,
+  which is what feeds the worklist of the incremental normalization
+  engine (:class:`repro.vgraph.normalize.Normalizer`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .nodes import CYCLIC_KINDS, VNode
+
+#: Signature of a merge listener: ``(old_root, new_root, stale_parents)``.
+#: ``stale_parents`` are the (registration-time canonical) ids of nodes
+#: that used ``old_root`` as an argument — exactly the nodes whose
+#: hash-consing keys were invalidated by the merge.
+MergeListener = Callable[[int, int, Set[int]], None]
 
 
 class ValueGraph:
@@ -38,6 +52,8 @@ class ValueGraph:
         self._forward: Dict[int, int] = {}
         self._table: Dict[Tuple, int] = {}
         self._next_id = 0
+        self._parents: Dict[int, Set[int]] = {}
+        self._listeners: List[MergeListener] = []
 
     # -- identity --------------------------------------------------------
     def resolve(self, node_id: int) -> int:
@@ -66,6 +82,56 @@ class ValueGraph:
         """Number of canonical (non-redirected) nodes."""
         return sum(1 for node_id in self._nodes if node_id not in self._forward)
 
+    @property
+    def next_id(self) -> int:
+        """The id the next created node will receive (a creation watermark).
+
+        The incremental engine snapshots this before applying a rule and
+        afterwards knows exactly which nodes the rule manufactured.
+        """
+        return self._next_id
+
+    # -- reverse use-edges and change notification ------------------------
+    def parents(self, node_id: int) -> Set[int]:
+        """Canonical ids of the nodes that use ``node_id`` as an argument.
+
+        The result may include nodes that are no longer reachable from any
+        root (parent sets are never pruned); consumers treat it as an
+        over-approximation.
+        """
+        registered = self._parents.get(self.resolve(node_id))
+        if not registered:
+            return set()
+        return {self.resolve(parent) for parent in registered}
+
+    def add_listener(self, listener: MergeListener) -> None:
+        """Register a callback observing every merge (redirect or sharing)."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: MergeListener) -> None:
+        """Unregister a callback added with :meth:`add_listener`."""
+        self._listeners.remove(listener)
+
+    def _register_args(self, node_id: int, args: Iterable[int]) -> None:
+        for arg in args:
+            self._parents.setdefault(arg, set()).add(node_id)
+
+    def _merge(self, old_root: int, new_root: int) -> None:
+        """Forward ``old_root`` to ``new_root``, migrating parent edges.
+
+        Every merge in the graph funnels through here so listeners see a
+        complete change feed: the stale parents handed to them are the
+        nodes whose hash-consing keys the merge invalidated.
+        """
+        self._forward[old_root] = new_root
+        stale = self._parents.pop(old_root, None)
+        if stale:
+            self._parents.setdefault(new_root, set()).update(stale)
+        if self._listeners:
+            notified = set(stale) if stale else set()
+            for listener in self._listeners:
+                listener(old_root, new_root, notified)
+
     # -- construction ------------------------------------------------------
     def make(self, kind: str, data=None, args: Sequence[int] = ()) -> int:
         """Create (or reuse) a node.  Returns its id."""
@@ -79,6 +145,7 @@ class ValueGraph:
         node = VNode(node_id, kind, data, list(resolved))
         self._nodes[node_id] = node
         self._table[key] = node_id
+        self._register_args(node_id, resolved)
         return node_id
 
     def make_mu(self) -> int:
@@ -90,10 +157,12 @@ class ValueGraph:
 
     def set_args(self, node_id: int, args: Sequence[int]) -> None:
         """Patch the arguments of a placeholder node (μ construction)."""
-        node = self._nodes[self.resolve(node_id)]
+        canonical = self.resolve(node_id)
+        node = self._nodes[canonical]
         if node.kind not in CYCLIC_KINDS:
             raise ValueError(f"set_args is only for cyclic nodes, not {node.kind!r}")
         node.args = [self.resolve(a) for a in args]
+        self._register_args(canonical, node.args)
 
     # -- convenience constructors ----------------------------------------------
     def const(self, value: int, type_str: str = "i32") -> int:
@@ -158,7 +227,7 @@ class ValueGraph:
         old_root, new_root = self.resolve(old), self.resolve(new)
         if old_root == new_root:
             return False
-        self._forward[old_root] = new_root
+        self._merge(old_root, new_root)
         return True
 
     def resolve_args(self, node: VNode) -> List[int]:
@@ -198,12 +267,48 @@ class ValueGraph:
                 if other is None:
                     table[key] = node_id
                 elif other != node_id:
-                    self._forward[node_id] = other
+                    self._merge(node_id, other)
                     merges += 1
                     changed = True
             if not changed:
                 break
         self._rebuild_table()
+        return merges
+
+    def maximize_sharing_incremental(self, seeds: Iterable[int]) -> int:
+        """Congruence-closure sharing restricted to a dirty set.
+
+        ``seeds`` are nodes whose hash-consing keys may have changed (the
+        stale parents of recent merges).  Each is re-keyed against the
+        persistent cons table; duplicates are merged and the merge's own
+        stale parents are queued in turn, so the pass runs to the same
+        fixpoint a full :meth:`maximize_sharing` scan would reach on the
+        affected region — in time proportional to the change, not the
+        graph.  μ-nodes are left to the cycle matchers, exactly as
+        :meth:`_rebuild_table` excludes them from the cons table.
+        """
+        merges = 0
+        queue = deque(seeds)
+        while queue:
+            node_id = self.resolve(queue.popleft())
+            node = self._nodes[node_id]
+            if node.kind in CYCLIC_KINDS:
+                continue
+            node.args = [self.resolve(a) for a in node.args]
+            key = node.key(tuple(node.args))
+            existing = self._table.get(key)
+            if existing is None:
+                self._table[key] = node_id
+                continue
+            existing = self.resolve(existing)
+            if existing == node_id:
+                continue
+            stale = self._parents.get(node_id)
+            follow_up = list(stale) if stale else []
+            self._merge(node_id, existing)
+            merges += 1
+            queue.extend(follow_up)
+            queue.append(existing)
         return merges
 
     def _mu_key(self, node: VNode) -> Tuple:
@@ -315,4 +420,4 @@ class ValueGraph:
         return render(node_id, max_depth)
 
 
-__all__ = ["ValueGraph"]
+__all__ = ["ValueGraph", "MergeListener"]

@@ -29,12 +29,17 @@ rule sets of the paper's ablation experiments (Figures 6–8):
     commuting independent stores into a canonical order.
 
 Every rule is a function ``rule(graph, node) -> Optional[int]`` returning
-the id of a replacement node, or ``None`` when it does not apply.
+the id of a replacement node, or ``None`` when it does not apply.  Rules
+are registered with the :func:`rule` decorator, which declares the node
+*kinds* a rule can possibly fire on and the *group* it belongs to; the
+engine dispatches through the kind index built by
+:func:`build_rule_index` instead of walking a flat rule list, so a node
+is only ever handed to the rules that could match its root kind.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..transforms.constfold import (
     fold_cast,
@@ -48,6 +53,29 @@ from .graph import ValueGraph
 from .nodes import VNode
 
 Rule = Callable[[ValueGraph, VNode], Optional[int]]
+
+#: Every decorated rule, in registration (definition) order.  Within one
+#: group this order is the order the engine tries rules on a node.
+RULE_REGISTRY: List[Rule] = []
+
+
+def rule(*, kinds: Sequence[str], group: str) -> Callable[[Rule], Rule]:
+    """Register a rewrite rule for the given root node kinds.
+
+    ``kinds`` is the complete set of node kinds the rule can fire on (its
+    first ``node.kind != ...`` guard); ``group`` is the ablation group the
+    rule belongs to.  The decorator records both on the function
+    (``fn.kinds`` / ``fn.group``) and appends it to :data:`RULE_REGISTRY`,
+    from which :data:`RULE_GROUPS` and the kind-dispatch index are built.
+    """
+
+    def decorate(fn: Rule) -> Rule:
+        fn.kinds = tuple(kinds)  # type: ignore[attr-defined]
+        fn.group = group  # type: ignore[attr-defined]
+        RULE_REGISTRY.append(fn)
+        return fn
+
+    return decorate
 
 _COMMUTATIVE = frozenset({"add", "mul", "and", "or", "xor"})
 _SWAPPED_PREDICATE = {
@@ -75,6 +103,7 @@ def _const_of(graph: ValueGraph, node_id: int) -> Optional[Tuple[int, str]]:
 # boolean group — general simplification rules (1)–(4)
 # ---------------------------------------------------------------------------
 
+@rule(kinds=("icmp",), group="boolean")
 def rule_cmp_identical(graph: ValueGraph, node: VNode) -> Optional[int]:
     """``a == a ↓ true`` and ``a != a ↓ false`` (and the other reflexive predicates)."""
     if node.kind != "icmp":
@@ -85,16 +114,18 @@ def rule_cmp_identical(graph: ValueGraph, node: VNode) -> Optional[int]:
     return graph.true() if node.data in _REFLEXIVE_TRUE else graph.false()
 
 
+@rule(kinds=("icmp",), group="boolean")
 def rule_cmp_with_bool_literal(graph: ValueGraph, node: VNode) -> Optional[int]:
     """``a == true ↓ a``, ``a != false ↓ a``, ``a == false ↓ !a``, ``a != true ↓ !a``."""
     if node.kind != "icmp" or node.data not in ("eq", "ne"):
         return None
     lhs, rhs = graph.node(node.args[0]), graph.node(node.args[1])
+    memo: Dict[int, bool] = {}
     for value_id, literal in ((node.args[0], rhs), (node.args[1], lhs)):
         if literal.kind == "const" and literal.data[1] == "i1":
             other = graph.node(value_id)
             # Only sound when the compared value itself is an i1.
-            if not _is_boolean_node(graph, value_id):
+            if not _is_boolean_node(graph, value_id, memo):
                 continue
             is_true_literal = literal.data[0] == 1
             keep = (node.data == "eq") == is_true_literal
@@ -102,17 +133,33 @@ def rule_cmp_with_bool_literal(graph: ValueGraph, node: VNode) -> Optional[int]:
     return None
 
 
-def _is_boolean_node(graph: ValueGraph, node_id: int) -> bool:
+def _is_boolean_node(graph: ValueGraph, node_id: int,
+                     memo: Optional[Dict[int, bool]] = None) -> bool:
+    # The memo lives for one top-level query only: gate formulas are deep,
+    # heavily shared DAGs, and without it the walk revisits shared
+    # sub-terms exponentially often.  Only μ-nodes can be cyclic and they
+    # are classified as non-boolean without recursion, so memoizing on the
+    # canonical id is exact.
+    if memo is None:
+        memo = {}
+    node_id = graph.resolve(node_id)
+    cached = memo.get(node_id)
+    if cached is not None:
+        return cached
     node = graph.node(node_id)
     if node.kind in ("icmp", "not"):
-        return True
-    if node.kind == "const":
-        return node.data[1] == "i1"
-    if node.kind == "binop" and node.data in ("and", "or", "xor"):
-        return all(_is_boolean_node(graph, a) for a in node.args)
-    return False
+        result = True
+    elif node.kind == "const":
+        result = node.data[1] == "i1"
+    elif node.kind == "binop" and node.data in ("and", "or", "xor"):
+        result = all(_is_boolean_node(graph, a, memo) for a in node.args)
+    else:
+        result = False
+    memo[node_id] = result
+    return result
 
 
+@rule(kinds=("not",), group="boolean")
 def rule_not_not(graph: ValueGraph, node: VNode) -> Optional[int]:
     """``!!a ↓ a`` and negation of boolean literals."""
     if node.kind != "not":
@@ -133,11 +180,13 @@ def rule_not_not(graph: ValueGraph, node: VNode) -> Optional[int]:
     return None
 
 
+@rule(kinds=("binop",), group="boolean")
 def rule_bool_connectives(graph: ValueGraph, node: VNode) -> Optional[int]:
     """``and``/``or`` with literal or duplicate operands."""
     if node.kind != "binop" or node.data not in ("and", "or"):
         return None
-    if not all(_is_boolean_node(graph, a) for a in node.args):
+    memo: Dict[int, bool] = {}
+    if not all(_is_boolean_node(graph, a, memo) for a in node.args):
         return None
     lhs, rhs = graph.resolve(node.args[0]), graph.resolve(node.args[1])
     lhs_node, rhs_node = graph.node(lhs), graph.node(rhs)
@@ -164,6 +213,7 @@ def rule_bool_connectives(graph: ValueGraph, node: VNode) -> Optional[int]:
 # phi group — rules (5)–(6)
 # ---------------------------------------------------------------------------
 
+@rule(kinds=("phi",), group="phi")
 def rule_phi_simplify(graph: ValueGraph, node: VNode) -> Optional[int]:
     """Drop false branches, pick true branches, collapse single-valued φ."""
     if node.kind != "phi":
@@ -205,6 +255,7 @@ def rule_phi_simplify(graph: ValueGraph, node: VNode) -> Optional[int]:
     return None
 
 
+@rule(kinds=("phi",), group="phi")
 def rule_phi_merge_same_value(graph: ValueGraph, node: VNode) -> Optional[int]:
     """Merge branches that carry the same value by or-ing their conditions."""
     if node.kind != "phi":
@@ -234,6 +285,7 @@ def rule_phi_merge_same_value(graph: ValueGraph, node: VNode) -> Optional[int]:
 # constfold group — optimization-specific rules
 # ---------------------------------------------------------------------------
 
+@rule(kinds=("binop",), group="constfold")
 def rule_fold_binop(graph: ValueGraph, node: VNode) -> Optional[int]:
     """Fold binary operations over two integer constants."""
     if node.kind != "binop":
@@ -251,6 +303,7 @@ def rule_fold_binop(graph: ValueGraph, node: VNode) -> Optional[int]:
     return graph.const(folded, lhs[1])
 
 
+@rule(kinds=("icmp",), group="constfold")
 def rule_fold_icmp(graph: ValueGraph, node: VNode) -> Optional[int]:
     """Fold comparisons over two integer constants."""
     if node.kind != "icmp":
@@ -266,6 +319,7 @@ def rule_fold_icmp(graph: ValueGraph, node: VNode) -> Optional[int]:
     return graph.true() if folded else graph.false()
 
 
+@rule(kinds=("cast",), group="constfold")
 def rule_fold_cast(graph: ValueGraph, node: VNode) -> Optional[int]:
     """Fold casts of integer constants."""
     if node.kind != "cast":
@@ -284,6 +338,7 @@ def rule_fold_cast(graph: ValueGraph, node: VNode) -> Optional[int]:
     return graph.const(folded, to_type)
 
 
+@rule(kinds=("binop",), group="constfold")
 def rule_algebraic_identity(graph: ValueGraph, node: VNode) -> Optional[int]:
     """``x+0``, ``x*1``, ``x*0``, ``x-x``, ``x^x``, ``x&x``, ``x|x``, shifts by 0."""
     if node.kind != "binop":
@@ -323,6 +378,7 @@ def rule_algebraic_identity(graph: ValueGraph, node: VNode) -> Optional[int]:
     return None
 
 
+@rule(kinds=("binop",), group="constfold")
 def rule_canonical_shape(graph: ValueGraph, node: VNode) -> Optional[int]:
     """LLVM's preferred shapes: ``a+a → a<<1``, ``mul a,2^k → shl a,k``, ``add x,-k → sub x,k``."""
     if node.kind != "binop":
@@ -351,6 +407,7 @@ def rule_canonical_shape(graph: ValueGraph, node: VNode) -> Optional[int]:
     return None
 
 
+@rule(kinds=("icmp",), group="constfold")
 def rule_icmp_constant_right(graph: ValueGraph, node: VNode) -> Optional[int]:
     """``gt 10 a ↓ lt a 10`` — move the constant to the right of comparisons."""
     if node.kind != "icmp":
@@ -383,6 +440,7 @@ def _infer_type(graph: ValueGraph, node_id: int) -> str:
 # loadstore group — memory rules (10)–(11)
 # ---------------------------------------------------------------------------
 
+@rule(kinds=("load",), group="loadstore")
 def rule_load_over_store(graph: ValueGraph, node: VNode) -> Optional[int]:
     """``load(p, store(x,q,m)) ↓ load(p,m)`` (no alias) and ``↓ x`` (must alias)."""
     if node.kind != "load":
@@ -403,6 +461,7 @@ def rule_load_over_store(graph: ValueGraph, node: VNode) -> Optional[int]:
     return None
 
 
+@rule(kinds=("store",), group="loadstore")
 def rule_store_overwrite(graph: ValueGraph, node: VNode) -> Optional[int]:
     """``store(x, p, store(y, p, m)) ↓ store(x, p, m)`` — the earlier store dies."""
     if node.kind != "store":
@@ -468,6 +527,7 @@ def _memory_cycle_clobbers(graph: ValueGraph, mu_id: int, pointer: int,
     return False
 
 
+@rule(kinds=("load",), group="loadstore")
 def rule_load_over_mu(graph: ValueGraph, node: VNode) -> Optional[int]:
     """``load(p, μ(m, it)) ↓ load(p, m)`` when no write in the loop may alias ``p``.
 
@@ -487,6 +547,7 @@ def rule_load_over_mu(graph: ValueGraph, node: VNode) -> Optional[int]:
     return graph.make("load", None, [pointer, graph.resolve(memory_node.args[0])])
 
 
+@rule(kinds=("load",), group="loadstore")
 def rule_load_over_eta(graph: ValueGraph, node: VNode) -> Optional[int]:
     """``load(p, η(c, m)) ↓ η(c, load(p, m))`` — read the exit-iteration memory.
 
@@ -504,6 +565,7 @@ def rule_load_over_eta(graph: ValueGraph, node: VNode) -> Optional[int]:
     return graph.make("eta", None, [graph.resolve(memory_node.args[0]), inner])
 
 
+@rule(kinds=("store",), group="loadstore")
 def rule_store_same_value(graph: ValueGraph, node: VNode) -> Optional[int]:
     """``store(load(p, m), p, m) ↓ m`` — storing back what is already there."""
     if node.kind != "store":
@@ -525,6 +587,7 @@ def rule_store_same_value(graph: ValueGraph, node: VNode) -> Optional[int]:
 # eta group — loop rules (7)–(9)
 # ---------------------------------------------------------------------------
 
+@rule(kinds=("eta",), group="eta")
 def rule_eta_never_executes(graph: ValueGraph, node: VNode) -> Optional[int]:
     """``η(false, μ(x, y)) ↓ x`` — the loop never runs (rule 7)."""
     if node.kind != "eta":
@@ -536,6 +599,7 @@ def rule_eta_never_executes(graph: ValueGraph, node: VNode) -> Optional[int]:
     return None
 
 
+@rule(kinds=("eta",), group="eta")
 def rule_eta_invariant_mu(graph: ValueGraph, node: VNode) -> Optional[int]:
     """``η(c, μ(x, x)) ↓ x`` and ``η(c, y ↦ μ(x, y)) ↓ x`` (rules 8 and 9)."""
     if node.kind != "eta":
@@ -550,6 +614,7 @@ def rule_eta_invariant_mu(graph: ValueGraph, node: VNode) -> Optional[int]:
     return None
 
 
+@rule(kinds=("mu",), group="eta")
 def rule_mu_invariant(graph: ValueGraph, node: VNode) -> Optional[int]:
     """``μ(x, x) ↓ x`` and ``μ(x, self) ↓ x`` — a loop variable that never varies."""
     if node.kind != "mu" or len(node.args) != 2:
@@ -560,6 +625,7 @@ def rule_mu_invariant(graph: ValueGraph, node: VNode) -> Optional[int]:
     return None
 
 
+@rule(kinds=("eta",), group="eta")
 def rule_eta_invariant_value(graph: ValueGraph, node: VNode) -> Optional[int]:
     """``η(c, v) ↓ v`` when ``v`` does not depend on any μ (loop-invariant)."""
     if node.kind != "eta":
@@ -577,6 +643,7 @@ def rule_eta_invariant_value(graph: ValueGraph, node: VNode) -> Optional[int]:
 _ETA_DISTRIBUTE_KINDS = frozenset({"binop", "icmp", "cast", "gep", "not"})
 
 
+@rule(kinds=("eta",), group="commuting")
 def rule_eta_distribute(graph: ValueGraph, node: VNode) -> Optional[int]:
     """Push η through pure operators: ``η(c, f(a, b)) ↓ f(η(c,a), η(c,b))``.
 
@@ -599,6 +666,7 @@ def rule_eta_distribute(graph: ValueGraph, node: VNode) -> Optional[int]:
     return graph.make(value.kind, value.data, new_args)
 
 
+@rule(kinds=("store",), group="commuting")
 def rule_store_commute(graph: ValueGraph, node: VNode) -> Optional[int]:
     """Order independent adjacent stores canonically.
 
@@ -633,44 +701,16 @@ def rule_store_commute(graph: ValueGraph, node: VNode) -> Optional[int]:
 # groups
 # ---------------------------------------------------------------------------
 
-#: Rule groups in the order used by the paper's ablations.
-RULE_GROUPS: Dict[str, List[Rule]] = {
-    "boolean": [
-        rule_cmp_identical,
-        rule_cmp_with_bool_literal,
-        rule_not_not,
-        rule_bool_connectives,
-    ],
-    "phi": [
-        rule_phi_simplify,
-        rule_phi_merge_same_value,
-    ],
-    "constfold": [
-        rule_fold_binop,
-        rule_fold_icmp,
-        rule_fold_cast,
-        rule_algebraic_identity,
-        rule_canonical_shape,
-        rule_icmp_constant_right,
-    ],
-    "loadstore": [
-        rule_load_over_store,
-        rule_store_overwrite,
-        rule_store_same_value,
-        rule_load_over_mu,
-        rule_load_over_eta,
-    ],
-    "eta": [
-        rule_eta_never_executes,
-        rule_eta_invariant_mu,
-        rule_mu_invariant,
-        rule_eta_invariant_value,
-    ],
-    "commuting": [
-        rule_eta_distribute,
-        rule_store_commute,
-    ],
-}
+def _groups_from_registry() -> Dict[str, List[Rule]]:
+    groups: Dict[str, List[Rule]] = {}
+    for registered in RULE_REGISTRY:
+        groups.setdefault(registered.group, []).append(registered)
+    return groups
+
+
+#: Rule groups in the order used by the paper's ablations, derived from
+#: the :func:`rule` decorator registry (definition order within a group).
+RULE_GROUPS: Dict[str, List[Rule]] = _groups_from_registry()
 
 #: Every group name, in presentation order.
 ALL_RULE_GROUPS: Tuple[str, ...] = tuple(RULE_GROUPS)
@@ -686,4 +726,21 @@ def rules_for(groups) -> List[Rule]:
     return selected
 
 
-__all__ = ["Rule", "RULE_GROUPS", "ALL_RULE_GROUPS", "rules_for"]
+def build_rule_index(groups) -> Dict[str, Tuple[Rule, ...]]:
+    """A kind → rules dispatch index for an iterable of group names.
+
+    The index maps each node kind to the rules (from the enabled groups)
+    whose declared ``kinds`` include it, preserving the order
+    :func:`rules_for` would try them in — so dispatching through the index
+    applies exactly the same rule, just without invoking every rule whose
+    kind guard would reject the node.
+    """
+    index: Dict[str, List[Rule]] = {}
+    for selected in rules_for(groups):
+        for kind in selected.kinds:
+            index.setdefault(kind, []).append(selected)
+    return {kind: tuple(rules) for kind, rules in index.items()}
+
+
+__all__ = ["Rule", "RULE_GROUPS", "ALL_RULE_GROUPS", "RULE_REGISTRY",
+           "rule", "rules_for", "build_rule_index"]

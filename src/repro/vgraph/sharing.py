@@ -56,7 +56,8 @@ def unify(graph: ValueGraph, a: int, b: int,
 
 
 def merge_cycles(graph: ValueGraph, roots: Optional[List[int]] = None,
-                 max_pairs: int = 4000) -> int:
+                 max_pairs: int = 4000,
+                 candidates: Optional[Set[int]] = None) -> int:
     """Merge equivalent μ-cycles.  Returns the number of nodes redirected.
 
     The procedure repeatedly picks two distinct μ-nodes with the same
@@ -64,9 +65,23 @@ def merge_cycles(graph: ValueGraph, roots: Optional[List[int]] = None,
     redirects one cycle onto the other.  ``max_pairs`` bounds the number
     of attempted unifications per call so pathological graphs cannot make
     validation quadratic-explosive.
+
+    ``candidates``, when given, restricts the *initial* pair selection to
+    pairs containing at least one candidate node — the incremental
+    engine passes its dirty set here, since a unification that failed
+    before can only succeed once something inside one of the cycles has
+    changed.  As soon as a round merges anything the restriction is
+    lifted, because merges reshape the graph around every μ.
     """
     merged = 0
     for _ in range(8):
+        if candidates is not None:
+            # A pair is only attempted when one side is a candidate, so
+            # without any candidate μ there is nothing to do — checked
+            # before the (linear) reachability walk below.
+            candidates = {graph.resolve(c) for c in candidates}
+            if not any(graph.node(c).kind == "mu" for c in candidates):
+                return merged
         if roots is not None:
             reachable = graph.reachable(roots)
             mus = [graph.node(n) for n in reachable if graph.node(n).kind == "mu"]
@@ -89,6 +104,8 @@ def merge_cycles(graph: ValueGraph, roots: Optional[List[int]] = None,
                     a, b = graph.resolve(group[i].id), graph.resolve(group[j].id)
                     if a == b:
                         continue
+                    if candidates is not None and a not in candidates and b not in candidates:
+                        continue
                     attempts += 1
                     mapping = unify(graph, a, b)
                     if mapping is None:
@@ -99,6 +116,7 @@ def merge_cycles(graph: ValueGraph, roots: Optional[List[int]] = None,
         if round_merged == 0:
             return merged
         merged += round_merged
+        candidates = None
         graph.maximize_sharing()
     return merged
 
