@@ -1,0 +1,71 @@
+"""Extension experiment — stepwise pipeline validation vs the paper's whole query.
+
+The paper validates each function once against the output of the *whole*
+pipeline (§2), so a rejection discards every optimization and cannot name
+the offending pass.  This benchmark times the three driver strategies
+(whole / stepwise / bisect) across a corpus subset and records their
+verdicts, kept-prefix salvage, blame histograms and the shared analysis
+cache's computed/reused counters into a JSON artifact
+(``benchmarks/artifacts/stepwise_comparison.json`` by default; override
+the directory with ``REPRO_BENCH_ARTIFACT_DIR``).
+
+The assertions mirror the CI strategy-regression guard
+(``benchmarks/stepwise_guard.py``): stepwise must accept a superset of
+whole's functions and the analysis cache must actually remove recomputation.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.bench import format_table, stepwise_comparison
+
+#: Benchmarks measured by this file (a light subset spanning the corpus
+#: personalities; the guard script covers all twelve at tiny scale).
+STEPWISE_BENCHMARKS = ["sqlite", "bzip2", "hmmer", "mcf"]
+
+
+def _artifact_path() -> pathlib.Path:
+    directory = os.environ.get("REPRO_BENCH_ARTIFACT_DIR")
+    if directory:
+        base = pathlib.Path(directory)
+    else:
+        base = pathlib.Path(__file__).resolve().parent / "artifacts"
+    base.mkdir(parents=True, exist_ok=True)
+    return base / "stepwise_comparison.json"
+
+
+def write_artifact(scale: float, rows) -> pathlib.Path:
+    """Persist the run's stats so future PRs can diff the strategy trajectory."""
+    path = _artifact_path()
+    payload = {
+        "schema": 1,
+        "scale": scale,
+        "benchmarks": STEPWISE_BENCHMARKS,
+        "rows": rows,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_stepwise_strategy_comparison(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        stepwise_comparison,
+        kwargs={"scale": bench_scale, "benchmarks": STEPWISE_BENCHMARKS},
+        iterations=1, rounds=1,
+    )
+    artifact = write_artifact(bench_scale, rows)
+    columns = ("benchmark", "transformed", "whole_validated", "stepwise_validated",
+               "bisect_validated", "stepwise_partial", "stepwise_prefix_steps",
+               "whole_time_s", "stepwise_time_s", "bisect_time_s",
+               "analyses_computed", "analyses_reused")
+    print()
+    print(format_table([{k: row[k] for k in columns} for row in rows],
+                       title=f"Validation strategies (corpus scale {bench_scale})"))
+    print(f"stats artifact: {artifact}")
+    for row in rows:
+        assert row["superset_ok"], row["superset_violations"]
+        # Interior checkpoints are analysed once and consumed twice, so a
+        # corpus with any multi-step function must show analysis reuse.
+        if row["multi_step_functions"]:
+            assert row["analyses_reused"] > 0, row

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Strategy-regression guard: stepwise must accept everything whole accepts.
+
+Runs the :func:`repro.bench.stepwise_comparison` experiment over all
+twelve corpora (at a small scale by default, so CI stays fast), writes the
+full per-benchmark comparison to a JSON artifact, and exits non-zero if
+any corpus function validated under ``strategy="whole"`` but not under
+``strategy="stepwise"`` — the whole-query fallback inside the stepwise
+strategy makes that impossible by construction, so a violation means the
+strategy plumbing regressed.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/stepwise_guard.py [--scale 0.2] [--out FILE]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.bench import format_table, stepwise_comparison
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="corpus scale (default 0.2: tiny, CI-friendly)")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path("benchmarks/artifacts/stepwise_comparison.json"),
+                        help="where to write the JSON artifact")
+    args = parser.parse_args()
+
+    rows = stepwise_comparison(scale=args.scale)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"schema": 1, "scale": args.scale, "rows": rows}
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    table_columns = ("benchmark", "transformed", "whole_validated", "stepwise_validated",
+                     "bisect_validated", "superset_ok", "stepwise_partial",
+                     "stepwise_prefix_steps", "analyses_computed", "analyses_reused")
+    print(format_table([{k: row[k] for k in table_columns} for row in rows],
+                       title=f"Stepwise vs whole vs bisect (scale {args.scale})"))
+    print(f"artifact: {args.out}")
+
+    failures = []
+    for row in rows:
+        if not row["superset_ok"]:
+            failures.append(
+                f"{row['benchmark']}: validated under whole but not stepwise: "
+                f"{', '.join(row['superset_violations'])}"
+            )
+        # Reuse is only guaranteed when some function has >= 2 changed
+        # steps (interior checkpoints are consumed twice); single-step
+        # corpora can legitimately show zero reuse.
+        if row["analyses_reused"] == 0 and row["multi_step_functions"]:
+            failures.append(
+                f"{row['benchmark']}: analysis cache saw no reuse in stepwise mode"
+            )
+    if failures:
+        print("\nSTRATEGY REGRESSION:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nstrategy guard OK: stepwise accepted a superset of whole on every corpus")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

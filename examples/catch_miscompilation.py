@@ -10,8 +10,11 @@ store, alias-blind load forwarding, ...), and shows that:
   code path is actually reached), and
 * the validator rejects every miscompiled function — without running it.
 
-It then runs the *correct* pipeline for comparison, where most functions
-validate.
+It then hides each injector *inside* an otherwise-correct pipeline and
+uses the ``bisect`` and ``stepwise`` validation strategies to attribute
+the rejection to the guilty pass — the validator as a miscompilation
+*debugger*, not just a gatekeeper.  Finally it runs the correct pipeline
+for comparison, where most functions validate.
 
 Run with::
 
@@ -63,6 +66,25 @@ def main() -> None:
     print(f"\nvalidator rejected {caught} of {caught + missed} injected mutations")
     print("(accepted mutations hit dead or unobservable code: the interpreter finds no"
           " behavioural difference for them either — see interpreter_diff above)\n")
+
+    print("=== pass-level blame: which pass miscompiled? ===")
+    for bug_pass in ALL_BUGGY_PASSES[:3]:
+        pipeline = ("adce", "gvn", bug_pass, "dse")
+        correct = wrong = 0
+        for function in functions:
+            for strategy in ("bisect", "stepwise"):
+                _, record = validate_function_pipeline(
+                    function, pipeline, strategy=strategy)
+                if not record.transformed_by.get(bug_pass) or record.validated:
+                    continue  # injector idle here, or the breakage is unobservable
+                if record.blamed_pass == bug_pass:
+                    correct += 1
+                else:
+                    wrong += 1
+        verdict = f"{correct}/{correct + wrong} rejections blamed on it" if correct + wrong \
+            else "never fired observably"
+        print(f"{bug_pass:24s} hidden in adce|gvn|·|dse: {verdict}")
+    print()
 
     print("=== correct pipeline, for comparison ===")
     validated = transformed = 0

@@ -11,11 +11,21 @@ from .cfg import (
 )
 from .dominators import DominatorTree, PostDominatorTree
 from .loops import Loop, LoopInfo
+from .manager import (
+    AnalysisManager,
+    FunctionAnalyses,
+    compute_function_analyses,
+    function_fingerprint,
+)
 from .usedef import UseDefInfo, has_users, users_of
 
 __all__ = [
     "AliasAnalysis",
     "AliasResult",
+    "AnalysisManager",
+    "FunctionAnalyses",
+    "compute_function_analyses",
+    "function_fingerprint",
     "DominatorTree",
     "PostDominatorTree",
     "Loop",

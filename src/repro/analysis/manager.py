@@ -1,0 +1,139 @@
+"""Memoized per-function analyses shared across validation queries.
+
+Building a value graph needs five analyses over the IR function —
+predecessors, dominators, natural loops, gate formulas and memory-effect
+summaries — none of which depend on the :class:`~repro.vgraph.graph.ValueGraph`
+being built.  The stepwise validation pipeline builds every *interior*
+function version twice (the "after" of step *i* is the "before" of step
+*i+1*) and the bisecting strategy rebuilds the original version once per
+probe, so recomputing the analyses for every build is pure waste.
+
+:class:`AnalysisManager` memoizes one :class:`FunctionAnalyses` bundle per
+function version.  Entries are keyed by the function's *fingerprint* (a
+content hash of its printed IR) together with the object's identity: the
+identity makes lookups for the common same-object case unambiguous, and
+the fingerprint both invalidates the entry if a pass mutated the function
+in place since it was cached and keeps a stale entry from being served to
+a recycled ``id()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+from ..errors import IrreducibleCFGError, ValidationInternalError
+from ..ir.module import Function
+from ..ir.printer import print_function
+
+
+def function_fingerprint(function: Function) -> str:
+    """A content hash of a function's printed IR (stable across clones)."""
+    return hashlib.sha256(print_function(function).encode("utf-8")).hexdigest()
+
+
+class FunctionAnalyses:
+    """The analysis bundle one value-graph build consumes."""
+
+    __slots__ = ("function", "fingerprint", "preds", "dom", "loops", "gates",
+                 "memory_effects")
+
+    def __init__(self, function: Function, fingerprint: str, preds, dom, loops,
+                 gates, memory_effects):
+        self.function = function
+        self.fingerprint = fingerprint
+        self.preds = preds
+        self.dom = dom
+        self.loops = loops
+        self.gates = gates
+        self.memory_effects = memory_effects
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FunctionAnalyses @{self.function.name} {self.fingerprint[:12]}>"
+
+
+def compute_function_analyses(function: Function,
+                              fingerprint: Optional[str] = None) -> FunctionAnalyses:
+    """Compute the full analysis bundle for one function (no caching).
+
+    Performs the same front-end checks as graph construction: declarations
+    have nothing to analyse and irreducible control flow is rejected
+    (§5.1), so a cached bundle always describes an analysable function.
+    """
+    # Imported lazily: ``repro.gated`` itself imports ``repro.analysis``
+    # submodules, so a module-level import here would turn a direct
+    # ``import repro.gated`` into a circular-import error.
+    from ..gated.gates import GateAnalysis
+    from ..gated.monadic import MemoryEffects
+    from .cfg import is_reducible, predecessor_map
+    from .dominators import DominatorTree
+    from .loops import LoopInfo
+
+    if function.is_declaration:
+        raise ValidationInternalError(f"@{function.name} has no body to analyse")
+    if not is_reducible(function):
+        raise IrreducibleCFGError(f"@{function.name} has an irreducible CFG")
+
+    dom = DominatorTree.compute(function)
+    return FunctionAnalyses(
+        function,
+        fingerprint if fingerprint is not None else function_fingerprint(function),
+        preds=predecessor_map(function),
+        dom=dom,
+        loops=LoopInfo.compute(function, dom),
+        gates=GateAnalysis(function, dom),
+        memory_effects=MemoryEffects(function),
+    )
+
+
+class AnalysisManager:
+    """Memoizes :class:`FunctionAnalyses` across validation queries.
+
+    One manager is meant to live for (at least) one multi-version
+    validation job — a stepwise pipeline walk, a bisection, a whole-module
+    run — so every distinct function version pays for its analyses once no
+    matter how many graph builds consume them.  The ``computed``/``reused``
+    counters are the evidence: reports surface them and the stepwise tests
+    assert that interior versions are analysed once and reused.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[int, str], FunctionAnalyses] = {}
+        #: Number of analysis bundles actually computed (cache misses).
+        self.computed = 0
+        #: Number of lookups answered from the cache.
+        self.reused = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def analyses_for(self, function: Function) -> FunctionAnalyses:
+        """The (memoized) analysis bundle for ``function``."""
+        fingerprint = function_fingerprint(function)
+        key = (id(function), fingerprint)
+        bundle = self._cache.get(key)
+        if bundle is not None:
+            self.reused += 1
+            return bundle
+        bundle = compute_function_analyses(function, fingerprint)
+        self.computed += 1
+        # The bundle holds a strong reference to ``function``, so the id()
+        # in the key cannot be recycled while the entry is alive.
+        self._cache[key] = bundle
+        return bundle
+
+    def stats(self) -> Dict[str, int]:
+        """Computed/reused/size counters as a plain dict (for reports)."""
+        return {
+            "analyses_computed": self.computed,
+            "analyses_reused": self.reused,
+            "analyses_cached": len(self._cache),
+        }
+
+
+__all__ = [
+    "AnalysisManager",
+    "FunctionAnalyses",
+    "compute_function_analyses",
+    "function_fingerprint",
+]

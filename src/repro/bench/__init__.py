@@ -17,6 +17,7 @@ from .experiments import (
     figure7,
     figure8,
     matching_ablation,
+    stepwise_comparison,
     table1,
     validation_timing,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "figure8",
     "validation_timing",
     "engine_comparison",
+    "stepwise_comparison",
     "matching_ablation",
     "ALL_BENCHMARKS",
     "format_table",

@@ -16,6 +16,8 @@ Figure 7     :func:`figure7` — LICM rewrite-rule ablation
 Figure 8     :func:`figure8` — SCCP rewrite-rule ablation
 §5.1 timing  :func:`validation_timing` — validation wall-clock per benchmark
 §5.4         :func:`matching_ablation` — simple vs partition vs combined matcher
+(extension)  :func:`engine_comparison` — worklist vs full-scan normalization
+(extension)  :func:`stepwise_comparison` — whole vs stepwise vs bisect strategies
 ===========  ==================================================================
 """
 
@@ -23,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..analysis.manager import AnalysisManager
 from ..ir.cloning import clone_function
 from ..ir.module import Module
 from ..ir.printer import print_module
@@ -34,7 +37,7 @@ from ..validator.config import (
     SCCP_ABLATION_STEPS,
     ValidatorConfig,
 )
-from ..validator.driver import llvm_md
+from ..validator.driver import STRATEGIES, llvm_md, validate_function_pipeline
 from ..validator.validate import validate
 from .corpus import PAPER_BENCHMARKS, BENCHMARKS_BY_NAME, BenchmarkSpec, build_corpus
 
@@ -320,6 +323,98 @@ def engine_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = 
     return rows
 
 
+def stepwise_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = None,
+                        passes: Sequence[str] = PAPER_PIPELINE,
+                        config: Optional[ValidatorConfig] = None) -> List[Dict[str, object]]:
+    """Whole vs stepwise vs bisect validation strategies, per benchmark.
+
+    For every corpus, runs :func:`~repro.validator.driver.validate_function_pipeline`
+    on each function under all three strategies and records:
+
+    * per-strategy verdict counts, wall time and rule invocations;
+    * ``superset_ok`` / ``superset_violations`` — stepwise must accept
+      every function whole accepts (the strategy-regression guard the CI
+      workflow enforces);
+    * kept-prefix statistics — how much optimization work stepwise
+      salvaged from functions whole validation would have rolled back;
+    * the blame histogram bisect produced;
+    * the :class:`~repro.analysis.manager.AnalysisManager` counters,
+      showing how much per-version analysis recomputation the shared
+      cache removed.
+    """
+    config = config or DEFAULT_CONFIG
+    rows: List[Dict[str, object]] = []
+    for spec in _selected_specs(benchmarks):
+        module = build_corpus(spec, scale)
+        functions = module.defined_functions()
+        accepted: Dict[str, set] = {}
+        per_strategy: Dict[str, Dict[str, object]] = {}
+        for strategy in STRATEGIES:
+            manager = AnalysisManager()
+            validated: set = set()
+            partial = prefix_steps = invocations = 0
+            elapsed = 0.0
+            blame: Dict[str, int] = {}
+            transformed = multi_step = 0
+            for function in functions:
+                _, record = validate_function_pipeline(
+                    function, passes, config, strategy=strategy, manager=manager)
+                if not record.transformed:
+                    continue
+                transformed += 1
+                if record.changed_steps >= 2:
+                    multi_step += 1
+                invocations += int(record.result.stats.get("rule_invocations", 0))
+                elapsed += record.result.elapsed
+                if record.validated:
+                    validated.add(record.name)
+                elif record.kept_prefix:
+                    partial += 1
+                    prefix_steps += record.kept_prefix
+                if record.blamed_pass is not None:
+                    blame[record.blamed_pass] = blame.get(record.blamed_pass, 0) + 1
+            accepted[strategy] = validated
+            per_strategy[strategy] = {
+                "validated": len(validated),
+                "transformed": transformed,
+                "multi_step": multi_step,
+                "partial": partial,
+                "prefix_steps": prefix_steps,
+                "time_s": round(elapsed, 3),
+                "rule_invocations": invocations,
+                "analysis": manager.stats(),
+                "blame": blame,
+            }
+        violations = sorted(accepted["whole"] - accepted["stepwise"])
+        stepwise_analysis = per_strategy["stepwise"]["analysis"]
+        rows.append({
+            "benchmark": spec.name,
+            # Which functions transform (and by how many steps) is a
+            # property of the deterministic pipeline, not the strategy.
+            "transformed": per_strategy["stepwise"]["transformed"],
+            # Functions changed by >= 2 passes: only these guarantee
+            # analysis reuse (interior checkpoints consumed twice).
+            "multi_step_functions": per_strategy["stepwise"]["multi_step"],
+            "whole_validated": per_strategy["whole"]["validated"],
+            "stepwise_validated": per_strategy["stepwise"]["validated"],
+            "bisect_validated": per_strategy["bisect"]["validated"],
+            "superset_ok": not violations,
+            "superset_violations": violations,
+            "stepwise_partial": per_strategy["stepwise"]["partial"],
+            "stepwise_prefix_steps": per_strategy["stepwise"]["prefix_steps"],
+            "whole_time_s": per_strategy["whole"]["time_s"],
+            "stepwise_time_s": per_strategy["stepwise"]["time_s"],
+            "bisect_time_s": per_strategy["bisect"]["time_s"],
+            "whole_invocations": per_strategy["whole"]["rule_invocations"],
+            "stepwise_invocations": per_strategy["stepwise"]["rule_invocations"],
+            "bisect_invocations": per_strategy["bisect"]["rule_invocations"],
+            "analyses_computed": stepwise_analysis["analyses_computed"],
+            "analyses_reused": stepwise_analysis["analyses_reused"],
+            "blame": per_strategy["bisect"]["blame"],
+        })
+    return rows
+
+
 def matching_ablation(scale: float = 0.5, benchmarks: Optional[Sequence[str]] = None,
                       passes: Sequence[str] = PAPER_PIPELINE) -> Dict[str, Dict[str, float]]:
     """Compare the cycle-matching strategies of §5.4.
@@ -348,5 +443,6 @@ __all__ = [
     "figure8",
     "validation_timing",
     "engine_comparison",
+    "stepwise_comparison",
     "matching_ablation",
 ]

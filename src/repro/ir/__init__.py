@@ -8,7 +8,7 @@ optimizer.
 """
 
 from .builder import IRBuilder, create_function, declare_function
-from .cloning import clone_function, clone_module
+from .cloning import clone_function, clone_global, clone_module
 from .instructions import (
     Alloca,
     BinaryOperator,
@@ -85,7 +85,7 @@ __all__ = [
     "BasicBlock", "Function", "Module",
     # tools
     "IRBuilder", "create_function", "declare_function",
-    "clone_function", "clone_module",
+    "clone_function", "clone_global", "clone_module",
     "parse_module", "parse_function",
     "print_module", "print_function", "print_instruction",
     "verify_module", "verify_function",

@@ -27,7 +27,7 @@ from .instructions import (
     Unreachable,
 )
 from .module import BasicBlock, Function, Module
-from .values import Value
+from .values import GlobalVariable, Value
 
 
 def clone_instruction(inst: Instruction, value_map: Dict[Value, Value]) -> Instruction:
@@ -75,11 +75,32 @@ def clone_instruction(inst: Instruction, value_map: Dict[Value, Value]) -> Instr
     return new
 
 
-def clone_function(function: Function, new_name: Optional[str] = None) -> Function:
+def clone_global(global_var: GlobalVariable) -> GlobalVariable:
+    """Return a copy of a module-level global variable.
+
+    The initializer constant is shared (constants are treated as
+    immutable); the :class:`GlobalVariable` object itself — whose
+    ``initializer``/``is_constant`` fields are mutable — is fresh, so a
+    module holding the clone shares no mutable structure with the module
+    holding the original.
+    """
+    return GlobalVariable(
+        global_var.name,
+        global_var.value_type,
+        global_var.initializer,
+        global_var.is_constant,
+    )
+
+
+def clone_function(function: Function, new_name: Optional[str] = None,
+                   value_map: Optional[Dict[Value, Value]] = None) -> Function:
     """Return a deep copy of ``function``.
 
     Constants and module-level values (globals, declared functions) are
-    shared; arguments, blocks and instructions are fresh objects.
+    shared; arguments, blocks and instructions are fresh objects.  A
+    ``value_map`` seed remaps additional operands during cloning — the
+    driver passes ``{old global: cloned global}`` so a cloned function
+    references its own module's globals instead of the input module's.
     """
     clone = Function(
         new_name or function.name,
@@ -87,7 +108,7 @@ def clone_function(function: Function, new_name: Optional[str] = None) -> Functi
         [a.name for a in function.args],
         function.attributes,
     )
-    value_map: Dict[Value, Value] = {}
+    value_map = dict(value_map) if value_map else {}
     for old_arg, new_arg in zip(function.args, clone.args):
         value_map[old_arg] = new_arg
 
@@ -121,17 +142,32 @@ def clone_function(function: Function, new_name: Optional[str] = None) -> Functi
     return clone
 
 
-def clone_module(module: Module) -> Module:
-    """Return a deep copy of a module (globals shared, functions cloned)."""
-    new_module = Module(module.name)
+def clone_globals_into(module: Module, new_module: Module) -> Dict[Value, Value]:
+    """Clone every global of ``module`` into ``new_module``.
+
+    Returns the ``{original: clone}`` map callers pass to
+    :func:`clone_function` (or use to remap already-cloned bodies) so the
+    new module's functions reference its own globals, never the input's.
+    """
+    global_map: Dict[Value, Value] = {}
     for global_var in module.globals.values():
-        new_module.add_global(global_var)
+        cloned = clone_global(global_var)
+        global_map[global_var] = cloned
+        new_module.add_global(cloned)
+    return global_map
+
+
+def clone_module(module: Module) -> Module:
+    """Return a deep copy of a module (globals and functions cloned)."""
+    new_module = Module(module.name)
+    global_map = clone_globals_into(module, new_module)
     for function in module.functions.values():
         if function.is_declaration:
             new_module.add_function(function)
         else:
-            new_module.add_function(clone_function(function))
+            new_module.add_function(clone_function(function, value_map=global_map))
     return new_module
 
 
-__all__ = ["clone_instruction", "clone_function", "clone_module"]
+__all__ = ["clone_instruction", "clone_function", "clone_global",
+           "clone_globals_into", "clone_module"]

@@ -12,6 +12,7 @@ passes used to demonstrate that the validator catches miscompilations.
 from .pass_manager import (
     PAPER_PIPELINE,
     PassManager,
+    PassSnapshot,
     available_passes,
     get_pass,
     optimize,
@@ -34,6 +35,7 @@ from .simplifycfg import simplifycfg
 
 __all__ = [
     "PassManager",
+    "PassSnapshot",
     "PAPER_PIPELINE",
     "register_pass",
     "get_pass",

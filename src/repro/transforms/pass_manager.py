@@ -9,9 +9,11 @@ pipeline (``ADCE, GVN, SCCP, LICM, LD, LU, DSE``).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..errors import TransformError
+from ..ir.cloning import clone_function
 from ..ir.module import Function, Module
 
 #: Signature of a function pass.
@@ -56,26 +58,64 @@ def available_passes() -> List[str]:
 PAPER_PIPELINE = ("adce", "gvn", "sccp", "licm", "loop-deletion", "loop-unswitch", "dse")
 
 
+@dataclass
+class PassSnapshot:
+    """The function's state after one pipeline step.
+
+    ``function`` is an immutable checkpoint: a fresh clone when the pass
+    changed something, otherwise *the same object* as the previous step's
+    checkpoint (so adjacent unchanged steps compare by identity and a
+    shared :class:`~repro.analysis.manager.AnalysisManager` never analyses
+    the identical version twice).
+    """
+
+    #: Bookkeeping step name of the pass this snapshot follows
+    #: (uniquified for repeated passes: ``"gvn"``, ``"gvn#2"``, ...).
+    pass_name: str
+    #: Did the pass change the function?
+    changed: bool
+    #: Checkpoint of the function after the pass ran.
+    function: Function
+
+
 class PassManager:
-    """Runs a sequence of function passes over functions or whole modules."""
+    """Runs a sequence of function passes over functions or whole modules.
+
+    A pipeline may list the same pass several times (real optimizers
+    re-run cleanups).  Bookkeeping — the per-pass changed flags, snapshot
+    names and therefore the validator's per-pass verdicts and blame — is
+    keyed by a *step name* that uniquifies repeats (``"gvn"``, ``"gvn#2"``,
+    ...), so a second occurrence never overwrites the first's flag or,
+    worse, makes a changed function look untransformed.
+    """
 
     def __init__(self, pass_names: Sequence[str] = PAPER_PIPELINE):
         self.pass_names = list(pass_names)
-        self._passes = [(name, get_pass(name)) for name in self.pass_names]
+        self._passes = []
+        seen: Dict[str, int] = {}
+        for name in self.pass_names:
+            seen[name] = seen.get(name, 0) + 1
+            step_name = name if seen[name] == 1 else f"{name}#{seen[name]}"
+            self._passes.append((step_name, get_pass(name)))
+
+    @property
+    def step_names(self) -> List[str]:
+        """The uniquified bookkeeping name of every pipeline step."""
+        return [step_name for step_name, _ in self._passes]
 
     def run_on_function(self, function: Function) -> Dict[str, bool]:
         """Run the pipeline on one function.
 
-        Returns a map from pass name to whether that pass changed the
+        Returns a map from step name to whether that pass changed the
         function; the driver and the per-optimization experiments use it to
         count "transformed" functions the way the paper does (Figure 5
         counts only functions actually transformed by the optimization).
         """
         if function.is_declaration:
-            return {name: False for name in self.pass_names}
+            return {step_name: False for step_name, _ in self._passes}
         changed = {}
-        for name, pass_fn in self._passes:
-            changed[name] = bool(pass_fn(function))
+        for step_name, pass_fn in self._passes:
+            changed[step_name] = bool(pass_fn(function))
         return changed
 
     def run_on_module(self, module: Module) -> Dict[str, Dict[str, bool]]:
@@ -84,6 +124,31 @@ class PassManager:
             function.name: self.run_on_function(function)
             for function in module.defined_functions()
         }
+
+    def run_with_snapshots(self, function: Function) -> List[PassSnapshot]:
+        """Run the pipeline on a working clone, checkpointing every step.
+
+        ``function`` itself is never mutated.  Returns one
+        :class:`PassSnapshot` per pipeline step; the last snapshot's
+        function is the fully optimized version (or ``function`` itself
+        when no pass changed anything).  The checkpoints are what the
+        stepwise and bisecting validation strategies consume: validating
+        adjacent checkpoints shrinks each equivalence problem to one
+        pass's effect, and a rejection names the offending pass instead of
+        discarding the whole pipeline's work.
+        """
+        if function.is_declaration:
+            return [PassSnapshot(step_name, False, function)
+                    for step_name, _ in self._passes]
+        working = clone_function(function)
+        checkpoint = function
+        snapshots = []
+        for step_name, pass_fn in self._passes:
+            changed = bool(pass_fn(working))
+            if changed:
+                checkpoint = clone_function(working)
+            snapshots.append(PassSnapshot(step_name, changed, checkpoint))
+        return snapshots
 
 
 def optimize(function: Function, pass_names: Iterable[str] = PAPER_PIPELINE) -> Function:
@@ -101,6 +166,7 @@ def optimize(function: Function, pass_names: Iterable[str] = PAPER_PIPELINE) -> 
 __all__ = [
     "FunctionPass",
     "PassManager",
+    "PassSnapshot",
     "PAPER_PIPELINE",
     "register_pass",
     "get_pass",

@@ -8,6 +8,7 @@ from .config import (
     ValidatorConfig,
 )
 from .driver import (
+    STRATEGIES,
     ValidationCache,
     function_fingerprint,
     llvm_md,
@@ -26,6 +27,7 @@ __all__ = [
     "GVN_ABLATION_STEPS",
     "SCCP_ABLATION_STEPS",
     "LICM_ABLATION_STEPS",
+    "STRATEGIES",
     "llvm_md",
     "validate_function_pipeline",
     "validate_module_batch",

@@ -12,8 +12,37 @@ This is the paper's §2 pseudo-code::
     }
 
 Our ``opt`` is the pass pipeline from :mod:`repro.transforms`; everything
-else is the same: the validator treats the optimizer as a black box, needs
-no instrumentation, and runs once over the result of the whole pipeline.
+else is the same: the validator treats the optimizer as a black box and
+needs no instrumentation.  On top of the paper's monolithic
+(original, fully-optimized) query, :func:`validate_function_pipeline` now
+offers three *strategies*:
+
+``"whole"``
+    The paper's behavior: one validation of the composed pipeline.  A
+    rejection rolls back every optimization and cannot name the pass at
+    fault.
+``"stepwise"``
+    The pass manager checkpoints the function after every pass and each
+    *adjacent* checkpoint pair is validated — every equivalence problem is
+    only one pass's effect wide.  A rejection blames the failing pass and
+    the longest validated prefix of the pipeline is *kept* instead of
+    discarding all optimization work.  (Pair problems are not always
+    easier than the composition — a later pass can undo an earlier one —
+    so a rejected pair falls back to the whole query first; stepwise
+    accepts a superset of what whole accepts, by construction.)
+``"bisect"``
+    Try the whole query first (no extra cost on the accepting fast path);
+    on rejection, binary-search the checkpoint list with
+    (original, checkpoint) probes to attribute blame to a single pass and
+    keep the longest prefix the probes proved.
+
+All strategies can share one :class:`~repro.analysis.manager.AnalysisManager`
+so per-version analyses (dominators, loops, gates, ...) are computed once
+per checkpoint no matter how many queries consume them — in stepwise mode
+the "after" of step *i* is the "before" of step *i+1*, so every interior
+checkpoint's analyses are built once and reused.  The
+:class:`ValidationCache` keys each adjacent pair by content, exactly as it
+keys whole pairs.
 
 For corpus-scale traffic the module adds a batch layer on top:
 :func:`validate_module_batch` validates many modules through one
@@ -25,26 +54,24 @@ and can fan the actual validation work out to a process pool via
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..ir.cloning import clone_function
+from ..analysis.manager import AnalysisManager, function_fingerprint
+from ..ir.cloning import clone_function, clone_globals_into
 from ..ir.module import Function, Module
-from ..ir.printer import print_function
-from ..transforms.pass_manager import PAPER_PIPELINE, PassManager
+from ..ir.values import Value
+from ..transforms.pass_manager import PAPER_PIPELINE, PassManager, PassSnapshot
 from .config import DEFAULT_CONFIG, ValidatorConfig
 from .report import FunctionRecord, ValidationReport
 from .validate import ValidationResult, validate
 
+#: The validation strategies :func:`validate_function_pipeline` implements.
+STRATEGIES = ("whole", "stepwise", "bisect")
+
 #: Cache key: content hashes of both functions plus everything about the
 #: configuration that can change a verdict.
 CacheKey = Tuple[str, str, Tuple[str, ...], str, str, int, int]
-
-
-def function_fingerprint(function: Function) -> str:
-    """A content hash of a function's printed IR (stable across clones)."""
-    return hashlib.sha256(print_function(function).encode("utf-8")).hexdigest()
 
 
 class ValidationCache:
@@ -56,7 +83,9 @@ class ValidationCache:
     ``build-error`` rejection, so it is part of the key too).  Two
     different functions with identical bodies share an entry, so batch
     validation of a corpus full of near-duplicate traffic only pays for
-    the distinct pairs.
+    the distinct pairs.  Stepwise validation feeds each adjacent
+    checkpoint pair through the same keying, so repeated single-pass
+    effects are also validated once.
     """
 
     def __init__(self) -> None:
@@ -104,47 +133,255 @@ class ValidationCache:
         return {"hits": self.hits, "misses": self.misses, "entries": len(self._results)}
 
 
+def _validate_pair_cached(
+    before: Function,
+    after: Function,
+    config: ValidatorConfig,
+    cache: Optional[ValidationCache],
+    manager: Optional[AnalysisManager],
+) -> Tuple[ValidationResult, bool]:
+    """Validate one pair through the optional cache; returns (result, hit)."""
+    if cache is None:
+        return validate(before, after, config, manager=manager), False
+    key = cache.key(before, after, config)
+    cached = cache.get(key, before.name)
+    if cached is not None:
+        return cached, True
+    result = validate(before, after, config, manager=manager)
+    cache.put(key, result)
+    return result, False
+
+
+def _merge_stats(results: Sequence[ValidationResult]) -> Dict[str, int]:
+    """Sum the integer normalization counters of several results."""
+    totals: Dict[str, int] = {}
+    for result in results:
+        for key, value in result.stats.items():
+            totals[key] = totals.get(key, 0) + int(value)
+    return totals
+
+
+def _run_whole(
+    function: Function,
+    optimized: Function,
+    config: ValidatorConfig,
+    cache: Optional[ValidationCache],
+    manager: Optional[AnalysisManager],
+    record: FunctionRecord,
+) -> Function:
+    """The paper's strategy: one query over the composed pipeline."""
+    record.result, record.from_cache = _validate_pair_cached(
+        function, optimized, config, cache, manager)
+    if record.result.is_success:
+        record.kept_prefix = record.changed_steps
+        return optimized
+    return function
+
+
+def _run_stepwise(
+    function: Function,
+    versions: List[Function],
+    steps: List[PassSnapshot],
+    config: ValidatorConfig,
+    cache: Optional[ValidationCache],
+    manager: AnalysisManager,
+    record: FunctionRecord,
+) -> Function:
+    """Validate adjacent checkpoint pairs; keep the longest proved prefix."""
+    results: List[ValidationResult] = []
+    hits: List[bool] = []
+    failed_index: Optional[int] = None
+    for index, step in enumerate(steps):
+        result, hit = _validate_pair_cached(
+            versions[index], versions[index + 1], config, cache, manager)
+        record.pass_verdicts[step.pass_name] = result
+        results.append(result)
+        hits.append(hit)
+        if not result.is_success:
+            failed_index = index
+            break
+
+    elapsed = sum(result.elapsed for result in results)
+    if failed_index is None:
+        record.kept_prefix = len(steps)
+        record.from_cache = all(hits)
+        record.result = ValidationResult(
+            function.name, True, "stepwise-equal", elapsed=elapsed,
+            graph_nodes=max(result.graph_nodes for result in results),
+            stats=_merge_stats(results),
+        )
+        return versions[-1]
+
+    # A checkpoint pair was rejected.  That does not prove the composition
+    # invalid (pass i+1 may undo pass i, making the pair *harder* than the
+    # whole), so try the whole query before settling for the prefix —
+    # this is what makes stepwise accept a superset of whole.
+    whole_result, whole_hit = _validate_pair_cached(
+        versions[0], versions[-1], config, cache, manager)
+    if whole_result.is_success:
+        record.whole_fallback = True
+        record.kept_prefix = len(steps)
+        record.from_cache = whole_hit
+        record.result = replace(whole_result, elapsed=elapsed + whole_result.elapsed)
+        return versions[-1]
+
+    failing = results[failed_index]
+    record.blamed_pass = steps[failed_index].pass_name
+    record.kept_prefix = failed_index
+    record.from_cache = all(hits) and whole_hit
+    record.result = ValidationResult(
+        function.name, False, failing.reason,
+        elapsed=elapsed + whole_result.elapsed,
+        graph_nodes=failing.graph_nodes,
+        stats=_merge_stats(results + [whole_result]),
+        detail=(f"pass '{record.blamed_pass}' "
+                f"(changed step {failed_index + 1}/{len(steps)}) rejected; "
+                f"kept the {failed_index}-step validated prefix\n{failing.detail}"),
+    )
+    return versions[failed_index]
+
+
+def _run_bisect(
+    function: Function,
+    versions: List[Function],
+    steps: List[PassSnapshot],
+    config: ValidatorConfig,
+    cache: Optional[ValidationCache],
+    manager: AnalysisManager,
+    record: FunctionRecord,
+) -> Function:
+    """Whole query first; on rejection, bisect the checkpoints for blame."""
+    whole_result, whole_hit = _validate_pair_cached(
+        versions[0], versions[-1], config, cache, manager)
+    record.from_cache = whole_hit
+    record.pass_verdicts[steps[-1].pass_name] = whole_result
+    if whole_result.is_success:
+        record.kept_prefix = len(steps)
+        record.result = whole_result
+        return versions[-1]
+
+    # versions[0] vs itself trivially validates, versions[-1] was just
+    # rejected: binary-search for the first checkpoint whose composed
+    # effect no longer validates against the original and blame the pass
+    # that produced it.  (Like any bisection this assumes prefix verdicts
+    # are monotone — true for a persistent miscompilation.)
+    probes: List[ValidationResult] = [whole_result]
+    lo, hi = 0, len(steps)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        result, _ = _validate_pair_cached(
+            versions[0], versions[mid], config, cache, manager)
+        probes.append(result)
+        record.pass_verdicts[steps[mid - 1].pass_name] = result
+        if result.is_success:
+            lo = mid
+        else:
+            hi = mid
+
+    record.blamed_pass = steps[hi - 1].pass_name
+    record.kept_prefix = lo
+    record.result = ValidationResult(
+        function.name, False, whole_result.reason,
+        elapsed=sum(result.elapsed for result in probes),
+        graph_nodes=whole_result.graph_nodes,
+        stats=_merge_stats(probes),
+        detail=(f"bisected the rejection to pass '{record.blamed_pass}' "
+                f"(changed step {hi}/{len(steps)}); "
+                f"kept the {lo}-step validated prefix\n{whole_result.detail}"),
+    )
+    return versions[lo]
+
+
 def validate_function_pipeline(
     function: Function,
     passes: Sequence[str] = PAPER_PIPELINE,
     config: Optional[ValidatorConfig] = None,
     skip_unchanged: bool = True,
     cache: Optional[ValidationCache] = None,
+    strategy: str = "whole",
+    manager: Optional[AnalysisManager] = None,
 ) -> Tuple[Function, FunctionRecord]:
-    """Optimize one function and validate the result.
+    """Optimize one function and validate the result under ``strategy``.
 
-    Returns ``(kept_function, record)`` where ``kept_function`` is the
-    optimized clone when validation succeeded and the original function
-    otherwise.  When ``cache`` is given, a previously validated identical
-    pair is answered from it and the record is marked ``from_cache``.
+    Returns ``(kept_function, record)``.  ``kept_function`` is the fully
+    optimized clone when validation succeeded, the original function when
+    everything was rejected, and — under ``"stepwise"``/``"bisect"`` — the
+    checkpoint at the end of the longest *validated prefix* of the
+    pipeline when only part of it could be proved.  The record carries the
+    per-pass verdicts, the blamed pass and the kept-prefix length.
+
+    When ``cache`` is given, previously validated identical pairs
+    (monolithic or adjacent-checkpoint) are answered from it; when
+    ``manager`` is given (or a snapshot strategy creates its own), every
+    distinct function version's analyses are computed only once.
     """
     config = config or DEFAULT_CONFIG
-    record = FunctionRecord(name=function.name)
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r} (known: {STRATEGIES})")
+    record = FunctionRecord(name=function.name, strategy=strategy)
     if function.is_declaration:
         return function, record
 
-    optimized = clone_function(function)
-    manager = PassManager(passes)
-    record.transformed_by = manager.run_on_function(optimized)
+    if strategy == "whole":
+        optimized = clone_function(function)
+        record.transformed_by = PassManager(passes).run_on_function(optimized)
+        if skip_unchanged and not record.transformed:
+            return function, record
+        kept = _run_whole(function, optimized, config, cache, manager, record)
+        if manager is not None:
+            record.analysis_stats = manager.stats()
+        return kept, record
 
+    snapshots = PassManager(passes).run_with_snapshots(function)
+    record.transformed_by = {snap.pass_name: snap.changed for snap in snapshots}
     if skip_unchanged and not record.transformed:
-        # Nothing changed; validation is trivial and the paper does not
-        # count such functions in its per-optimization charts.
         return function, record
 
-    if cache is not None:
-        key = cache.key(function, optimized, config)
-        cached = cache.get(key, function.name)
-        if cached is not None:
-            record.result = cached
-            record.from_cache = True
-        else:
-            record.result = validate(function, optimized, config)
-            cache.put(key, record.result)
-    else:
-        record.result = validate(function, optimized, config)
-    kept = optimized if record.result.is_success else function
+    # The version chain: the original, then one checkpoint per *changed*
+    # pass (unchanged passes are identity steps — nothing to validate).
+    steps = [snap for snap in snapshots if snap.changed]
+    versions = [function] + [snap.function for snap in steps]
+    manager = manager if manager is not None else AnalysisManager()
+    if not steps:
+        # skip_unchanged=False and no pass changed anything: validate the
+        # identity pair, for parity with the whole strategy.
+        record.result, record.from_cache = _validate_pair_cached(
+            function, function, config, cache, manager)
+        record.analysis_stats = manager.stats()
+        return function, record
+    runner = _run_stepwise if strategy == "stepwise" else _run_bisect
+    kept = runner(function, versions, steps, config, cache, manager, record)
+    record.analysis_stats = manager.stats()
     return kept, record
+
+
+def _remap_globals(function: Function, global_map: Dict[Value, Value]) -> None:
+    """Re-point a kept optimized body at the result module's global clones."""
+    if not global_map:
+        return
+    for inst in function.instructions():
+        for index, operand in enumerate(inst.operands):
+            replacement = global_map.get(operand)
+            if replacement is not None:
+                inst.operands[index] = replacement
+
+
+def _remap_function_refs(result_module: Module) -> None:
+    """Re-point call operands at the result module's own function objects.
+
+    Cloned bodies initially share callee :class:`Function` references with
+    the input module; rebinding them by name completes the driver's
+    no-shared-mutable-structure guarantee (mutating the input module's
+    functions can never change the result module's behavior).
+    """
+    by_name = result_module.functions
+    for function in result_module.functions.values():
+        for inst in function.instructions():
+            for index, operand in enumerate(inst.operands):
+                if isinstance(operand, Function):
+                    replacement = by_name.get(operand.name)
+                    if replacement is not None and replacement is not operand:
+                        inst.operands[index] = replacement
 
 
 def llvm_md(
@@ -154,37 +391,49 @@ def llvm_md(
     label: str = "",
     function_names: Optional[Iterable[str]] = None,
     cache: Optional[ValidationCache] = None,
+    strategy: str = "whole",
+    manager: Optional[AnalysisManager] = None,
 ) -> Tuple[Module, ValidationReport]:
     """Run the semantics-preserving optimizer over a module.
 
-    Every defined function is optimized with ``passes``; the optimized body
-    is kept only if the validator can prove it equivalent to the original.
-    Returns the resulting module (a new :class:`Module`; the input is not
-    mutated) and the per-function :class:`ValidationReport`.
+    Every defined function is optimized with ``passes``; the optimized
+    body is kept only as far as the validator can prove it equivalent to
+    the original — entirely under ``strategy="whole"``, up to the longest
+    validated pipeline prefix under ``"stepwise"``/``"bisect"``.  Returns
+    the resulting module (a new :class:`Module`; the input is not mutated
+    and shares no mutable structure — functions *and* globals are cloned)
+    and the per-function :class:`ValidationReport`.
     """
     config = config or DEFAULT_CONFIG
+    if manager is None and strategy != "whole":
+        manager = AnalysisManager()
     report = ValidationReport(label=label or module.name)
     result_module = Module(module.name)
-    for global_var in module.globals.values():
-        result_module.add_global(global_var)
+    global_map = clone_globals_into(module, result_module)
 
     selected = set(function_names) if function_names is not None else None
     for function in module.functions.values():
-        # Every function inserted into the result module is cloned — also
-        # declarations and unselected functions — so the result never
+        # Every function inserted into the result module is cloned (or a
+        # freshly cloned checkpoint) with its global references remapped —
+        # also declarations and unselected functions — so the result never
         # shares mutable structure with (or re-parents functions of) the
         # input module.
         if function.is_declaration or (selected is not None and function.name not in selected):
-            result_module.add_function(clone_function(function))
+            result_module.add_function(clone_function(function, value_map=global_map))
             continue
-        kept, record = validate_function_pipeline(function, passes, config, cache=cache)
+        kept, record = validate_function_pipeline(
+            function, passes, config, cache=cache, strategy=strategy, manager=manager)
         report.add(record)
         if kept is function:
-            result_module.add_function(clone_function(function))
+            result_module.add_function(clone_function(function, value_map=global_map))
         else:
+            _remap_globals(kept, global_map)
             result_module.add_function(kept)
+    _remap_function_refs(result_module)
     if cache is not None:
         report.cache_stats = cache.stats()
+    if manager is not None:
+        report.analysis_stats = manager.stats()
     return result_module, report
 
 
@@ -226,31 +475,30 @@ def validate_module_batch(
         raise ValueError("labels must match modules one to one")
 
     # Phase 1: optimize everything, recording the work each module needs.
-    plans = []  # per module: (result_module, report, [(function, optimized, record, key)])
+    plans = []  # per module: (result_module, report, global_map, [(function, optimized, record, key)])
     pending: Dict[CacheKey, Tuple[Function, Function]] = {}
     for index, module in enumerate(modules):
         label = labels[index] if labels is not None else module.name
         report = ValidationReport(label=label)
         result_module = Module(module.name)
-        for global_var in module.globals.values():
-            result_module.add_global(global_var)
+        global_map = clone_globals_into(module, result_module)
         work = []
         for function in module.functions.values():
             if function.is_declaration:
-                result_module.add_function(clone_function(function))
+                result_module.add_function(clone_function(function, value_map=global_map))
                 continue
             record = FunctionRecord(name=function.name)
             optimized = clone_function(function)
             record.transformed_by = PassManager(passes).run_on_function(optimized)
             report.add(record)
             if not record.transformed:
-                result_module.add_function(clone_function(function))
+                result_module.add_function(clone_function(function, value_map=global_map))
                 continue
             key = cache.key(function, optimized, config)
             if cache.peek(key) is None and key not in pending:
                 pending[key] = (function, optimized)
             work.append((function, optimized, record, key))
-        plans.append((result_module, report, work))
+        plans.append((result_module, report, global_map, work))
 
     # Phase 2: validate the distinct pairs (optionally in parallel).
     items = [(before, after, config) for before, after in pending.values()]
@@ -265,7 +513,7 @@ def validate_module_batch(
     fresh = set(pending)
     consumed: set = set()
     results: List[Tuple[Module, ValidationReport]] = []
-    for result_module, report, work in plans:
+    for result_module, report, global_map, work in plans:
         for function, optimized, record, key in work:
             stored = cache.peek(key)
             if key in fresh and key not in consumed:
@@ -277,9 +525,12 @@ def validate_module_batch(
             consumed.add(key)
             record.result = replace(stored, function_name=function.name)
             if record.result.is_success:
+                record.kept_prefix = record.changed_steps
+                _remap_globals(optimized, global_map)
                 result_module.add_function(optimized)
             else:
-                result_module.add_function(clone_function(function))
+                result_module.add_function(clone_function(function, value_map=global_map))
+        _remap_function_refs(result_module)
         report.cache_stats = cache.stats()
         results.append((result_module, report))
     return results
@@ -307,4 +558,5 @@ __all__ = [
     "validate_module_batch",
     "ValidationCache",
     "function_fingerprint",
+    "STRATEGIES",
 ]

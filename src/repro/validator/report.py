@@ -30,6 +30,27 @@ class FunctionRecord:
     #: Was the result answered from a :class:`~repro.validator.driver.ValidationCache`
     #: instead of a fresh validation?
     from_cache: bool = False
+    #: Validation strategy that produced this record (``"whole"``,
+    #: ``"stepwise"`` or ``"bisect"``).
+    strategy: str = "whole"
+    #: Per-pass verdicts, keyed by pass name.  Stepwise: the verdict of
+    #: the adjacent checkpoint pair ending at that pass (pipeline order).
+    #: Bisect: the verdict of the (original, checkpoint-after-that-pass)
+    #: probe the bisection ran (probe order).  Passes never probed do not
+    #: appear.
+    pass_verdicts: Dict[str, ValidationResult] = field(default_factory=dict)
+    #: Pass the strategy blames for the rejection (``None`` when accepted,
+    #: or when the whole-pair strategy cannot attribute blame).
+    blamed_pass: Optional[str] = None
+    #: Number of leading *changed* pipeline steps whose effect was proved
+    #: and kept.  Equal to :attr:`changed_steps` when fully validated.
+    kept_prefix: int = 0
+    #: Stepwise only: a checkpoint pair failed but the composed
+    #: (original, final) query validated, so the full result was kept.
+    whole_fallback: bool = False
+    #: Computed/reused counters of the :class:`~repro.analysis.manager.AnalysisManager`
+    #: this record's validations went through (``None`` without a manager).
+    analysis_stats: Optional[Dict[str, int]] = None
 
     @property
     def transformed(self) -> bool:
@@ -37,11 +58,28 @@ class FunctionRecord:
         return any(self.transformed_by.values())
 
     @property
+    def changed_steps(self) -> int:
+        """Number of pipeline steps that changed the function."""
+        return sum(1 for changed in self.transformed_by.values() if changed)
+
+    @property
     def validated(self) -> bool:
         """Did validation succeed (trivially true for untransformed functions)?"""
         if self.result is None:
             return not self.transformed
         return self.result.is_success
+
+    @property
+    def partially_kept(self) -> bool:
+        """Was a non-empty, non-total validated prefix of the pipeline kept?
+
+        The stepwise and bisect strategies both produce partial keeps: the
+        function failed full validation, but the first ``kept_prefix``
+        changed steps were proved (pair by pair, or by bisection probes
+        against the original) and their partially optimized result kept
+        instead of rolling all optimization back.
+        """
+        return not self.validated and self.kept_prefix > 0
 
 
 @dataclass
@@ -55,6 +93,10 @@ class ValidationReport:
     #: (``None`` when no cache was involved).  With a shared batch cache
     #: these are the cache's cumulative counters at report-assembly time.
     cache_stats: Optional[Dict[str, int]] = None
+    #: Computed/reused counters of the shared
+    #: :class:`~repro.analysis.manager.AnalysisManager` (``None`` when the
+    #: run did not use one).
+    analysis_stats: Optional[Dict[str, int]] = None
 
     def add(self, record: FunctionRecord) -> None:
         """Append one function record."""
@@ -123,6 +165,29 @@ class ValidationReport:
                 totals[key] = totals.get(key, 0) + int(value)
         totals["cache_hits"] = self.cache_hits
         return totals
+
+    @property
+    def partially_kept_functions(self) -> int:
+        """Rejected functions that still kept a validated pipeline prefix."""
+        return sum(1 for record in self.records if record.partially_kept)
+
+    @property
+    def kept_prefix_steps(self) -> int:
+        """Changed pipeline steps kept across rejected functions.
+
+        The optimization work the stepwise strategy salvaged: every one of
+        these steps would have been rolled back by whole-pair validation.
+        """
+        return sum(record.kept_prefix for record in self.records
+                   if record.partially_kept)
+
+    def blame_histogram(self) -> Dict[str, int]:
+        """How often each pass was blamed for a rejection."""
+        histogram: Dict[str, int] = {}
+        for record in self.records:
+            if record.blamed_pass is not None:
+                histogram[record.blamed_pass] = histogram.get(record.blamed_pass, 0) + 1
+        return histogram
 
     def failures(self) -> List[FunctionRecord]:
         """Records of transformed functions that failed to validate."""

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..analysis.manager import AnalysisManager
 from ..errors import IrreducibleCFGError, ReproError, ValidationInternalError
 from ..ir.module import Function
 from ..vgraph.builder import build_shared_graph
@@ -30,8 +31,16 @@ class ValidationResult:
     function_name: str
     #: Did the two functions' value graphs merge?
     is_success: bool
-    #: Short machine-readable reason: ``"equal"``, ``"trivially-equal"``,
-    #: ``"normalization-exhausted"``, ``"irreducible-cfg"``, ``"build-error"``.
+    #: Short machine-readable reason.  Successes: ``"equal"`` (the roots
+    #: merged during normalization), ``"trivially-equal"`` (they merged
+    #: during construction already) or ``"stepwise-equal"`` (an aggregate
+    #: over a stepwise pipeline walk, see the driver).  Rejections:
+    #: ``"normalization-exhausted"`` (normalization finished without
+    #: merging the roots), ``"irreducible-cfg"`` (the front end rejects
+    #: irreducible control flow), ``"build-error"`` (graph *construction*
+    #: failed — unexpected IR or recursion blow-up) or
+    #: ``"normalize-error"`` (construction succeeded but an internal error
+    #: was raised while *normalizing* the graph).
     reason: str
     #: Wall-clock seconds spent on this validation.
     elapsed: float = 0.0
@@ -47,19 +56,25 @@ class ValidationResult:
 
 
 def validate(before: Function, after: Function,
-             config: Optional[ValidatorConfig] = None) -> ValidationResult:
+             config: Optional[ValidatorConfig] = None,
+             manager: Optional[AnalysisManager] = None) -> ValidationResult:
     """Validate that ``after`` preserves the semantics of ``before``.
 
     Any internal failure (irreducible CFG, unexpected IR, recursion blow-up)
     is reported as a *rejection*, never as a success — the driver then keeps
     the original function, exactly as the paper's ``llvm-md`` wrapper does.
+
+    ``manager`` optionally shares per-function analyses (dominators, loops,
+    gates, ...) across queries touching the same function versions — the
+    stepwise strategies pass one so interior pipeline checkpoints are
+    analysed once and consumed twice.
     """
     config = config or DEFAULT_CONFIG
     start = time.perf_counter()
     old_limit = sys.getrecursionlimit()
     sys.setrecursionlimit(max(old_limit, config.recursion_limit))
     try:
-        graph, summary_before, summary_after = build_shared_graph(before, after)
+        graph, summary_before, summary_after = build_shared_graph(before, after, manager)
     except IrreducibleCFGError:
         return ValidationResult(before.name, False, "irreducible-cfg",
                                 elapsed=time.perf_counter() - start)
@@ -85,8 +100,11 @@ def validate(before: Function, after: Function,
         )
         matched, stats = normalizer.normalize_until_equal(goal_pairs)
     except (ReproError, RecursionError) as error:
+        # Construction succeeded, so this is a *normalization* failure —
+        # reporting it as "build-error" (as this path once did) would
+        # mislead anyone triaging rejections.
         return ValidationResult(
-            before.name, False, "build-error",
+            before.name, False, "normalize-error",
             elapsed=time.perf_counter() - start,
             graph_nodes=graph.live_node_count(), detail=str(error),
         )

@@ -25,21 +25,23 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..analysis.cfg import is_reducible, predecessor_map
-from ..analysis.dominators import DominatorTree
-from ..analysis.loops import Loop, LoopInfo
-from ..errors import IrreducibleCFGError, ValidationInternalError
+from ..analysis.loops import Loop
+from ..analysis.manager import (
+    AnalysisManager,
+    FunctionAnalyses,
+    compute_function_analyses,
+)
+from ..errors import ValidationInternalError
 from ..gated.gates import (
     AndGate,
     CondGate,
     FalseGate,
-    GateAnalysis,
     GateExpr,
     OrGate,
     ReachedGate,
     TrueGate,
 )
-from ..gated.monadic import MemoryEffects, defines_memory
+from ..gated.monadic import defines_memory
 from ..ir.instructions import (
     Alloca,
     BinaryOperator,
@@ -92,18 +94,23 @@ class FunctionSummary:
 class GraphBuilder:
     """Builds the value-graph representation of one function."""
 
-    def __init__(self, graph: ValueGraph, function: Function):
-        if function.is_declaration:
-            raise ValidationInternalError(f"@{function.name} has no body to analyse")
-        if not is_reducible(function):
-            raise IrreducibleCFGError(f"@{function.name} has an irreducible CFG")
+    def __init__(self, graph: ValueGraph, function: Function,
+                 analyses: Optional[FunctionAnalyses] = None):
+        if analyses is None:
+            # Raises IrreducibleCFGError / ValidationInternalError exactly
+            # as the inline computation used to.
+            analyses = compute_function_analyses(function)
+        elif analyses.function is not function:
+            raise ValidationInternalError(
+                f"analysis bundle for @{analyses.function.name} used to build @{function.name}"
+            )
         self.graph = graph
         self.function = function
-        self.dom = DominatorTree.compute(function)
-        self.loops = LoopInfo.compute(function, self.dom)
-        self.gates = GateAnalysis(function, self.dom)
-        self.memory_effects = MemoryEffects(function)
-        self.preds = predecessor_map(function)
+        self.dom = analyses.dom
+        self.loops = analyses.loops
+        self.gates = analyses.gates
+        self.memory_effects = analyses.memory_effects
+        self.preds = analyses.preds
 
         self._value_nodes: Dict[int, int] = {}
         self._mem_entry: Dict[int, int] = {}
@@ -536,17 +543,27 @@ class GraphBuilder:
         return any(self.memory_effects.block_writes(b) for b in loop.blocks)
 
 
-def build_function_graph(graph: ValueGraph, function: Function) -> FunctionSummary:
+def build_function_graph(graph: ValueGraph, function: Function,
+                         manager: Optional[AnalysisManager] = None) -> FunctionSummary:
     """Convenience wrapper: build ``function`` into ``graph``."""
-    return GraphBuilder(graph, function).build()
+    analyses = manager.analyses_for(function) if manager is not None else None
+    return GraphBuilder(graph, function, analyses).build()
 
 
-def build_shared_graph(before: Function, after: Function
+def build_shared_graph(before: Function, after: Function,
+                       manager: Optional[AnalysisManager] = None,
                        ) -> Tuple[ValueGraph, FunctionSummary, FunctionSummary]:
-    """Build both functions into one shared graph (the paper's Figure 1)."""
+    """Build both functions into one shared graph (the paper's Figure 1).
+
+    When an :class:`AnalysisManager` is given, the per-function analyses
+    (CFG predecessors, dominators, loops, gates, memory effects) are
+    fetched from — and cached in — it, so a function version appearing in
+    several queries (the interior versions of a stepwise pipeline walk)
+    is analysed only once.
+    """
     graph = ValueGraph()
-    summary_before = GraphBuilder(graph, before).build()
-    summary_after = GraphBuilder(graph, after).build()
+    summary_before = build_function_graph(graph, before, manager)
+    summary_after = build_function_graph(graph, after, manager)
     return graph, summary_before, summary_after
 
 

@@ -1,0 +1,142 @@
+"""Direct unit tests for the graph-level alias queries (§4's simple rules).
+
+``graph_alias`` was previously exercised only indirectly through the
+load/store rewrite rules; these tests pin down its verdicts over every
+base kind (alloca, global, param) and the constant-offset GEP peeling.
+"""
+
+import pytest
+
+from repro.vgraph import ValueGraph
+from repro.vgraph.galias import (
+    GraphAliasResult,
+    graph_alias,
+    graph_must_alias,
+    graph_no_alias,
+)
+
+
+@pytest.fixture
+def graph():
+    return ValueGraph()
+
+
+def gep(graph, base, *offsets):
+    """A (possibly nested) GEP node over constant integer offsets."""
+    node = base
+    for offset in offsets:
+        node = graph.make("gep", None, [node, graph.const(offset)])
+    return node
+
+
+def gep_dynamic(graph, base, index_node):
+    """A single GEP whose index is an arbitrary (non-constant) node."""
+    return graph.make("gep", None, [base, index_node])
+
+
+class TestBaseKinds:
+    def test_same_node_must_alias(self, graph):
+        p = graph.make("alloca", "site0")
+        assert graph_alias(graph, p, p) is GraphAliasResult.MUST_ALIAS
+        assert graph_must_alias(graph, p, p)
+
+    def test_distinct_allocas_no_alias(self, graph):
+        a = graph.make("alloca", "site0")
+        b = graph.make("alloca", "site1")
+        assert graph_alias(graph, a, b) is GraphAliasResult.NO_ALIAS
+        assert graph_no_alias(graph, a, b)
+
+    def test_alloca_vs_global_no_alias(self, graph):
+        a = graph.make("alloca", "site0")
+        g = graph.make("global", "g")
+        assert graph_alias(graph, a, g) is GraphAliasResult.NO_ALIAS
+        assert graph_alias(graph, g, a) is GraphAliasResult.NO_ALIAS
+
+    def test_alloca_vs_param_no_alias(self, graph):
+        # Fresh stack memory cannot have escaped into a caller's pointer.
+        a = graph.make("alloca", "site0")
+        p = graph.make("param", 0)
+        assert graph_alias(graph, a, p) is GraphAliasResult.NO_ALIAS
+        assert graph_alias(graph, p, a) is GraphAliasResult.NO_ALIAS
+
+    def test_distinct_globals_no_alias(self, graph):
+        g = graph.make("global", "g")
+        h = graph.make("global", "h")
+        assert graph_alias(graph, g, h) is GraphAliasResult.NO_ALIAS
+
+    def test_global_vs_param_may_alias(self, graph):
+        # A caller can pass the address of a global.
+        g = graph.make("global", "g")
+        p = graph.make("param", 0)
+        assert graph_alias(graph, g, p) is GraphAliasResult.MAY_ALIAS
+
+    def test_distinct_params_may_alias(self, graph):
+        p = graph.make("param", 0)
+        q = graph.make("param", 1)
+        assert graph_alias(graph, p, q) is GraphAliasResult.MAY_ALIAS
+        assert not graph_no_alias(graph, p, q)
+        assert not graph_must_alias(graph, p, q)
+
+
+class TestGepPeeling:
+    def test_same_base_different_constant_offsets(self, graph):
+        base = graph.make("alloca", "buf")
+        assert graph_alias(graph, gep(graph, base, 1), gep(graph, base, 2)) \
+            is GraphAliasResult.NO_ALIAS
+
+    def test_same_base_equal_offsets_through_nesting(self, graph):
+        # gep(gep(base, 1), 2) and gep(base, 3) peel to the same total
+        # offset even though they are structurally different nodes.
+        base = graph.make("alloca", "buf")
+        nested = gep(graph, base, 1, 2)
+        flat = gep(graph, base, 3)
+        assert nested != flat
+        assert graph_alias(graph, nested, flat) is GraphAliasResult.MUST_ALIAS
+
+    def test_same_base_unequal_nested_offsets(self, graph):
+        base = graph.make("alloca", "buf")
+        assert graph_alias(graph, gep(graph, base, 1, 2), gep(graph, base, 4)) \
+            is GraphAliasResult.NO_ALIAS
+
+    def test_same_base_unknown_offset_may_alias(self, graph):
+        base = graph.make("alloca", "buf")
+        dynamic = gep_dynamic(graph, base, graph.make("param", 0))
+        assert graph_alias(graph, dynamic, gep(graph, base, 2)) \
+            is GraphAliasResult.MAY_ALIAS
+
+    def test_two_unknown_offsets_may_alias(self, graph):
+        base = graph.make("alloca", "buf")
+        one = gep_dynamic(graph, base, graph.make("param", 0))
+        two = gep_dynamic(graph, base, graph.make("param", 1))
+        assert graph_alias(graph, one, two) is GraphAliasResult.MAY_ALIAS
+
+    def test_identical_gep_hash_conses_to_must_alias(self, graph):
+        base = graph.make("alloca", "buf")
+        assert gep(graph, base, 2) == gep(graph, base, 2)
+        assert graph_must_alias(graph, gep(graph, base, 2), gep(graph, base, 2))
+
+    def test_different_identified_bases_no_alias(self, graph):
+        a = graph.make("alloca", "x")
+        g = graph.make("global", "g")
+        assert graph_alias(graph, gep(graph, a, 1), gep(graph, g, 1)) \
+            is GraphAliasResult.NO_ALIAS
+
+    def test_different_param_bases_may_alias(self, graph):
+        p = graph.make("param", 0)
+        q = graph.make("param", 1)
+        assert graph_alias(graph, gep(graph, p, 1), gep(graph, q, 1)) \
+            is GraphAliasResult.MAY_ALIAS
+
+    def test_multi_index_gep_is_opaque(self, graph):
+        # Multi-index GEPs are not peeled to a scalar offset: the query
+        # must stay conservative on the same base.
+        base = graph.make("alloca", "matrix")
+        row0 = graph.make("gep", None, [base, graph.const(0), graph.const(1)])
+        row1 = graph.make("gep", None, [base, graph.const(0), graph.const(2)])
+        assert graph_alias(graph, row0, row1) is GraphAliasResult.MAY_ALIAS
+
+    def test_gep_offset_relative_to_distinct_allocas(self, graph):
+        a = graph.make("alloca", "x")
+        b = graph.make("alloca", "y")
+        assert graph_alias(graph, gep(graph, a, 3), gep(graph, b, 3)) \
+            is GraphAliasResult.NO_ALIAS

@@ -1,0 +1,370 @@
+"""Tests for stepwise pipeline validation: snapshots, strategies, blame,
+the shared analysis cache and the global-cloning guarantees of the driver."""
+
+import pytest
+
+from repro.analysis import AnalysisManager, function_fingerprint
+from repro.bench import stepwise_comparison
+from repro.errors import IrreducibleCFGError
+from repro.ir import Interpreter, clone_function, parse_function
+from repro.transforms import PAPER_PIPELINE, PassManager
+from repro.validator import (
+    STRATEGIES,
+    ValidationCache,
+    llvm_md,
+    validate,
+    validate_function_pipeline,
+)
+from repro.validator.report import FunctionRecord, ValidationReport
+from repro.validator.validate import ValidationResult
+
+BUGGY_PIPELINE = ("adce", "bug-flip-operator", "gvn")
+
+
+class TestPassSnapshots:
+    def test_input_never_mutated(self, mini_corpus):
+        for function in mini_corpus.defined_functions():
+            before = function_fingerprint(function)
+            PassManager(PAPER_PIPELINE).run_with_snapshots(function)
+            assert function_fingerprint(function) == before
+
+    def test_changed_flags_match_run_on_function(self, mini_corpus):
+        manager = PassManager(PAPER_PIPELINE)
+        for function in mini_corpus.defined_functions():
+            snapshots = manager.run_with_snapshots(function)
+            changed = manager.run_on_function(clone_function(function))
+            assert {s.pass_name: s.changed for s in snapshots} == changed
+
+    def test_unchanged_steps_share_checkpoint_identity(self, mini_corpus):
+        manager = PassManager(PAPER_PIPELINE)
+        for function in mini_corpus.defined_functions():
+            snapshots = manager.run_with_snapshots(function)
+            previous = function
+            for snapshot in snapshots:
+                if snapshot.changed:
+                    assert snapshot.function is not previous
+                else:
+                    assert snapshot.function is previous
+                previous = snapshot.function
+
+    def test_final_snapshot_equals_plain_optimization(self, mini_corpus):
+        manager = PassManager(PAPER_PIPELINE)
+        for function in mini_corpus.defined_functions():
+            snapshots = manager.run_with_snapshots(function)
+            plain = clone_function(function)
+            manager.run_on_function(plain)
+            assert function_fingerprint(snapshots[-1].function) == function_fingerprint(plain)
+
+    def test_repeated_pass_names_keep_distinct_bookkeeping(self, mini_corpus):
+        # A pipeline may run the same pass twice; the second occurrence
+        # must not overwrite the first's changed flag (which could make a
+        # transformed function look untransformed and silently skip
+        # validation).
+        manager = PassManager(("gvn", "adce", "gvn"))
+        assert manager.step_names == ["gvn", "adce", "gvn#2"]
+        for function in mini_corpus.defined_functions():
+            snapshots = manager.run_with_snapshots(function)
+            assert [s.pass_name for s in snapshots] == ["gvn", "adce", "gvn#2"]
+            flags = manager.run_on_function(clone_function(function))
+            assert {s.pass_name: s.changed for s in snapshots} == flags
+            _, record = validate_function_pipeline(
+                function, ("gvn", "adce", "gvn"), strategy="stepwise")
+            if record.transformed and record.validated:
+                assert record.kept_prefix == record.changed_steps
+
+    def test_declaration_snapshots_are_noops(self):
+        from repro.ir import parse_module
+
+        fn = parse_module("declare i32 @ext(i32)").functions["ext"]
+        snapshots = PassManager(PAPER_PIPELINE).run_with_snapshots(fn)
+        assert [s.changed for s in snapshots] == [False] * len(PAPER_PIPELINE)
+        assert all(s.function is fn for s in snapshots)
+
+
+class TestAnalysisManager:
+    def test_same_version_analysed_once(self, loop_source):
+        fn = parse_function(loop_source)
+        manager = AnalysisManager()
+        first = manager.analyses_for(fn)
+        second = manager.analyses_for(fn)
+        assert first is second
+        assert manager.computed == 1 and manager.reused == 1
+        assert manager.stats() == {
+            "analyses_computed": 1, "analyses_reused": 1, "analyses_cached": 1,
+        }
+
+    def test_in_place_mutation_invalidates(self, loop_source):
+        fn = parse_function(loop_source)
+        manager = AnalysisManager()
+        manager.analyses_for(fn)
+        fn.block("body").instructions[0].opcode = "sub"
+        manager.analyses_for(fn)
+        assert manager.computed == 2 and manager.reused == 0
+
+    def test_clones_are_distinct_versions(self, loop_source):
+        fn = parse_function(loop_source)
+        manager = AnalysisManager()
+        bundle = manager.analyses_for(fn)
+        clone_bundle = manager.analyses_for(clone_function(fn))
+        # Same fingerprint, different object: the bundle must describe the
+        # object it was computed for (analyses reference its blocks).
+        assert bundle.fingerprint == clone_bundle.fingerprint
+        assert bundle is not clone_bundle
+        assert manager.computed == 2
+
+    def test_irreducible_function_rejected(self):
+        fn = parse_function(
+            """
+            define i32 @irr(i1 %c) {
+            entry:
+              br i1 %c, label %a, label %b
+            a:
+              br label %b
+            b:
+              br i1 %c, label %a, label %exit
+            exit:
+              ret i32 0
+            }
+            """
+        )
+        with pytest.raises(IrreducibleCFGError):
+            AnalysisManager().analyses_for(fn)
+
+    def test_validate_reuses_shared_analyses(self, loop_source):
+        fn = parse_function(loop_source)
+        copy = clone_function(fn)
+        manager = AnalysisManager()
+        assert validate(fn, copy, manager=manager).is_success
+        assert validate(fn, copy, manager=manager).is_success
+        # Second query reuses both bundles instead of recomputing them.
+        assert manager.computed == 2 and manager.reused == 2
+
+
+class TestStrategies:
+    def test_unknown_strategy_rejected(self, mini_corpus):
+        function = mini_corpus.defined_functions()[0]
+        with pytest.raises(ValueError):
+            validate_function_pipeline(function, PAPER_PIPELINE, strategy="bogus")
+
+    def test_stepwise_accepts_superset_of_whole(self, mini_corpus):
+        accepted = {}
+        for strategy in STRATEGIES:
+            names = set()
+            for function in mini_corpus.defined_functions():
+                _, record = validate_function_pipeline(
+                    function, PAPER_PIPELINE, strategy=strategy)
+                assert record.strategy == strategy
+                if record.transformed and record.validated:
+                    names.add(record.name)
+            accepted[strategy] = names
+        assert accepted["whole"] <= accepted["stepwise"]
+        # Bisect's accepting fast path IS the whole query.
+        assert accepted["bisect"] == accepted["whole"]
+
+    def test_stepwise_fully_validated_record_shape(self, mini_corpus):
+        seen_full = False
+        for function in mini_corpus.defined_functions():
+            _, record = validate_function_pipeline(
+                function, PAPER_PIPELINE, strategy="stepwise")
+            if not (record.transformed and record.validated) or record.whole_fallback:
+                continue
+            seen_full = True
+            assert record.result.reason == "stepwise-equal"
+            assert record.kept_prefix == record.changed_steps
+            assert record.blamed_pass is None
+            assert len(record.pass_verdicts) == record.changed_steps
+            assert all(v.is_success for v in record.pass_verdicts.values())
+        assert seen_full
+
+    def test_stepwise_interior_versions_analysed_once(self, mini_corpus):
+        # The acceptance criterion's counter check: for a fully validated
+        # chain of k changed steps there are k+1 versions and 2k builds,
+        # so exactly k-1 lookups must be answered from the cache.
+        checked = False
+        for function in mini_corpus.defined_functions():
+            manager = AnalysisManager()
+            _, record = validate_function_pipeline(
+                function, PAPER_PIPELINE, strategy="stepwise", manager=manager)
+            if not (record.transformed and record.validated) or record.whole_fallback:
+                continue
+            steps = record.changed_steps
+            if steps < 2:
+                continue
+            checked = True
+            assert manager.computed == steps + 1
+            assert manager.reused == steps - 1
+            assert record.analysis_stats == manager.stats()
+        assert checked
+
+    def test_stepwise_blames_injected_bug(self, mini_corpus):
+        rejected = 0
+        for function in mini_corpus.defined_functions():
+            kept, record = validate_function_pipeline(
+                function, BUGGY_PIPELINE, strategy="stepwise")
+            if not record.transformed_by.get("bug-flip-operator"):
+                continue
+            if record.validated:
+                continue  # the flipped add was dead / unobservable
+            rejected += 1
+            assert record.blamed_pass == "bug-flip-operator"
+            assert not record.pass_verdicts["bug-flip-operator"].is_success
+            # The kept checkpoint is the end of the validated prefix, and
+            # every verdict before the blamed pass succeeded.
+            verdicts = list(record.pass_verdicts.values())
+            assert all(v.is_success for v in verdicts[:-1])
+        assert rejected > 0
+
+    def test_bisect_blames_injected_bug(self, mini_corpus):
+        rejected = 0
+        for function in mini_corpus.defined_functions():
+            _, record = validate_function_pipeline(
+                function, BUGGY_PIPELINE, strategy="bisect")
+            if not record.transformed_by.get("bug-flip-operator"):
+                continue
+            if record.validated:
+                continue
+            rejected += 1
+            assert record.blamed_pass == "bug-flip-operator"
+            assert "bisected" in record.result.detail
+        assert rejected > 0
+
+    def test_every_buggy_pass_blamed_correctly(self, mini_corpus):
+        """Both blame strategies attribute every injector's rejection to it."""
+        from repro.transforms import ALL_BUGGY_PASSES
+
+        attributed = 0
+        for bug_pass in ALL_BUGGY_PASSES:
+            pipeline = ("adce", "gvn", bug_pass, "dse")
+            for function in mini_corpus.defined_functions():
+                for strategy in ("stepwise", "bisect"):
+                    _, record = validate_function_pipeline(
+                        function, pipeline, strategy=strategy)
+                    if not record.transformed_by.get(bug_pass) or record.validated:
+                        continue  # injector idle, or the breakage is unobservable
+                    attributed += 1
+                    assert record.blamed_pass == bug_pass, (
+                        bug_pass, strategy, function.name, record.blamed_pass)
+        assert attributed > 0
+
+    def test_partial_keep_is_semantically_sound(self, mini_corpus):
+        """A partially kept body must still behave like the original."""
+        result_module, report = llvm_md(
+            mini_corpus, BUGGY_PIPELINE, label="buggy", strategy="stepwise")
+        partial = [r for r in report.records if r.partially_kept]
+        assert partial, "expected at least one partial keep under the buggy pipeline"
+        for record in partial:
+            original = mini_corpus.get_function(record.name)
+            kept = result_module.get_function(record.name)
+            for base in [(2, 4, 6, 8, 10), (-1, 3, 0, 5, 2), (0, 0, 0, 0, 0)]:
+                args = list(base[: len(original.args)])
+                before = Interpreter(mini_corpus).run(original, args).return_value
+                after = Interpreter(result_module).run(kept, args).return_value
+                assert before == after, record.name
+
+    def test_stepwise_cache_answers_repeat_runs(self, mini_corpus):
+        cache = ValidationCache()
+        _, first = llvm_md(mini_corpus, PAPER_PIPELINE, cache=cache, strategy="stepwise")
+        misses = cache.misses
+        _, second = llvm_md(mini_corpus, PAPER_PIPELINE, cache=cache, strategy="stepwise")
+        # Identical adjacent pairs: the second run validates nothing anew.
+        assert cache.misses == misses
+        assert second.cache_hits == sum(
+            1 for r in second.records if r.transformed)
+
+    def test_skip_unchanged_false_validates_identity(self):
+        fn = parse_function("define i32 @id(i32 %a) {\nentry:\n  ret i32 %a\n}")
+        kept, record = validate_function_pipeline(
+            fn, PAPER_PIPELINE, skip_unchanged=False, strategy="stepwise")
+        assert kept is fn
+        assert record.result.is_success
+        assert record.result.reason == "trivially-equal"
+
+    def test_whole_records_kept_prefix(self, mini_corpus):
+        for function in mini_corpus.defined_functions():
+            _, record = validate_function_pipeline(
+                function, PAPER_PIPELINE, strategy="whole")
+            if record.transformed and record.validated:
+                assert record.kept_prefix == record.changed_steps
+            else:
+                assert record.kept_prefix == 0
+
+
+class TestDriverModuleGuarantees:
+    def test_result_module_shares_no_globals_or_functions(self, mini_corpus):
+        for strategy in STRATEGIES:
+            result_module, _ = llvm_md(mini_corpus, PAPER_PIPELINE, strategy=strategy)
+            for name, global_var in result_module.globals.items():
+                assert global_var is not mini_corpus.globals[name]
+            originals = set(map(id, mini_corpus.globals.values()))
+            originals.update(map(id, mini_corpus.functions.values()))
+            for function in result_module.functions.values():
+                for inst in function.instructions():
+                    for operand in inst.operands:
+                        assert id(operand) not in originals, (
+                            f"@{function.name} still references an input-module "
+                            f"global or function")
+
+    def test_result_module_global_mutation_is_isolated(self, mini_corpus):
+        result_module, _ = llvm_md(mini_corpus, PAPER_PIPELINE)
+        name = next(iter(result_module.globals))
+        original_init = mini_corpus.globals[name].initializer
+        result_module.globals[name].initializer = None
+        assert mini_corpus.globals[name].initializer is original_init
+
+
+class TestNormalizeErrorReason:
+    def test_normalization_failure_reported_as_normalize_error(self, loop_source, monkeypatch):
+        import importlib
+
+        from repro.errors import ValidationInternalError
+
+        # ``repro.validator``'s re-exported ``validate`` function shadows
+        # the submodule attribute, so resolve the module explicitly.
+        validate_module = importlib.import_module("repro.validator.validate")
+
+        class ExplodingNormalizer:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def normalize_until_equal(self, goal_pairs):
+                raise ValidationInternalError("injected normalization failure")
+
+        monkeypatch.setattr(validate_module, "Normalizer", ExplodingNormalizer)
+        fn = parse_function(loop_source)
+        result = validate_module.validate(fn, clone_function(fn))
+        assert not result.is_success
+        assert result.reason == "normalize-error"
+        assert "injected" in result.detail
+
+
+class TestReportExtensions:
+    def test_blame_histogram_and_prefix_aggregates(self):
+        report = ValidationReport(label="x")
+        ok = FunctionRecord("a", {"gvn": True},
+                            ValidationResult("a", True, "stepwise-equal"),
+                            strategy="stepwise", kept_prefix=1)
+        partial = FunctionRecord("b", {"gvn": True, "dse": True},
+                                 ValidationResult("b", False, "normalization-exhausted"),
+                                 strategy="stepwise", blamed_pass="dse", kept_prefix=1)
+        rolled_back = FunctionRecord("c", {"gvn": True},
+                                     ValidationResult("c", False, "normalization-exhausted"),
+                                     strategy="bisect", blamed_pass="gvn", kept_prefix=0)
+        for record in (ok, partial, rolled_back):
+            report.add(record)
+        assert report.blame_histogram() == {"dse": 1, "gvn": 1}
+        assert report.partially_kept_functions == 1
+        assert report.kept_prefix_steps == 1
+        assert partial.partially_kept and not ok.partially_kept
+        assert not rolled_back.partially_kept
+
+
+class TestStepwiseComparisonExperiment:
+    def test_rows_and_superset_on_subset(self):
+        rows = stepwise_comparison(scale=0.2, benchmarks=["sqlite", "mcf"])
+        assert [row["benchmark"] for row in rows] == ["sqlite", "mcf"]
+        for row in rows:
+            assert row["superset_ok"], row["superset_violations"]
+            assert row["stepwise_validated"] >= row["whole_validated"]
+            if row["multi_step_functions"]:
+                # The shared AnalysisManager must remove recomputation.
+                assert row["analyses_reused"] > 0
