@@ -1,0 +1,75 @@
+"""Extension experiment — cold vs warm corpus sweeps with a persistent cache.
+
+The paper's validator re-proves every pair on every run; with the
+content-addressed :class:`~repro.validator.cache.ValidationCache` persisted
+to disk, a repeated corpus sweep (CI re-runs, nightly regression jobs)
+answers previously proved pairs without building a single value graph.
+This benchmark times a cold sweep (empty cache directory) and a warm sweep
+(same directory, fresh process-level cache object) over a corpus subset
+and records both into a JSON artifact
+(``benchmarks/artifacts/cache_persistence.json`` by default; override the
+directory with ``REPRO_BENCH_ARTIFACT_DIR``).
+
+The assertions mirror the CI cache guard (``benchmarks/cache_guard.py``):
+the warm run must perform ≥95% fewer equivalence checks than the cold run
+and reach a ≥95% cache-hit rate, with identical verdict counts.
+"""
+
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.bench import cache_persistence, format_table
+
+#: Benchmarks swept by this file (the guard script covers all twelve).
+CACHE_BENCHMARKS = ["sqlite", "bzip2", "hmmer", "mcf"]
+
+
+def _artifact_path() -> pathlib.Path:
+    directory = os.environ.get("REPRO_BENCH_ARTIFACT_DIR")
+    if directory:
+        base = pathlib.Path(directory)
+    else:
+        base = pathlib.Path(__file__).resolve().parent / "artifacts"
+    base.mkdir(parents=True, exist_ok=True)
+    return base / "cache_persistence.json"
+
+
+def write_artifact(scale: float, rows) -> pathlib.Path:
+    """Persist the cold/warm stats so future PRs can diff the trajectory."""
+    path = _artifact_path()
+    payload = {
+        "schema": 1,
+        "scale": scale,
+        "benchmarks": CACHE_BENCHMARKS,
+        "rows": rows,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def run_cold_and_warm(scale: float):
+    with tempfile.TemporaryDirectory(prefix="repro-cache-") as cache_dir:
+        return cache_persistence(scale=scale, benchmarks=CACHE_BENCHMARKS,
+                                 cache_dir=cache_dir)
+
+
+def test_cold_vs_warm_persistent_cache(benchmark, bench_scale):
+    rows = benchmark.pedantic(run_cold_and_warm, kwargs={"scale": bench_scale},
+                              iterations=1, rounds=1)
+    artifact = write_artifact(bench_scale, rows)
+    print()
+    print(format_table(rows, title=f"Persistent cache cold vs warm (scale {bench_scale})"))
+    print(f"stats artifact: {artifact}")
+
+    cold = next(row for row in rows if row["run"] == "cold")
+    warm = next(row for row in rows if row["run"] == "warm")
+    assert cold["checks"] > 0
+    # The acceptance criterion: a warm run performs >= 95% fewer
+    # equivalence checks than the cold run it follows.
+    assert warm["checks"] <= 0.05 * cold["checks"], (cold, warm)
+    assert warm["hit_rate"] >= 0.95, warm
+    # And verdicts are independent of where the answers came from.
+    assert warm["validated"] == cold["validated"]
+    assert warm["transformed"] == cold["transformed"]

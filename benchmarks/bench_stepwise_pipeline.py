@@ -6,8 +6,11 @@ the offending pass.  This benchmark times the three driver strategies
 (whole / stepwise / bisect) across a corpus subset and records their
 verdicts, kept-prefix salvage, blame histograms and the shared analysis
 cache's computed/reused counters into a JSON artifact
-(``benchmarks/artifacts/stepwise_comparison.json`` by default; override
-the directory with ``REPRO_BENCH_ARTIFACT_DIR``).
+(``benchmarks/artifacts/stepwise_strategies.json`` by default; override
+the directory with ``REPRO_BENCH_ARTIFACT_DIR``.  The CI guard
+``benchmarks/stepwise_guard.py`` owns the separate
+``stepwise_comparison.json`` artifact — distinct files, so neither run
+clobbers the other's schema).
 
 The assertions mirror the CI strategy-regression guard
 (``benchmarks/stepwise_guard.py``): stepwise must accept a superset of
@@ -32,7 +35,7 @@ def _artifact_path() -> pathlib.Path:
     else:
         base = pathlib.Path(__file__).resolve().parent / "artifacts"
     base.mkdir(parents=True, exist_ok=True)
-    return base / "stepwise_comparison.json"
+    return base / "stepwise_strategies.json"
 
 
 def write_artifact(scale: float, rows) -> pathlib.Path:

@@ -9,6 +9,12 @@ any corpus function validated under ``strategy="whole"`` but not under
 strategy makes that impossible by construction, so a violation means the
 strategy plumbing regressed.
 
+With ``--shard-concurrency N`` (default 2; 0 disables) it additionally
+runs the :func:`repro.bench.sharded_comparison` experiment over all
+twelve corpora and fails unless the process-pool-sharded stepwise driver
+produced *identical* per-function record signatures (verdict, reason,
+blame, kept prefix, per-pass verdicts) to the serial driver.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/stepwise_guard.py [--scale 0.2] [--out FILE]
@@ -19,21 +25,30 @@ import json
 import pathlib
 import sys
 
-from repro.bench import format_table, stepwise_comparison
+from repro.bench import format_table, sharded_comparison, stepwise_comparison
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.2,
                         help="corpus scale (default 0.2: tiny, CI-friendly)")
+    parser.add_argument("--shard-concurrency", type=int, default=2,
+                        help="workers for the serial-vs-sharded parity check "
+                             "(0 skips the check)")
     parser.add_argument("--out", type=pathlib.Path,
                         default=pathlib.Path("benchmarks/artifacts/stepwise_comparison.json"),
                         help="where to write the JSON artifact")
     args = parser.parse_args()
 
     rows = stepwise_comparison(scale=args.scale)
+    shard_rows = []
+    if args.shard_concurrency > 0:
+        shard_rows = sharded_comparison(scale=args.scale,
+                                        concurrency=args.shard_concurrency)
     args.out.parent.mkdir(parents=True, exist_ok=True)
-    payload = {"schema": 1, "scale": args.scale, "rows": rows}
+    payload = {"schema": 2, "scale": args.scale, "rows": rows,
+               "shard_concurrency": args.shard_concurrency,
+               "shard_rows": shard_rows}
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     table_columns = ("benchmark", "transformed", "whole_validated", "stepwise_validated",
@@ -57,12 +72,28 @@ def main() -> int:
             failures.append(
                 f"{row['benchmark']}: analysis cache saw no reuse in stepwise mode"
             )
+    if shard_rows:
+        shard_columns = ("benchmark", "transformed", "identical", "distinct_pairs",
+                        "pooled_pairs", "workers", "serial_time_s", "sharded_time_s")
+        print()
+        print(format_table([{k: row[k] for k in shard_columns} for row in shard_rows],
+                           title=f"Serial vs sharded stepwise "
+                                 f"({args.shard_concurrency} workers)"))
+        for row in shard_rows:
+            if not row["identical"]:
+                failures.append(
+                    f"{row['benchmark']}: sharded records diverged from serial for: "
+                    f"{', '.join(row['mismatches'])}"
+                )
     if failures:
         print("\nSTRATEGY REGRESSION:", file=sys.stderr)
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print("\nstrategy guard OK: stepwise accepted a superset of whole on every corpus")
+    message = "strategy guard OK: stepwise accepted a superset of whole on every corpus"
+    if shard_rows:
+        message += "; sharded records matched serial on every corpus"
+    print(f"\n{message}")
     return 0
 
 

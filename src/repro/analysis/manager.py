@@ -20,6 +20,7 @@ a recycled ``id()``.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from ..errors import IrreducibleCFGError, ValidationInternalError
@@ -95,14 +96,34 @@ class AnalysisManager:
     matter how many graph builds consume them.  The ``computed``/``reused``
     counters are the evidence: reports surface them and the stepwise tests
     assert that interior versions are analysed once and reused.
+
+    ``max_entries`` bounds the cache for long-lived services: without a
+    bound a manager shared across a whole corpus sweep holds a strong
+    reference to *every* version it ever analysed (each bundle pins its
+    function, blocks and instructions).  With a bound the manager becomes
+    an LRU — lookups refresh an entry's recency, insertions evict the
+    least recently used entry beyond the bound.  Stepwise validation
+    consumes each checkpoint's analyses in pipeline order (the validated
+    prefix grows monotonically and the "after" of step *i* is reused as
+    the "before" of step *i+1*), so LRU order coincides with
+    prefix-generation order: even ``max_entries=2`` preserves every
+    stepwise reuse while old generations are released.  Eviction can never
+    change a verdict — an evicted version is simply recomputed — only the
+    ``analyses_computed``/``analyses_evicted`` counters.
     """
 
-    def __init__(self) -> None:
-        self._cache: Dict[Tuple[int, str], FunctionAnalyses] = {}
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self._cache: "OrderedDict[Tuple[int, str], FunctionAnalyses]" = OrderedDict()
+        #: LRU bound (``None`` = unbounded, the historical behavior).
+        self.max_entries = max_entries
         #: Number of analysis bundles actually computed (cache misses).
         self.computed = 0
         #: Number of lookups answered from the cache.
         self.reused = 0
+        #: Number of bundles dropped by the LRU bound.
+        self.evicted = 0
 
     def __len__(self) -> int:
         return len(self._cache)
@@ -114,19 +135,25 @@ class AnalysisManager:
         bundle = self._cache.get(key)
         if bundle is not None:
             self.reused += 1
+            self._cache.move_to_end(key)
             return bundle
         bundle = compute_function_analyses(function, fingerprint)
         self.computed += 1
         # The bundle holds a strong reference to ``function``, so the id()
         # in the key cannot be recycled while the entry is alive.
         self._cache[key] = bundle
+        if self.max_entries is not None:
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
+                self.evicted += 1
         return bundle
 
     def stats(self) -> Dict[str, int]:
-        """Computed/reused/size counters as a plain dict (for reports)."""
+        """Computed/reused/evicted/size counters as a plain dict (for reports)."""
         return {
             "analyses_computed": self.computed,
             "analyses_reused": self.reused,
+            "analyses_evicted": self.evicted,
             "analyses_cached": len(self._cache),
         }
 

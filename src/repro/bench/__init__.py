@@ -10,6 +10,7 @@ from .corpus import (
 )
 from .experiments import (
     ALL_BENCHMARKS,
+    cache_persistence,
     engine_comparison,
     figure4,
     figure5,
@@ -17,6 +18,7 @@ from .experiments import (
     figure7,
     figure8,
     matching_ablation,
+    sharded_comparison,
     stepwise_comparison,
     table1,
     validation_timing,
@@ -44,6 +46,8 @@ __all__ = [
     "validation_timing",
     "engine_comparison",
     "stepwise_comparison",
+    "sharded_comparison",
+    "cache_persistence",
     "matching_ablation",
     "ALL_BENCHMARKS",
     "format_table",

@@ -18,11 +18,15 @@ Figure 8     :func:`figure8` — SCCP rewrite-rule ablation
 §5.4         :func:`matching_ablation` — simple vs partition vs combined matcher
 (extension)  :func:`engine_comparison` — worklist vs full-scan normalization
 (extension)  :func:`stepwise_comparison` — whole vs stepwise vs bisect strategies
+(extension)  :func:`sharded_comparison` — serial vs process-pool sharded records
+(extension)  :func:`cache_persistence` — cold vs warm persistent-cache sweeps
 ===========  ==================================================================
 """
 
 from __future__ import annotations
 
+import time
+from dataclasses import replace as _dc_replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.manager import AnalysisManager
@@ -37,7 +41,13 @@ from ..validator.config import (
     SCCP_ABLATION_STEPS,
     ValidatorConfig,
 )
-from ..validator.driver import STRATEGIES, llvm_md, validate_function_pipeline
+from ..validator.cache import ValidationCache
+from ..validator.driver import (
+    STRATEGIES,
+    llvm_md,
+    validate_function_pipeline,
+    validate_module_batch,
+)
 from ..validator.validate import validate
 from .corpus import PAPER_BENCHMARKS, BENCHMARKS_BY_NAME, BenchmarkSpec, build_corpus
 
@@ -415,6 +425,114 @@ def stepwise_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] 
     return rows
 
 
+def sharded_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = None,
+                       passes: Sequence[str] = PAPER_PIPELINE,
+                       config: Optional[ValidatorConfig] = None,
+                       concurrency: int = 2,
+                       strategy: str = "stepwise") -> List[Dict[str, object]]:
+    """Serial vs process-pool-sharded validation on identical inputs.
+
+    For every corpus, validates the module once through the serial
+    ``llvm_md`` path and once through ``validate_module_batch`` with
+    ``concurrency`` workers, then compares the per-function *record
+    signatures* (verdict, reason, blame, kept prefix, per-pass verdicts —
+    everything deterministic; see
+    :meth:`~repro.validator.report.FunctionRecord.signature`).  Sharding
+    may only change *where* a query runs, never what it decides, so
+    ``identical`` must be true on every row — the CI shard guard enforces
+    exactly that over all twelve corpora.
+    """
+    base = config or DEFAULT_CONFIG
+    serial_config = _dc_replace(base, concurrency=0)
+    sharded_config = _dc_replace(base, concurrency=max(2, concurrency))
+    rows: List[Dict[str, object]] = []
+    for spec in _selected_specs(benchmarks):
+        module = build_corpus(spec, scale)
+        start = time.perf_counter()
+        _, serial_report = llvm_md(module, passes, serial_config,
+                                   label=spec.name, strategy=strategy)
+        serial_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        (_, sharded_report), = validate_module_batch(
+            [module], passes, sharded_config, labels=[spec.name], strategy=strategy)
+        sharded_elapsed = time.perf_counter() - start
+        serial_signatures = [record.signature() for record in serial_report.records]
+        sharded_signatures = [record.signature() for record in sharded_report.records]
+        mismatches = [serial["name"]
+                      for serial, sharded in zip(serial_signatures, sharded_signatures)
+                      if serial != sharded]
+        if len(serial_signatures) != len(sharded_signatures):  # pragma: no cover
+            mismatches.append("<record-count-mismatch>")
+        shard_stats = sharded_report.shard_stats or {}
+        rows.append({
+            "benchmark": spec.name,
+            "strategy": strategy,
+            "functions": serial_report.total_functions,
+            "transformed": serial_report.transformed_functions,
+            "identical": not mismatches,
+            "mismatches": mismatches,
+            "distinct_pairs": shard_stats.get("distinct_pairs", 0),
+            "pooled_pairs": shard_stats.get("pooled_pairs", 0),
+            "workers": shard_stats.get("workers", 0),
+            "serial_time_s": round(serial_elapsed, 3),
+            "sharded_time_s": round(sharded_elapsed, 3),
+        })
+    return rows
+
+
+def cache_persistence(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = None,
+                      passes: Sequence[str] = PAPER_PIPELINE,
+                      config: Optional[ValidatorConfig] = None,
+                      cache_dir: Optional[str] = None,
+                      strategy: str = "stepwise",
+                      runs: Sequence[str] = ("cold", "warm")) -> List[Dict[str, object]]:
+    """Cold vs warm corpus sweeps through one persistent validation cache.
+
+    Each requested run sweeps *all* selected corpora through a single
+    ``validate_module_batch`` call (one shared cache across modules) with
+    a fresh :class:`~repro.validator.cache.ValidationCache` rooted at
+    ``cache_dir``, then saves it.  ``checks`` counts the equivalence
+    checks the run actually performed (deduplicated pool pairs plus
+    inline assembly queries); on a warm run everything is answered from
+    the disk backend, so ``checks`` collapses toward zero — the
+    acceptance criterion is a ≥95% reduction, reported per row as
+    ``hit_rate``.  ``cache_dir`` is required (callers pass a temp dir or
+    CI's artifact directory).
+    """
+    if cache_dir is None:
+        raise ValueError("cache_persistence needs a cache_dir to persist into")
+    base = config or DEFAULT_CONFIG
+    run_config = _dc_replace(base, cache_dir=None)
+    specs = _selected_specs(benchmarks)
+    rows: List[Dict[str, object]] = []
+    for run in runs:
+        modules = [build_corpus(spec, scale) for spec in specs]
+        cache = ValidationCache(cache_dir)
+        start = time.perf_counter()
+        reports = validate_module_batch(
+            modules, passes, run_config, labels=[spec.name for spec in specs],
+            cache=cache, strategy=strategy)
+        elapsed = time.perf_counter() - start
+        shard_stats = reports[-1][1].shard_stats or {}
+        checks = shard_stats.get("distinct_pairs", 0) + shard_stats.get("inline_validations", 0)
+        lookups = cache.hits + cache.misses
+        rows.append({
+            "run": run,
+            "benchmarks": len(specs),
+            "functions": sum(report.total_functions for _, report in reports),
+            "transformed": sum(report.transformed_functions for _, report in reports),
+            "validated": sum(report.validated_functions for _, report in reports),
+            "checks": checks,
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "hit_rate": round(cache.hits / lookups, 4) if lookups else 1.0,
+            "disk_loaded": cache.loaded,
+            "entries": len(cache),
+            "time_s": round(elapsed, 3),
+        })
+    return rows
+
+
 def matching_ablation(scale: float = 0.5, benchmarks: Optional[Sequence[str]] = None,
                       passes: Sequence[str] = PAPER_PIPELINE) -> Dict[str, Dict[str, float]]:
     """Compare the cycle-matching strategies of §5.4.
@@ -444,5 +562,7 @@ __all__ = [
     "validation_timing",
     "engine_comparison",
     "stepwise_comparison",
+    "sharded_comparison",
+    "cache_persistence",
     "matching_ablation",
 ]

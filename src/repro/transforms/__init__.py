@@ -14,6 +14,7 @@ from .pass_manager import (
     PassManager,
     PassSnapshot,
     available_passes,
+    checkpoint_chain,
     get_pass,
     optimize,
     register_pass,
@@ -37,6 +38,7 @@ __all__ = [
     "PassManager",
     "PassSnapshot",
     "PAPER_PIPELINE",
+    "checkpoint_chain",
     "register_pass",
     "get_pass",
     "available_passes",

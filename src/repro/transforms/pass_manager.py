@@ -9,8 +9,8 @@ pipeline (``ADCE, GVN, SCCP, LICM, LD, LU, DSE``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import TransformError
 from ..ir.cloning import clone_function
@@ -67,6 +67,11 @@ class PassSnapshot:
     checkpoint (so adjacent unchanged steps compare by identity and a
     shared :class:`~repro.analysis.manager.AnalysisManager` never analyses
     the identical version twice).
+
+    Snapshots are the unit of work the sharded batch driver ships to its
+    process pool, so the whole payload — step name, changed flag and the
+    checkpoint function — must stay pickle-safe (plain data and IR
+    objects; no open handles, locks or pass callables).
     """
 
     #: Bookkeeping step name of the pass this snapshot follows
@@ -76,6 +81,40 @@ class PassSnapshot:
     changed: bool
     #: Checkpoint of the function after the pass ran.
     function: Function
+    #: Lazily computed content hash of :attr:`function` (see
+    #: :meth:`fingerprint`); excluded from equality/repr.
+    _fingerprint: Optional[str] = field(default=None, repr=False, compare=False)
+
+    def fingerprint(self) -> str:
+        """The checkpoint's content fingerprint, computed at most once.
+
+        Checkpoints are immutable by contract, so the hash can be cached;
+        the batch driver derives every adjacent-pair cache key from these
+        instead of re-printing each function once per pair it appears in.
+        """
+        if self._fingerprint is None:
+            from ..analysis.manager import function_fingerprint
+
+            self._fingerprint = function_fingerprint(self.function)
+        return self._fingerprint
+
+
+def checkpoint_chain(function: Function, snapshots: Sequence[PassSnapshot]
+                     ) -> Tuple[List[PassSnapshot], List[Function]]:
+    """Flatten a snapshot list into the stepwise validation version chain.
+
+    Returns ``(steps, versions)`` where ``steps`` keeps only the snapshots
+    whose pass *changed* the function (unchanged passes are identity steps
+    — nothing to validate) and ``versions`` is the original followed by
+    one checkpoint per changed step: ``versions[i]``/``versions[i + 1]``
+    is exactly the adjacent pair validating ``steps[i]``.  Both the serial
+    and the sharded drivers build their work from this one helper, so they
+    cannot disagree about which pairs a pipeline produces; every element
+    is a pickle-safe process-pool payload.
+    """
+    steps = [snapshot for snapshot in snapshots if snapshot.changed]
+    versions = [function] + [snapshot.function for snapshot in steps]
+    return steps, versions
 
 
 class PassManager:
@@ -168,6 +207,7 @@ __all__ = [
     "PassManager",
     "PassSnapshot",
     "PAPER_PIPELINE",
+    "checkpoint_chain",
     "register_pass",
     "get_pass",
     "available_passes",

@@ -1,5 +1,6 @@
 """The LLVM-MD translation validator: per-function validation and the driver."""
 
+from .cache import CACHE_FILE_NAME, CACHE_SCHEMA, CacheKey
 from .config import (
     DEFAULT_CONFIG,
     GVN_ABLATION_STEPS,
@@ -32,6 +33,9 @@ __all__ = [
     "validate_function_pipeline",
     "validate_module_batch",
     "ValidationCache",
+    "CacheKey",
+    "CACHE_SCHEMA",
+    "CACHE_FILE_NAME",
     "function_fingerprint",
     "FunctionRecord",
     "ValidationReport",

@@ -1,0 +1,290 @@
+"""The content-addressed validation cache and its on-disk backend.
+
+:class:`ValidationCache` memoizes validation verdicts by function-pair
+*content*: the key is ``(original-hash, optimized-hash, rule-groups,
+matcher, engine, max-iterations, recursion-limit)`` — everything a verdict
+can depend on.  Two different functions with identical bodies share an
+entry, so batch validation of a corpus full of near-duplicate traffic only
+pays for the distinct pairs; stepwise validation feeds each adjacent
+checkpoint pair through the same keying, so repeated single-pass effects
+are also validated once.
+
+On top of the in-memory map this module adds a *persistent* backend: a
+cache constructed with a ``path`` loads previously proved pairs from a
+versioned JSON file and :meth:`ValidationCache.save` writes them back
+(atomically, merging with whatever another process stored in the
+meantime).  Because keys are content hashes, a cache file survives across
+processes, machines and repository checkouts: CI's warm run and repeated
+corpus sweeps skip every previously proved pair.  The loader is tolerant
+by design — a corrupted file, an unknown schema version or a malformed
+entry is *ignored* (the cache starts cold), never an error: losing a cache
+can only cost time, trusting a broken one could cost correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, replace
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..analysis.manager import function_fingerprint
+from ..ir.module import Function
+from .config import ValidatorConfig
+from .validate import ValidationResult
+
+#: Cache key: content hashes of both functions plus everything about the
+#: configuration that can change a verdict.
+CacheKey = Tuple[str, str, Tuple[str, ...], str, str, int, int]
+
+#: On-disk schema version.  Bump whenever the key derivation or the stored
+#: result format changes meaning; files with any other version are ignored.
+CACHE_SCHEMA = 1
+
+#: File name used when a cache is given a directory instead of a file.
+CACHE_FILE_NAME = "validation_cache.json"
+
+#: The :class:`ValidationResult` fields a cache entry round-trips.
+_RESULT_FIELDS = ("function_name", "is_success", "reason", "elapsed",
+                  "graph_nodes", "stats", "detail")
+
+
+def _resolve_cache_path(path: Union[str, os.PathLike]) -> Path:
+    """Resolve a user-supplied cache location to a concrete file path.
+
+    A path with a ``.json`` suffix is used as-is; anything else is treated
+    as a *cache directory* (created on save) holding the default file name,
+    which is what the drivers' ``config.cache_dir`` passes.
+    """
+    resolved = Path(path)
+    if resolved.suffix == ".json":
+        return resolved
+    return resolved / CACHE_FILE_NAME
+
+
+def _encode_key(key: CacheKey) -> str:
+    """Serialize a cache key to a canonical JSON string."""
+    fp_before, fp_after, groups, matcher, engine, max_iter, rec_limit = key
+    return json.dumps(
+        [fp_before, fp_after, list(groups), matcher, engine, max_iter, rec_limit],
+        separators=(",", ":"))
+
+
+def _decode_key(text: str) -> CacheKey:
+    """Parse a serialized cache key; raises on any malformation."""
+    fp_before, fp_after, groups, matcher, engine, max_iter, rec_limit = json.loads(text)
+    if not (isinstance(fp_before, str) and isinstance(fp_after, str)
+            and isinstance(groups, list) and isinstance(matcher, str)
+            and isinstance(engine, str)):
+        raise ValueError(f"malformed cache key {text!r}")
+    return (fp_before, fp_after, tuple(str(g) for g in groups),
+            matcher, engine, int(max_iter), int(rec_limit))
+
+
+def _decode_result(payload: Dict[str, object]) -> ValidationResult:
+    """Rebuild a :class:`ValidationResult` from its JSON dict; raises if bad."""
+    kwargs = {name: payload[name] for name in _RESULT_FIELDS}
+    result = ValidationResult(
+        function_name=str(kwargs["function_name"]),
+        is_success=bool(kwargs["is_success"]),
+        reason=str(kwargs["reason"]),
+        elapsed=float(kwargs["elapsed"]),
+        graph_nodes=int(kwargs["graph_nodes"]),
+        stats={str(k): int(v) for k, v in dict(kwargs["stats"]).items()},
+        detail=str(kwargs["detail"]),
+    )
+    return result
+
+
+class ValidationCache:
+    """Memoizes validation results by function-pair content.
+
+    Parameters
+    ----------
+    path:
+        Optional persistence location — a directory (gets
+        ``validation_cache.json`` inside it) or a ``.json`` file path.
+        When given, previously stored entries are loaded immediately and
+        :meth:`save` writes the current contents back.  Loading is fully
+        tolerant: corruption, schema mismatches and malformed entries are
+        silently discarded.
+    """
+
+    def __init__(self, path: Optional[Union[str, os.PathLike]] = None) -> None:
+        self._results: Dict[CacheKey, ValidationResult] = {}
+        #: Number of lookups answered from the cache.
+        self.hits = 0
+        #: Number of lookups that had to validate.
+        self.misses = 0
+        #: Entries read from disk at construction time.
+        self.loaded = 0
+        #: Entries written by the most recent :meth:`save`.
+        self.stored = 0
+        #: Resolved persistence file, or ``None`` for an in-memory cache.
+        self.path: Optional[Path] = _resolve_cache_path(path) if path is not None else None
+        self._dirty = False
+        if self.path is not None:
+            self._results.update(_read_cache_file(self.path))
+            self.loaded = len(self._results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    @property
+    def persistent(self) -> bool:
+        """Does this cache have an on-disk backend?"""
+        return self.path is not None
+
+    def key(self, before: Function, after: Function,
+            config: ValidatorConfig) -> CacheKey:
+        """The cache key for one validation query."""
+        return self.key_for(function_fingerprint(before),
+                            function_fingerprint(after), config)
+
+    @staticmethod
+    def key_for(fingerprint_before: str, fingerprint_after: str,
+                config: ValidatorConfig) -> CacheKey:
+        """The cache key for a pair of precomputed content fingerprints.
+
+        The batch driver fingerprints every pipeline checkpoint exactly
+        once and derives all of its pair keys from those, instead of
+        re-printing each function per adjacent pair.
+        """
+        return (
+            fingerprint_before,
+            fingerprint_after,
+            tuple(config.rule_groups),
+            config.matcher,
+            config.engine,
+            config.max_iterations,
+            config.recursion_limit,
+        )
+
+    def peek(self, key: CacheKey) -> Optional[ValidationResult]:
+        """The stored result for ``key`` (no hit/miss accounting)."""
+        return self._results.get(key)
+
+    def get(self, key: CacheKey, function_name: str) -> Optional[ValidationResult]:
+        """A cached result renamed for ``function_name``, or ``None``."""
+        cached = self._results.get(key)
+        if cached is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return replace(cached, function_name=function_name)
+
+    def put(self, key: CacheKey, result: ValidationResult) -> None:
+        """Store one validation outcome."""
+        self._results[key] = result
+        self._dirty = True
+
+    def merge(self, other: "ValidationCache") -> int:
+        """Adopt every entry of ``other`` this cache does not hold yet.
+
+        Returns the number of entries adopted.  Existing entries win (both
+        sides describe the same content-addressed verdict, so which copy
+        survives is immaterial; keeping ours avoids churn).
+        """
+        added = 0
+        for key, result in other._results.items():
+            if key not in self._results:
+                self._results[key] = result
+                added += 1
+        if added:
+            self._dirty = True
+        return added
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path: Optional[Union[str, os.PathLike]] = None) -> int:
+        """Write the cache to disk; returns the number of entries written.
+
+        The write is atomic (temp file + rename) and *merging*: entries
+        another process stored since we loaded are re-read and kept, so
+        concurrent corpus sweeps sharing one cache directory can only grow
+        it.  With no ``path`` and no construction-time path this is a
+        no-op returning ``0``.
+        """
+        target = _resolve_cache_path(path) if path is not None else self.path
+        if target is None:
+            return 0
+        merged = _read_cache_file(target)
+        merged.update(self._results)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "entries": {_encode_key(key): {name: value
+                                           for name, value in asdict(result).items()
+                                           if name in _RESULT_FIELDS}
+                        for key, result in merged.items()},
+        }
+        fd, temp_name = tempfile.mkstemp(dir=str(target.parent),
+                                         prefix=target.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(temp_name, target)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self._results = merged
+        self.stored = len(merged)
+        self._dirty = False
+        return self.stored
+
+    def save_if_dirty(self) -> int:
+        """Persist only when persistent and changed since load/last save."""
+        if self.path is not None and self._dirty:
+            return self.save()
+        return 0
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters as a plain dict (for reports).
+
+        Persistent caches additionally report how many entries the disk
+        backend contributed (``disk_loaded``) and how many the last save
+        wrote back (``disk_stored``).
+        """
+        counters = {"hits": self.hits, "misses": self.misses,
+                    "entries": len(self._results)}
+        if self.path is not None:
+            counters["disk_loaded"] = self.loaded
+            counters["disk_stored"] = self.stored
+        return counters
+
+
+def _read_cache_file(path: Path) -> Dict[CacheKey, ValidationResult]:
+    """Load entries from ``path``, tolerating every way the file can be bad.
+
+    Missing file, unreadable file, invalid JSON, wrong top-level shape or a
+    schema-version mismatch all yield an empty dict; individually malformed
+    entries are skipped without poisoning their neighbours.
+    """
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return {}
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        return {}
+    if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA:
+        return {}
+    entries = payload.get("entries")
+    if not isinstance(entries, dict):
+        return {}
+    results: Dict[CacheKey, ValidationResult] = {}
+    for key_text, result_payload in entries.items():
+        try:
+            results[_decode_key(key_text)] = _decode_result(result_payload)
+        except (KeyError, TypeError, ValueError):
+            continue
+    return results
+
+
+__all__ = ["CacheKey", "CACHE_SCHEMA", "CACHE_FILE_NAME", "ValidationCache"]

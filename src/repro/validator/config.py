@@ -9,7 +9,7 @@ rules against all rules.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..vgraph.normalize import ENGINES
 from ..vgraph.rules import ALL_RULE_GROUPS
@@ -60,8 +60,25 @@ class ValidatorConfig:
         or ``"fullscan"`` (the original re-scan-everything loop, kept as
         a baseline for parity tests and benchmarks).
     concurrency:
-        Number of worker processes :func:`repro.validator.driver.validate_module_batch`
-        may use.  ``0`` or ``1`` validates serially in-process.
+        Number of worker processes the drivers (``llvm_md`` and
+        :func:`repro.validator.driver.validate_module_batch`) may use to
+        shard validation queries.  ``0`` or ``1`` validates serially
+        in-process.
+    cache_dir:
+        Optional persistence location for the
+        :class:`~repro.validator.cache.ValidationCache`.  When set and no
+        explicit cache is passed, the drivers open a persistent cache
+        there (loading previously proved pairs) and save it back after the
+        run, so repeated corpus sweeps and CI re-runs skip every pair
+        proved before.  ``cache_dir`` never affects a verdict, so it is
+        *not* part of the cache key.
+    analysis_cache_size:
+        LRU bound for driver-created
+        :class:`~repro.analysis.manager.AnalysisManager` instances.
+        ``0`` keeps them unbounded (the historical behavior); a positive
+        value caps how many analysed function versions stay pinned in
+        memory, which long-lived services need.  Eviction never changes a
+        verdict, only the ``analysis_stats`` counters.
     """
 
     rule_groups: Tuple[str, ...] = tuple(ALL_RULE_GROUPS)
@@ -70,10 +87,14 @@ class ValidatorConfig:
     recursion_limit: int = 50_000
     engine: str = "worklist"
     concurrency: int = 0
+    cache_dir: Optional[str] = None
+    analysis_cache_size: int = 0
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             raise ValueError(f"unknown engine {self.engine!r} (known: {ENGINES})")
+        if self.analysis_cache_size < 0:
+            raise ValueError("analysis_cache_size must be >= 0 (0 = unbounded)")
 
     def with_rules(self, rule_groups) -> "ValidatorConfig":
         """A copy of this configuration with different rule groups."""
@@ -82,6 +103,10 @@ class ValidatorConfig:
     def with_engine(self, engine: str) -> "ValidatorConfig":
         """A copy of this configuration with a different normalization engine."""
         return replace(self, engine=engine)
+
+    def with_cache_dir(self, cache_dir: Optional[str]) -> "ValidatorConfig":
+        """A copy of this configuration with a different persistent cache dir."""
+        return replace(self, cache_dir=cache_dir)
 
 
 #: The default configuration (all rules, combined matcher).

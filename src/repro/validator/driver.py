@@ -38,30 +38,45 @@ offers three *strategies*:
 
 All strategies can share one :class:`~repro.analysis.manager.AnalysisManager`
 so per-version analyses (dominators, loops, gates, ...) are computed once
-per checkpoint no matter how many queries consume them — in stepwise mode
-the "after" of step *i* is the "before" of step *i+1*, so every interior
-checkpoint's analyses are built once and reused.  The
-:class:`ValidationCache` keys each adjacent pair by content, exactly as it
-keys whole pairs.
+per checkpoint no matter how many queries consume them, and every strategy
+is written against one *pair provider* abstraction — a callable answering
+``(before, after) -> (result, was_cached)`` — so the serial driver (which
+validates lazily through the :class:`ValidationCache`) and the sharded
+batch driver (which pre-validates a flattened work queue on a process
+pool) assemble byte-identical per-function verdicts from the same code.
 
 For corpus-scale traffic the module adds a batch layer on top:
 :func:`validate_module_batch` validates many modules through one
-:class:`ValidationCache` (results keyed on the *content* of the function
-pair plus the rule configuration, so identical pairs are validated once)
-and can fan the actual validation work out to a process pool via
-``config.concurrency``.
+:class:`ValidationCache` and, when ``config.concurrency > 1``, *shards*
+the work: the deduplicated validation queries of **all** functions of
+**all** modules — whole pairs under ``"whole"``/``"bisect"``, every
+per-pass adjacent checkpoint pair under ``"stepwise"`` — are flattened
+into one queue and fanned out over a ``ProcessPoolExecutor``, then merged
+back into the shared cache and reassembled into per-function records
+identical to the serial path's.  With ``config.cache_dir`` set the cache
+is *persistent*: previously proved pairs are loaded from disk up front and
+the merged results are saved back after the run, so repeated corpus sweeps
+and CI re-runs skip everything proved before.
 """
 
 from __future__ import annotations
 
+import pickle
+import sys
 from dataclasses import replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis.manager import AnalysisManager, function_fingerprint
 from ..ir.cloning import clone_function, clone_globals_into
 from ..ir.module import Function, Module
 from ..ir.values import Value
-from ..transforms.pass_manager import PAPER_PIPELINE, PassManager, PassSnapshot
+from ..transforms.pass_manager import (
+    PAPER_PIPELINE,
+    PassManager,
+    PassSnapshot,
+    checkpoint_chain,
+)
+from .cache import CacheKey, ValidationCache
 from .config import DEFAULT_CONFIG, ValidatorConfig
 from .report import FunctionRecord, ValidationReport
 from .validate import ValidationResult, validate
@@ -69,68 +84,9 @@ from .validate import ValidationResult, validate
 #: The validation strategies :func:`validate_function_pipeline` implements.
 STRATEGIES = ("whole", "stepwise", "bisect")
 
-#: Cache key: content hashes of both functions plus everything about the
-#: configuration that can change a verdict.
-CacheKey = Tuple[str, str, Tuple[str, ...], str, str, int, int]
-
-
-class ValidationCache:
-    """Memoizes validation results by function-pair content.
-
-    The key is ``(original-hash, optimized-hash, rule-groups, matcher,
-    engine, max-iterations, recursion-limit)``: everything the verdict
-    can depend on (a too-small recursion limit turns a deep build into a
-    ``build-error`` rejection, so it is part of the key too).  Two
-    different functions with identical bodies share an entry, so batch
-    validation of a corpus full of near-duplicate traffic only pays for
-    the distinct pairs.  Stepwise validation feeds each adjacent
-    checkpoint pair through the same keying, so repeated single-pass
-    effects are also validated once.
-    """
-
-    def __init__(self) -> None:
-        self._results: Dict[CacheKey, ValidationResult] = {}
-        #: Number of lookups answered from the cache.
-        self.hits = 0
-        #: Number of lookups that had to validate.
-        self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._results)
-
-    def key(self, before: Function, after: Function,
-            config: ValidatorConfig) -> CacheKey:
-        """The cache key for one validation query."""
-        return (
-            function_fingerprint(before),
-            function_fingerprint(after),
-            tuple(config.rule_groups),
-            config.matcher,
-            config.engine,
-            config.max_iterations,
-            config.recursion_limit,
-        )
-
-    def peek(self, key: CacheKey) -> Optional[ValidationResult]:
-        """The stored result for ``key`` (no hit/miss accounting)."""
-        return self._results.get(key)
-
-    def get(self, key: CacheKey, function_name: str) -> Optional[ValidationResult]:
-        """A cached result renamed for ``function_name``, or ``None``."""
-        cached = self._results.get(key)
-        if cached is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return replace(cached, function_name=function_name)
-
-    def put(self, key: CacheKey, result: ValidationResult) -> None:
-        """Store one validation outcome."""
-        self._results[key] = result
-
-    def stats(self) -> Dict[str, int]:
-        """Hit/miss/size counters as a plain dict (for reports)."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._results)}
+#: A pair provider: answers one ``(before, after)`` validation query,
+#: returning ``(result, was_answered_from_cache)``.
+PairProvider = Callable[[Function, Function], Tuple[ValidationResult, bool]]
 
 
 def _validate_pair_cached(
@@ -152,6 +108,16 @@ def _validate_pair_cached(
     return result, False
 
 
+def _serial_provider(config: ValidatorConfig, cache: Optional[ValidationCache],
+                     manager: Optional[AnalysisManager]) -> PairProvider:
+    """The lazy provider: validate on demand through the optional cache."""
+
+    def provider(before: Function, after: Function) -> Tuple[ValidationResult, bool]:
+        return _validate_pair_cached(before, after, config, cache, manager)
+
+    return provider
+
+
 def _merge_stats(results: Sequence[ValidationResult]) -> Dict[str, int]:
     """Sum the integer normalization counters of several results."""
     totals: Dict[str, int] = {}
@@ -164,14 +130,11 @@ def _merge_stats(results: Sequence[ValidationResult]) -> Dict[str, int]:
 def _run_whole(
     function: Function,
     optimized: Function,
-    config: ValidatorConfig,
-    cache: Optional[ValidationCache],
-    manager: Optional[AnalysisManager],
+    provider: PairProvider,
     record: FunctionRecord,
 ) -> Function:
     """The paper's strategy: one query over the composed pipeline."""
-    record.result, record.from_cache = _validate_pair_cached(
-        function, optimized, config, cache, manager)
+    record.result, record.from_cache = provider(function, optimized)
     if record.result.is_success:
         record.kept_prefix = record.changed_steps
         return optimized
@@ -182,9 +145,7 @@ def _run_stepwise(
     function: Function,
     versions: List[Function],
     steps: List[PassSnapshot],
-    config: ValidatorConfig,
-    cache: Optional[ValidationCache],
-    manager: AnalysisManager,
+    provider: PairProvider,
     record: FunctionRecord,
 ) -> Function:
     """Validate adjacent checkpoint pairs; keep the longest proved prefix."""
@@ -192,8 +153,7 @@ def _run_stepwise(
     hits: List[bool] = []
     failed_index: Optional[int] = None
     for index, step in enumerate(steps):
-        result, hit = _validate_pair_cached(
-            versions[index], versions[index + 1], config, cache, manager)
+        result, hit = provider(versions[index], versions[index + 1])
         record.pass_verdicts[step.pass_name] = result
         results.append(result)
         hits.append(hit)
@@ -215,9 +175,13 @@ def _run_stepwise(
     # A checkpoint pair was rejected.  That does not prove the composition
     # invalid (pass i+1 may undo pass i, making the pair *harder* than the
     # whole), so try the whole query before settling for the prefix —
-    # this is what makes stepwise accept a superset of whole.
-    whole_result, whole_hit = _validate_pair_cached(
-        versions[0], versions[-1], config, cache, manager)
+    # this is what makes stepwise accept a superset of whole.  With a
+    # single changed step the failing pair *is* the whole pair: reuse its
+    # verdict instead of validating the identical query a second time.
+    if len(steps) == 1:
+        whole_result, whole_hit = results[failed_index], hits[failed_index]
+    else:
+        whole_result, whole_hit = provider(versions[0], versions[-1])
     if whole_result.is_success:
         record.whole_fallback = True
         record.kept_prefix = len(steps)
@@ -245,14 +209,11 @@ def _run_bisect(
     function: Function,
     versions: List[Function],
     steps: List[PassSnapshot],
-    config: ValidatorConfig,
-    cache: Optional[ValidationCache],
-    manager: AnalysisManager,
+    provider: PairProvider,
     record: FunctionRecord,
 ) -> Function:
     """Whole query first; on rejection, bisect the checkpoints for blame."""
-    whole_result, whole_hit = _validate_pair_cached(
-        versions[0], versions[-1], config, cache, manager)
+    whole_result, whole_hit = provider(versions[0], versions[-1])
     record.from_cache = whole_hit
     record.pass_verdicts[steps[-1].pass_name] = whole_result
     if whole_result.is_success:
@@ -269,8 +230,7 @@ def _run_bisect(
     lo, hi = 0, len(steps)
     while hi - lo > 1:
         mid = (lo + hi) // 2
-        result, _ = _validate_pair_cached(
-            versions[0], versions[mid], config, cache, manager)
+        result, _ = provider(versions[0], versions[mid])
         probes.append(result)
         record.pass_verdicts[steps[mid - 1].pass_name] = result
         if result.is_success:
@@ -290,6 +250,11 @@ def _run_bisect(
                 f"kept the {lo}-step validated prefix\n{whole_result.detail}"),
     )
     return versions[lo]
+
+
+def _driver_manager(config: ValidatorConfig) -> AnalysisManager:
+    """A driver-owned analysis manager honoring the configured LRU bound."""
+    return AnalysisManager(max_entries=config.analysis_cache_size or None)
 
 
 def validate_function_pipeline(
@@ -312,8 +277,9 @@ def validate_function_pipeline(
 
     When ``cache`` is given, previously validated identical pairs
     (monolithic or adjacent-checkpoint) are answered from it; when
-    ``manager`` is given (or a snapshot strategy creates its own), every
-    distinct function version's analyses are computed only once.
+    ``manager`` is given (or a snapshot strategy creates its own, bounded
+    by ``config.analysis_cache_size``), every distinct function version's
+    analyses are computed only once.
     """
     config = config or DEFAULT_CONFIG
     if strategy not in STRATEGIES:
@@ -327,7 +293,8 @@ def validate_function_pipeline(
         record.transformed_by = PassManager(passes).run_on_function(optimized)
         if skip_unchanged and not record.transformed:
             return function, record
-        kept = _run_whole(function, optimized, config, cache, manager, record)
+        provider = _serial_provider(config, cache, manager)
+        kept = _run_whole(function, optimized, provider, record)
         if manager is not None:
             record.analysis_stats = manager.stats()
         return kept, record
@@ -339,18 +306,17 @@ def validate_function_pipeline(
 
     # The version chain: the original, then one checkpoint per *changed*
     # pass (unchanged passes are identity steps — nothing to validate).
-    steps = [snap for snap in snapshots if snap.changed]
-    versions = [function] + [snap.function for snap in steps]
-    manager = manager if manager is not None else AnalysisManager()
+    steps, versions = checkpoint_chain(function, snapshots)
+    manager = manager if manager is not None else _driver_manager(config)
+    provider = _serial_provider(config, cache, manager)
     if not steps:
         # skip_unchanged=False and no pass changed anything: validate the
         # identity pair, for parity with the whole strategy.
-        record.result, record.from_cache = _validate_pair_cached(
-            function, function, config, cache, manager)
+        record.result, record.from_cache = provider(function, function)
         record.analysis_stats = manager.stats()
         return function, record
     runner = _run_stepwise if strategy == "stepwise" else _run_bisect
-    kept = runner(function, versions, steps, config, cache, manager, record)
+    kept = runner(function, versions, steps, provider, record)
     record.analysis_stats = manager.stats()
     return kept, record
 
@@ -403,10 +369,28 @@ def llvm_md(
     the resulting module (a new :class:`Module`; the input is not mutated
     and shares no mutable structure — functions *and* globals are cloned)
     and the per-function :class:`ValidationReport`.
+
+    With ``config.concurrency > 1`` the module's validation queries are
+    sharded through :func:`validate_module_batch`'s process pool (the
+    per-function records are identical to the serial path's; ``manager``
+    is only consulted on the serial path).  With ``config.cache_dir`` set
+    and no explicit ``cache``, a persistent cache is opened there and
+    saved back after the run.
     """
     config = config or DEFAULT_CONFIG
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r} (known: {STRATEGIES})")
+    if config.concurrency and config.concurrency > 1:
+        selections = [list(function_names)] if function_names is not None else None
+        (result_module, report), = validate_module_batch(
+            [module], passes, config, labels=[label or module.name],
+            cache=cache, strategy=strategy, function_names=selections)
+        return result_module, report
+
+    if cache is None and config.cache_dir is not None:
+        cache = ValidationCache(config.cache_dir)
     if manager is None and strategy != "whole":
-        manager = AnalysisManager()
+        manager = _driver_manager(config)
     report = ValidationReport(label=label or module.name)
     result_module = Module(module.name)
     global_map = clone_globals_into(module, result_module)
@@ -431,10 +415,35 @@ def llvm_md(
             result_module.add_function(kept)
     _remap_function_refs(result_module)
     if cache is not None:
+        cache.save_if_dirty()
         report.cache_stats = cache.stats()
     if manager is not None:
         report.analysis_stats = manager.stats()
     return result_module, report
+
+
+class _FunctionPlan:
+    """One function's sharded-validation work: versions, keys, record."""
+
+    __slots__ = ("function", "record", "versions", "steps", "fingerprints",
+                 "pair_keys", "whole_key")
+
+    def __init__(self, function: Function, record: FunctionRecord,
+                 versions: List[Function], steps: Optional[List[PassSnapshot]],
+                 fingerprints: List[str], pair_keys: List[CacheKey],
+                 whole_key: CacheKey) -> None:
+        self.function = function
+        self.record = record
+        self.versions = versions
+        self.steps = steps
+        #: Content fingerprint of each version, computed once in phase 1
+        #: and reused by assembly-time key derivation.
+        self.fingerprints = fingerprints
+        #: Round-1 keys, in validation order (adjacent pairs under
+        #: stepwise; the single whole pair otherwise).
+        self.pair_keys = pair_keys
+        #: Key of the (original, final) pair — stepwise round 2's fallback.
+        self.whole_key = whole_key
 
 
 def _validate_pair(item: Tuple[Function, Function, ValidatorConfig]) -> ValidationResult:
@@ -443,113 +452,262 @@ def _validate_pair(item: Tuple[Function, Function, ValidatorConfig]) -> Validati
     return validate(before, after, config)
 
 
+def _run_validations(items: List[Tuple[Function, Function, ValidatorConfig]],
+                     config: ValidatorConfig) -> Tuple[List[ValidationResult], bool]:
+    """Validate a list of pairs; returns ``(results, used_process_pool)``.
+
+    Uses a ``ProcessPoolExecutor`` with ``config.concurrency`` workers
+    when configured.  Any pool-level failure — a platform that cannot
+    spawn processes, an object that fails to pickle, a worker crash —
+    falls back to validating serially in-process: re-running the items is
+    always safe (validation is deterministic and side-effect free) and a
+    genuine per-item error would reproduce serially anyway.
+    """
+    if config.concurrency and config.concurrency > 1 and len(items) > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures.process import BrokenProcessPool
+        except ImportError:  # pragma: no cover - stdlib always has it
+            return [_validate_pair(item) for item in items], False
+        # Deep operand chains make pickling recursive; give the parent the
+        # same recursion headroom validation itself gets.
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, config.recursion_limit))
+        try:
+            chunksize = max(1, len(items) // (config.concurrency * 4))
+            with ProcessPoolExecutor(max_workers=config.concurrency) as pool:
+                return list(pool.map(_validate_pair, items, chunksize=chunksize)), True
+        except (OSError, ValueError, TypeError, AttributeError, RecursionError,
+                pickle.PicklingError, BrokenProcessPool):
+            # Platforms without working process spawning, unpicklable
+            # payloads and worker crashes all degrade to serial execution.
+            pass
+        finally:
+            sys.setrecursionlimit(old_limit)
+    return [_validate_pair(item) for item in items], False
+
+
 def validate_module_batch(
     modules: Sequence[Module],
     passes: Sequence[str] = PAPER_PIPELINE,
     config: Optional[ValidatorConfig] = None,
     labels: Optional[Sequence[str]] = None,
     cache: Optional[ValidationCache] = None,
+    strategy: str = "whole",
+    function_names: Optional[Sequence[Optional[Iterable[str]]]] = None,
 ) -> List[Tuple[Module, ValidationReport]]:
     """Optimize and validate a batch of modules through one shared cache.
 
     The batch layer is what lets module-level validation scale to large
     corpora:
 
-    * every function of every module is optimized first, and the
-      resulting (original, optimized) pairs are *deduplicated* by content
-      hash — identical pairs (common in template-heavy or generated
-      corpora) are validated once;
+    * every function of every module is optimized first (checkpointing
+      each pass under ``strategy="stepwise"``/``"bisect"``), and the
+      resulting validation queries — whole (original, optimized) pairs,
+      or every per-pass *adjacent checkpoint pair* under stepwise — are
+      flattened into one work queue and *deduplicated* by content hash:
+      identical pairs (common in template-heavy or generated corpora, and
+      in repeated single-pass effects) are validated once;
     * the distinct pairs are validated either serially or, when
-      ``config.concurrency > 1``, on a ``ProcessPoolExecutor`` with that
-      many workers (falling back to serial execution if the platform
-      cannot spawn processes);
-    * results are assembled into per-module reports identical to what
-      per-module :func:`llvm_md` calls would have produced, with
-      ``from_cache`` records marking the deduplicated functions.
+      ``config.concurrency > 1``, sharded over a ``ProcessPoolExecutor``
+      with that many workers (falling back to serial execution if the
+      platform cannot spawn processes or a payload cannot be pickled);
+      under stepwise, a second round fans out the whole-query fallbacks of
+      functions whose checkpoint pair was rejected;
+    * worker results are merged back into the shared cache and per-module
+      reports are assembled from it — records identical to what serial
+      per-module :func:`llvm_md` calls would have produced (verdicts,
+      blame, kept prefixes, per-pass verdicts), with ``from_cache``
+      marking deduplicated queries and each query counted exactly once in
+      the cache's hit/miss totals.
+
+    With ``config.cache_dir`` set and no explicit ``cache``, the cache is
+    persistent: previously proved pairs load from disk and the merged
+    results are saved back after assembly.  ``function_names`` optionally
+    restricts validation per module (one entry per module; ``None``
+    validates every defined function), mirroring ``llvm_md``.
 
     Returns ``[(result_module, report), ...]`` in input order.
     """
     config = config or DEFAULT_CONFIG
-    cache = cache if cache is not None else ValidationCache()
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r} (known: {STRATEGIES})")
     if labels is not None and len(labels) != len(modules):
         raise ValueError("labels must match modules one to one")
+    if function_names is not None and len(function_names) != len(modules):
+        raise ValueError("function_names must match modules one to one")
+    if cache is None:
+        cache = ValidationCache(config.cache_dir)
 
-    # Phase 1: optimize everything, recording the work each module needs.
-    plans = []  # per module: (result_module, report, global_map, [(function, optimized, record, key)])
+    # Phase 1: optimize everything, planning the queries each function
+    # needs.  Whole/bisect plan the (original, final) pair; stepwise plans
+    # every adjacent checkpoint pair.  Fingerprints are computed once per
+    # version and shared by all the keys derived from them.
+    plans: List[Tuple[Module, ValidationReport, Dict[Value, Value], List[_FunctionPlan]]] = []
     pending: Dict[CacheKey, Tuple[Function, Function]] = {}
     for index, module in enumerate(modules):
         label = labels[index] if labels is not None else module.name
+        selected: Optional[set] = None
+        if function_names is not None and function_names[index] is not None:
+            selected = set(function_names[index])
         report = ValidationReport(label=label)
         result_module = Module(module.name)
         global_map = clone_globals_into(module, result_module)
-        work = []
+        work: List[_FunctionPlan] = []
         for function in module.functions.values():
-            if function.is_declaration:
+            if function.is_declaration or (selected is not None and function.name not in selected):
                 result_module.add_function(clone_function(function, value_map=global_map))
                 continue
-            record = FunctionRecord(name=function.name)
-            optimized = clone_function(function)
-            record.transformed_by = PassManager(passes).run_on_function(optimized)
-            report.add(record)
-            if not record.transformed:
-                result_module.add_function(clone_function(function, value_map=global_map))
-                continue
-            key = cache.key(function, optimized, config)
-            if cache.peek(key) is None and key not in pending:
-                pending[key] = (function, optimized)
-            work.append((function, optimized, record, key))
+            record = FunctionRecord(name=function.name, strategy=strategy)
+            if strategy == "whole":
+                optimized = clone_function(function)
+                record.transformed_by = PassManager(passes).run_on_function(optimized)
+                report.add(record)
+                if not record.transformed:
+                    result_module.add_function(clone_function(function, value_map=global_map))
+                    continue
+                steps = None
+                versions = [function, optimized]
+                fingerprints = [function_fingerprint(function),
+                                function_fingerprint(optimized)]
+            else:
+                snapshots = PassManager(passes).run_with_snapshots(function)
+                record.transformed_by = {snap.pass_name: snap.changed
+                                         for snap in snapshots}
+                report.add(record)
+                if not record.transformed:
+                    result_module.add_function(clone_function(function, value_map=global_map))
+                    continue
+                steps, versions = checkpoint_chain(function, snapshots)
+                fingerprints = [function_fingerprint(function)]
+                fingerprints += [snap.fingerprint() for snap in steps]
+            whole_key = cache.key_for(fingerprints[0], fingerprints[-1], config)
+            if strategy == "stepwise":
+                pair_keys = [cache.key_for(fingerprints[i], fingerprints[i + 1], config)
+                             for i in range(len(versions) - 1)]
+                pair_versions = list(zip(versions, versions[1:]))
+            else:
+                pair_keys = [whole_key]
+                pair_versions = [(versions[0], versions[-1])]
+            for key, (before, after) in zip(pair_keys, pair_versions):
+                if cache.peek(key) is None and key not in pending:
+                    pending[key] = (before, after)
+            work.append(_FunctionPlan(function, record, versions, steps,
+                                      fingerprints, pair_keys, whole_key))
         plans.append((result_module, report, global_map, work))
 
-    # Phase 2: validate the distinct pairs (optionally in parallel).
+    # Phase 2, round 1: validate the distinct pairs (sharded when
+    # configured) and merge the outcomes back into the shared cache.
     items = [(before, after, config) for before, after in pending.values()]
-    outcomes = _run_validations(items, config)
+    outcomes, pooled_round1 = _run_validations(items, config)
     for key, result in zip(pending, outcomes):
         cache.put(key, result)
 
-    # Phase 3: assemble result modules and reports from the cache.  The
-    # first consumer of a freshly validated pair paid for the validation
-    # (a miss); every further function with the same key — within this
-    # module, across modules, or from an earlier batch — is a cache hit.
-    fresh = set(pending)
+    # Round 2 (stepwise only): functions whose adjacent-pair walk hits a
+    # rejection fall back to the whole (original, final) query — the serial
+    # strategy's superset guarantee.  Those queries only become known once
+    # round 1's verdicts are in, so fan them out as a second wave.
+    pending_whole: Dict[CacheKey, Tuple[Function, Function]] = {}
+    pooled_round2 = False
+    if strategy == "stepwise":
+        for _, _, _, work in plans:
+            for plan in work:
+                rejected = False
+                for key in plan.pair_keys:
+                    result = cache.peek(key)
+                    if result is not None and not result.is_success:
+                        rejected = True
+                        break
+                if rejected and cache.peek(plan.whole_key) is None \
+                        and plan.whole_key not in pending_whole:
+                    pending_whole[plan.whole_key] = (plan.versions[0], plan.versions[-1])
+        if pending_whole:
+            items = [(before, after, config) for before, after in pending_whole.values()]
+            outcomes, pooled_round2 = _run_validations(items, config)
+            for key, result in zip(pending_whole, outcomes):
+                cache.put(key, result)
+
+    # Phase 3: assemble result modules and reports from the cache through
+    # the same strategy runners the serial driver uses.  The first
+    # consumer of a freshly validated pair pays for it (a miss); every
+    # further consumption of the same key — within a module, across
+    # modules, or from an earlier batch / the disk backend — is a cache
+    # hit, so totals count each query exactly once.  Queries the rounds
+    # could not anticipate (bisect probes) validate inline through a
+    # bounded analysis manager.
+    fresh = set(pending) | set(pending_whole)
     consumed: set = set()
+    manager = _driver_manager(config)
+    inline_validations = 0
+    # Every version the runners can hand the provider was fingerprinted in
+    # phase 1; the memo keeps assembly from re-printing/re-hashing per pair
+    # (ids stay unambiguous because the plans pin the versions alive).
+    fingerprint_memo: Dict[int, str] = {}
+    for _, _, _, work in plans:
+        for plan in work:
+            for version, fingerprint in zip(plan.versions, plan.fingerprints):
+                fingerprint_memo[id(version)] = fingerprint
+
+    def _fingerprint(function: Function) -> str:
+        memoized = fingerprint_memo.get(id(function))
+        return memoized if memoized is not None else function_fingerprint(function)
+
+    def provider(before: Function, after: Function) -> Tuple[ValidationResult, bool]:
+        nonlocal inline_validations
+        key = cache.key_for(_fingerprint(before), _fingerprint(after), config)
+        stored = cache.peek(key)
+        if stored is None:
+            result = validate(before, after, config, manager=manager)
+            cache.put(key, result)
+            cache.misses += 1
+            inline_validations += 1
+            fresh.add(key)
+            consumed.add(key)
+            return result, False
+        if key in fresh and key not in consumed:
+            cache.misses += 1
+            hit = False
+        else:
+            cache.hits += 1
+            hit = True
+        consumed.add(key)
+        return replace(stored, function_name=before.name), hit
+
     results: List[Tuple[Module, ValidationReport]] = []
     for result_module, report, global_map, work in plans:
-        for function, optimized, record, key in work:
-            stored = cache.peek(key)
-            if key in fresh and key not in consumed:
-                cache.misses += 1
-                record.from_cache = False
+        for plan in work:
+            if strategy == "whole":
+                kept = _run_whole(plan.function, plan.versions[-1], provider, plan.record)
+            elif strategy == "stepwise":
+                kept = _run_stepwise(plan.function, plan.versions, plan.steps,
+                                     provider, plan.record)
             else:
-                cache.hits += 1
-                record.from_cache = True
-            consumed.add(key)
-            record.result = replace(stored, function_name=function.name)
-            if record.result.is_success:
-                record.kept_prefix = record.changed_steps
-                _remap_globals(optimized, global_map)
-                result_module.add_function(optimized)
+                kept = _run_bisect(plan.function, plan.versions, plan.steps,
+                                   provider, plan.record)
+            if kept is plan.function:
+                result_module.add_function(
+                    clone_function(plan.function, value_map=global_map))
             else:
-                result_module.add_function(clone_function(function, value_map=global_map))
+                _remap_globals(kept, global_map)
+                result_module.add_function(kept)
         _remap_function_refs(result_module)
-        report.cache_stats = cache.stats()
         results.append((result_module, report))
+
+    pooled = pooled_round1 or pooled_round2
+    shard_stats = {
+        "distinct_pairs": len(pending) + len(pending_whole),
+        "pooled_pairs": (len(pending) if pooled_round1 else 0)
+                        + (len(pending_whole) if pooled_round2 else 0),
+        "inline_validations": inline_validations,
+        "workers": config.concurrency if pooled else 0,
+    }
+    cache.save_if_dirty()
+    analysis_stats = manager.stats()
+    for _, report in results:
+        report.shard_stats = dict(shard_stats)
+        report.analysis_stats = analysis_stats
+        report.cache_stats = cache.stats()
     return results
-
-
-def _run_validations(items: List[Tuple[Function, Function, ValidatorConfig]],
-                     config: ValidatorConfig) -> List[ValidationResult]:
-    """Validate a list of pairs, using a process pool when configured."""
-    if config.concurrency and config.concurrency > 1 and len(items) > 1:
-        try:
-            from concurrent.futures import ProcessPoolExecutor
-
-            with ProcessPoolExecutor(max_workers=config.concurrency) as pool:
-                return list(pool.map(_validate_pair, items))
-        except (ImportError, OSError, ValueError):  # pragma: no cover
-            # Platforms without working process spawning (or pickling
-            # restrictions) fall back to serial validation.
-            pass
-    return [_validate_pair(item) for item in items]
 
 
 __all__ = [

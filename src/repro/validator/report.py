@@ -52,6 +52,29 @@ class FunctionRecord:
     #: this record's validations went through (``None`` without a manager).
     analysis_stats: Optional[Dict[str, int]] = None
 
+    def signature(self) -> Dict[str, object]:
+        """Everything about this record that validation *decided*.
+
+        The deterministic verdict surface — name, per-pass changed flags,
+        acceptance, reason, blame, kept prefix, fallback flag and per-pass
+        verdicts — with the incidental measurements (elapsed wall-clock,
+        cache provenance, analysis counters) excluded.  The sharded batch
+        driver must reproduce the serial driver's signatures exactly; the
+        parity tests and the CI shard guard compare these dicts.
+        """
+        return {
+            "name": self.name,
+            "strategy": self.strategy,
+            "transformed_by": dict(self.transformed_by),
+            "validated": self.validated,
+            "reason": self.result.reason if self.result is not None else None,
+            "blamed_pass": self.blamed_pass,
+            "kept_prefix": self.kept_prefix,
+            "whole_fallback": self.whole_fallback,
+            "pass_verdicts": {name: (verdict.is_success, verdict.reason)
+                              for name, verdict in self.pass_verdicts.items()},
+        }
+
     @property
     def transformed(self) -> bool:
         """Was the function changed by at least one pass?"""
@@ -97,6 +120,12 @@ class ValidationReport:
     #: :class:`~repro.analysis.manager.AnalysisManager` (``None`` when the
     #: run did not use one).
     analysis_stats: Optional[Dict[str, int]] = None
+    #: Sharding counters of the batch driver (``None`` for serial runs):
+    #: ``distinct_pairs`` (deduplicated queries this batch validated),
+    #: ``pooled_pairs`` (how many of those ran on the process pool),
+    #: ``inline_validations`` (assembly-time queries, e.g. bisect probes),
+    #: ``workers`` (pool width, ``0`` when everything ran in-process).
+    shard_stats: Optional[Dict[str, int]] = None
 
     def add(self, record: FunctionRecord) -> None:
         """Append one function record."""

@@ -1,0 +1,247 @@
+"""Tests for the persistent on-disk ValidationCache backend.
+
+Covers the roundtrip (save → load → all hits), content/config keyed
+invalidation, tolerance of corrupted or version-mismatched cache files,
+merge semantics (in-memory and save-time), and that the sharded batch
+driver reports worker-answered queries in the cache totals without double
+counting.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.bench import small_test_corpus
+from repro.ir import clone_function, parse_function
+from repro.transforms import PAPER_PIPELINE
+from repro.validator import (
+    CACHE_FILE_NAME,
+    CACHE_SCHEMA,
+    DEFAULT_CONFIG,
+    ValidationCache,
+    llvm_md,
+    validate,
+    validate_module_batch,
+)
+
+SHARDED = replace(DEFAULT_CONFIG, concurrency=2)
+
+
+@pytest.fixture
+def pair(loop_source):
+    before = parse_function(loop_source)
+    return before, clone_function(before)
+
+
+class TestRoundtrip:
+    def test_save_and_reload(self, tmp_path, pair):
+        before, after = pair
+        cache = ValidationCache(tmp_path)
+        key = cache.key(before, after, DEFAULT_CONFIG)
+        result = validate(before, after, DEFAULT_CONFIG)
+        cache.put(key, result)
+        written = cache.save()
+        assert written == 1
+        assert (tmp_path / CACHE_FILE_NAME).exists()
+
+        reloaded = ValidationCache(tmp_path)
+        assert reloaded.loaded == 1
+        stored = reloaded.peek(key)
+        assert stored is not None
+        assert stored.is_success == result.is_success
+        assert stored.reason == result.reason
+        assert stored.stats == result.stats
+        assert stored.graph_nodes == result.graph_nodes
+
+    def test_explicit_json_path(self, tmp_path, pair):
+        before, after = pair
+        target = tmp_path / "custom.json"
+        cache = ValidationCache(target)
+        cache.put(cache.key(before, after, DEFAULT_CONFIG),
+                  validate(before, after, DEFAULT_CONFIG))
+        cache.save()
+        assert target.exists()
+        assert ValidationCache(target).loaded == 1
+
+    def test_save_if_dirty_skips_clean_cache(self, tmp_path, pair):
+        before, after = pair
+        cache = ValidationCache(tmp_path)
+        cache.put(cache.key(before, after, DEFAULT_CONFIG),
+                  validate(before, after, DEFAULT_CONFIG))
+        assert cache.save_if_dirty() == 1
+        # No changes since the save: nothing to write.
+        assert cache.save_if_dirty() == 0
+        # A pure-memory cache has nowhere to save to.
+        assert ValidationCache().save_if_dirty() == 0
+
+    def test_llvm_md_warm_run_answers_from_disk(self, tmp_path):
+        module = small_test_corpus(functions=5, seed=11)
+        config = replace(DEFAULT_CONFIG, cache_dir=str(tmp_path))
+        _, cold = llvm_md(module, PAPER_PIPELINE, config, strategy="stepwise")
+        assert cold.cache_stats["misses"] > 0
+        assert (tmp_path / CACHE_FILE_NAME).exists()
+        _, warm = llvm_md(module, PAPER_PIPELINE, config, strategy="stepwise")
+        assert warm.cache_stats["misses"] == 0
+        assert warm.cache_stats["disk_loaded"] == cold.cache_stats["entries"]
+        assert warm.cache_hits == sum(1 for r in warm.records if r.transformed)
+        # Verdicts are unchanged by where the answers came from.
+        assert [r.signature() for r in cold.records] == \
+               [r.signature() for r in warm.records]
+
+
+class TestInvalidation:
+    def test_content_change_misses(self, pair):
+        before, after = pair
+        cache = ValidationCache()
+        key = cache.key(before, after, DEFAULT_CONFIG)
+        mutated = clone_function(after)
+        mutated.block("body").instructions[0].opcode = "sub"
+        assert cache.key(before, mutated, DEFAULT_CONFIG) != key
+
+    def test_config_change_misses(self, tmp_path, pair):
+        before, after = pair
+        cache = ValidationCache(tmp_path)
+        key = cache.key(before, after, DEFAULT_CONFIG)
+        cache.put(key, validate(before, after, DEFAULT_CONFIG))
+        cache.save()
+        reloaded = ValidationCache(tmp_path)
+        for changed in (DEFAULT_CONFIG.with_rules(("phi",)),
+                        DEFAULT_CONFIG.with_engine("fullscan"),
+                        replace(DEFAULT_CONFIG, matcher="simple"),
+                        replace(DEFAULT_CONFIG, max_iterations=3),
+                        replace(DEFAULT_CONFIG, recursion_limit=10_000)):
+            assert reloaded.peek(reloaded.key(before, after, changed)) is None
+        # Sharding/persistence knobs must NOT invalidate: they cannot
+        # change a verdict.
+        for same in (replace(DEFAULT_CONFIG, concurrency=4),
+                     replace(DEFAULT_CONFIG, cache_dir="/elsewhere"),
+                     replace(DEFAULT_CONFIG, analysis_cache_size=2)):
+            assert reloaded.peek(reloaded.key(before, after, same)) is not None
+
+
+class TestCorruptionTolerance:
+    def test_corrupted_file_starts_cold(self, tmp_path, pair):
+        before, after = pair
+        target = tmp_path / CACHE_FILE_NAME
+        target.write_text("{ not json at all", encoding="utf-8")
+        cache = ValidationCache(tmp_path)
+        assert cache.loaded == 0 and len(cache) == 0
+        # And the broken file is replaced by a clean save.
+        cache.put(cache.key(before, after, DEFAULT_CONFIG),
+                  validate(before, after, DEFAULT_CONFIG))
+        assert cache.save() == 1
+        assert ValidationCache(tmp_path).loaded == 1
+
+    def test_schema_mismatch_ignored(self, tmp_path, pair):
+        before, after = pair
+        cache = ValidationCache(tmp_path)
+        cache.put(cache.key(before, after, DEFAULT_CONFIG),
+                  validate(before, after, DEFAULT_CONFIG))
+        cache.save()
+        target = tmp_path / CACHE_FILE_NAME
+        payload = json.loads(target.read_text())
+        payload["schema"] = CACHE_SCHEMA + 999
+        target.write_text(json.dumps(payload), encoding="utf-8")
+        assert ValidationCache(tmp_path).loaded == 0
+
+    def test_wrong_toplevel_shape_ignored(self, tmp_path):
+        (tmp_path / CACHE_FILE_NAME).write_text('["a", "list"]', encoding="utf-8")
+        assert ValidationCache(tmp_path).loaded == 0
+        (tmp_path / CACHE_FILE_NAME).write_text(
+            json.dumps({"schema": CACHE_SCHEMA, "entries": "nope"}), encoding="utf-8")
+        assert ValidationCache(tmp_path).loaded == 0
+
+    def test_malformed_entry_skipped_without_poisoning_neighbours(self, tmp_path, pair):
+        before, after = pair
+        cache = ValidationCache(tmp_path)
+        cache.put(cache.key(before, after, DEFAULT_CONFIG),
+                  validate(before, after, DEFAULT_CONFIG))
+        cache.save()
+        target = tmp_path / CACHE_FILE_NAME
+        payload = json.loads(target.read_text())
+        payload["entries"]["garbage-key"] = {"bad": "entry"}
+        target.write_text(json.dumps(payload), encoding="utf-8")
+        assert ValidationCache(tmp_path).loaded == 1
+
+    def test_missing_file_is_fine(self, tmp_path):
+        cache = ValidationCache(tmp_path / "never" / "created")
+        assert cache.loaded == 0 and len(cache) == 0
+
+
+class TestMerge:
+    def test_in_memory_merge(self, pair, diamond_source):
+        before, after = pair
+        other_before = parse_function(diamond_source)
+        other_after = clone_function(other_before)
+        first = ValidationCache()
+        second = ValidationCache()
+        key_a = first.key(before, after, DEFAULT_CONFIG)
+        first.put(key_a, validate(before, after, DEFAULT_CONFIG))
+        key_b = second.key(other_before, other_after, DEFAULT_CONFIG)
+        second.put(key_b, validate(other_before, other_after, DEFAULT_CONFIG))
+        second.put(key_a, validate(before, after, DEFAULT_CONFIG))
+        assert first.merge(second) == 1  # key_a already present, key_b adopted
+        assert first.peek(key_b) is not None
+
+    def test_save_merges_with_concurrent_writer(self, tmp_path, pair, diamond_source):
+        # Two caches share one directory; the second save must not clobber
+        # what the first one stored.
+        before, after = pair
+        other_before = parse_function(diamond_source)
+        other_after = clone_function(other_before)
+        writer_a = ValidationCache(tmp_path)
+        writer_b = ValidationCache(tmp_path)
+        writer_a.put(writer_a.key(before, after, DEFAULT_CONFIG),
+                     validate(before, after, DEFAULT_CONFIG))
+        writer_b.put(writer_b.key(other_before, other_after, DEFAULT_CONFIG),
+                     validate(other_before, other_after, DEFAULT_CONFIG))
+        writer_a.save()
+        assert writer_b.save() == 2  # adopted writer_a's entry while saving
+        assert ValidationCache(tmp_path).loaded == 2
+
+
+class TestShardedPersistence:
+    """Worker-merge correctness and no double counting through the pool."""
+
+    def test_batch_worker_results_merge_into_persistent_cache(self, tmp_path):
+        module = small_test_corpus(functions=6, seed=11)
+        config = replace(SHARDED, cache_dir=str(tmp_path))
+        (_, cold), = validate_module_batch([module], config=config, strategy="stepwise")
+        assert cold.shard_stats["distinct_pairs"] > 0
+        (_, warm), = validate_module_batch([module], config=config, strategy="stepwise")
+        # Everything the workers proved was merged and persisted: the warm
+        # run validates nothing anew, in the pool or inline.
+        assert warm.shard_stats["distinct_pairs"] == 0
+        assert warm.shard_stats["inline_validations"] == 0
+        assert warm.cache_stats["misses"] == 0
+        assert warm.cache_stats["hits"] > 0
+        assert [r.signature() for r in cold.records] == \
+               [r.signature() for r in warm.records]
+
+    def test_no_double_counting(self, tmp_path):
+        module = small_test_corpus(functions=6, seed=11)
+        config = replace(SHARDED, cache_dir=str(tmp_path))
+        cache = ValidationCache(tmp_path)
+        validate_module_batch([module], config=config, cache=cache, strategy="stepwise")
+        # Each distinct consumed query is counted exactly once as a miss or
+        # a hit: total lookups == queries the strategy runners consumed.
+        consumed = cache.hits + cache.misses
+        transformed_queries = 0
+        for function in module.defined_functions():
+            transformed_queries += 1  # at least the final/whole aggregation
+        assert consumed >= transformed_queries
+        # Every *fresh* validation was counted as at most one miss.
+        assert cache.misses <= len(cache)
+
+    def test_serial_and_sharded_share_cache_entries(self, tmp_path):
+        module = small_test_corpus(functions=6, seed=11)
+        serial_config = replace(DEFAULT_CONFIG, cache_dir=str(tmp_path))
+        _, serial = llvm_md(module, PAPER_PIPELINE, serial_config, strategy="stepwise")
+        sharded_config = replace(SHARDED, cache_dir=str(tmp_path))
+        (_, warm), = validate_module_batch(
+            [module], config=sharded_config, strategy="stepwise")
+        # The sharded driver keys pairs identically to the serial driver,
+        # so it can consume a serially-built cache wholesale.
+        assert warm.shard_stats["distinct_pairs"] == 0
+        assert warm.cache_stats["misses"] == 0

@@ -1,0 +1,288 @@
+"""Differential-interpreter harness: an executable oracle for the validator.
+
+The validator's acceptance claim is behavioral: *if the original function
+terminates without a runtime error, the optimized function computes the
+same return value and leaves memory in the same state*.  The reference
+interpreter gives that claim an executable cross-check (in the spirit of
+rigorous tracer/validator design): run original and optimized on concrete
+inputs and compare everything observable — the return value and the final
+contents of the module's globals.
+
+Two directions are exercised:
+
+* **soundness** — every function (and whole module) the validator accepts
+  must agree with the oracle on all generated inputs;
+* **sensitivity** — every fault-injection pass from
+  :mod:`repro.transforms.buggy`, applied to a handcrafted function where
+  its breakage is observable, is caught by validation *or* flagged by the
+  oracle (in practice: both).
+"""
+
+import pytest
+
+from repro.bench import BENCHMARKS_BY_NAME, build_corpus, small_test_corpus
+from repro.errors import InterpreterError
+from repro.ir import Interpreter, clone_function, parse_function, parse_module
+from repro.transforms import ALL_BUGGY_PASSES, PAPER_PIPELINE, get_pass
+from repro.validator import llvm_md, validate
+
+#: Deterministic argument bases; each is truncated to the function's arity.
+INPUT_BASES = (
+    (0, 0, 0, 0, 0),
+    (1, 2, 3, 4, 5),
+    (7, -3, 12, 5, -8),
+    (-1, -1, -1, -1, -1),
+    (100, 50, 25, 12, 6),
+    (2, 2, 2, 2, 2),
+    (-17, 40, 0, 3, 9),
+)
+
+#: Marker for executions that hit a runtime error (trap/step budget/...).
+TRAP = ("trap",)
+
+
+def observe(module, function, args, max_steps=80_000):
+    """Everything the validator promises to preserve, as one comparable value.
+
+    Returns ``("ok", return_value, final-global-memory)`` or :data:`TRAP`
+    when execution raised.  A fresh interpreter per run keeps global state
+    from leaking between executions; globals are read back in name order
+    so the tuple is comparable across two different module objects.
+    """
+    interpreter = Interpreter(module, max_steps=max_steps)
+    try:
+        result = interpreter.run(function, list(args))
+    except InterpreterError:
+        return TRAP
+    final_globals = tuple(
+        interpreter.memory.get(interpreter.global_addresses[name])
+        for name in sorted(interpreter.global_addresses))
+    return ("ok", result.return_value, final_globals)
+
+
+def argument_sets(function):
+    """The deterministic inputs a function is exercised on."""
+    return [list(base[: len(function.args)]) for base in INPUT_BASES]
+
+
+def oracle_flags_difference(before_module, before_fn, after_module, after_fn):
+    """Does any input expose a *value* difference the validator must never
+    have accepted?
+
+    The oracle mirrors the paper's §2 guarantee exactly, which is a
+    **partial-equivalence** claim: when both versions terminate normally,
+    the return value and final memory agree.  Runs where either side
+    raises or exhausts its step budget impose no constraint — the
+    value-graph semantics observes neither traps in dead computations nor
+    introduced non-termination (an eta node denotes "the value when the
+    loop exits"), and neither does the paper's validator.
+    """
+    for args in argument_sets(before_fn):
+        expected = observe(before_module, before_fn, args)
+        if expected == TRAP:
+            continue
+        actual = observe(after_module, after_fn, args)
+        if actual == TRAP:
+            continue
+        if actual != expected:
+            return True
+    return False
+
+
+def assert_oracle_agreement(before_module, after_module, names, context):
+    """Assert original/optimized partial-equivalence for ``names``.
+
+    Inputs where either side traps or diverges are skipped — see
+    :func:`oracle_flags_difference` for why that matches the validator's
+    (and the paper's) guarantee.
+    """
+    for name in names:
+        before_fn = before_module.get_function(name)
+        after_fn = after_module.get_function(name)
+        for args in argument_sets(before_fn):
+            expected = observe(before_module, before_fn, args)
+            if expected == TRAP:
+                continue
+            actual = observe(after_module, after_fn, args)
+            if actual == TRAP:
+                continue
+            assert actual == expected, (
+                f"{context}: @{name}{tuple(args)} diverged: "
+                f"original {expected}, optimized {actual}")
+
+
+CORPORA = [
+    ("mini", lambda: small_test_corpus(functions=8, seed=11)),
+    ("sqlite", lambda: build_corpus(BENCHMARKS_BY_NAME["sqlite"], 0.3)),
+    ("mcf", lambda: build_corpus(BENCHMARKS_BY_NAME["mcf"], 0.5)),
+]
+
+
+class TestValidatorSoundness:
+    """Accepted verdicts must survive the executable cross-check."""
+
+    @pytest.mark.parametrize("corpus_name,builder", CORPORA,
+                             ids=[name for name, _ in CORPORA])
+    @pytest.mark.parametrize("strategy", ["whole", "stepwise"])
+    def test_accepted_functions_agree_with_oracle(self, corpus_name, builder, strategy):
+        module = builder()
+        result_module, report = llvm_md(
+            module, PAPER_PIPELINE, label=corpus_name, strategy=strategy)
+        accepted = [r.name for r in report.records if r.transformed and r.validated]
+        assert accepted, f"{corpus_name}: expected the validator to accept something"
+        assert_oracle_agreement(module, result_module, accepted,
+                                f"{corpus_name}/{strategy}")
+
+    def test_whole_result_module_agrees_with_oracle(self):
+        # Not only the accepted bodies: rejected functions roll back to the
+        # original and partial keeps are validated prefixes, so the *entire*
+        # result module must behave like the input module.
+        module = small_test_corpus(functions=8, seed=11)
+        result_module, _ = llvm_md(module, PAPER_PIPELINE, strategy="stepwise")
+        names = [f.name for f in module.defined_functions()]
+        assert_oracle_agreement(module, result_module, names, "whole-module")
+
+    @pytest.mark.parametrize("bug_pass", ALL_BUGGY_PASSES)
+    def test_buggy_pipelines_never_validate_observable_breakage(self, bug_pass):
+        # The hostile sweep: hide each injector inside a correct pipeline.
+        # Whatever the validator accepts (or keeps as a validated prefix)
+        # must still agree with the oracle; whatever it rejects rolled back.
+        # Either way the result module must behave like the input.
+        module = small_test_corpus(functions=8, seed=11)
+        result_module, report = llvm_md(
+            module, ("adce", bug_pass, "gvn"), strategy="stepwise")
+        names = [f.name for f in module.defined_functions()]
+        assert_oracle_agreement(module, result_module, names, f"buggy/{bug_pass}")
+        # Some injectors need a rare shape (e.g. two same-block stores) and
+        # may stay idle on this corpus; per-injector firing coverage is
+        # guaranteed by the handcrafted examples below.
+        fired = any(r.transformed_by.get(bug_pass) for r in report.records)
+        if not fired:
+            pytest.skip(f"{bug_pass} found nothing to break in this corpus")
+
+
+#: One handcrafted function per fault injector, designed so the injected
+#: bug is *observable* (reachable and live on the tested inputs).
+MISCOMPILATION_EXAMPLES = {
+    "bug-flip-operator": """
+        define i32 @flip(i32 %a, i32 %b) {
+        entry:
+          %s = add i32 %a, %b
+          ret i32 %s
+        }
+        """,
+    "bug-off-by-one": """
+        define i32 @offby(i32 %a) {
+        entry:
+          %s = add i32 %a, 10
+          ret i32 %s
+        }
+        """,
+    "bug-swap-branch": """
+        define i32 @swap(i32 %a, i32 %b) {
+        entry:
+          %c = icmp slt i32 %a, %b
+          br i1 %c, label %then, label %else
+        then:
+          ret i32 1
+        else:
+          ret i32 0
+        }
+        """,
+    "bug-drop-store": """
+        define i32 @dropstore(i32 %a) {
+        entry:
+          %p = alloca i32
+          store i32 %a, i32* %p
+          %v = load i32, i32* %p
+          ret i32 %v
+        }
+        """,
+    "bug-bad-load-forwarding": """
+        define i32 @badfwd(i32 %a, i32 %b) {
+        entry:
+          %p = alloca i32
+          store i32 %a, i32* %p
+          store i32 %b, i32* %p
+          %v = load i32, i32* %p
+          ret i32 %v
+        }
+        """,
+    "bug-weaken-compare": """
+        define i32 @weaken(i32 %a, i32 %b) {
+        entry:
+          %c = icmp slt i32 %a, %b
+          %r = select i1 %c, i32 1, i32 0
+          ret i32 %r
+        }
+        """,
+}
+
+
+class TestMiscompilationExamples:
+    """Every seeded miscompilation is caught by validation or by the oracle."""
+
+    def test_examples_cover_every_injector(self):
+        assert set(MISCOMPILATION_EXAMPLES) == set(ALL_BUGGY_PASSES)
+
+    @pytest.mark.parametrize("bug_pass", ALL_BUGGY_PASSES)
+    def test_example_caught_by_validation_or_oracle(self, bug_pass):
+        module = parse_module(MISCOMPILATION_EXAMPLES[bug_pass])
+        function = module.defined_functions()[0]
+        mutated = clone_function(function)
+        assert get_pass(bug_pass)(mutated), f"{bug_pass} found nothing to break"
+
+        result = validate(function, mutated)
+        caught_by_validator = not result.is_success
+        # The mutated clone lives outside any module; interpret it inside a
+        # module clone so globals (none here) resolve uniformly.
+        oracle_module = parse_module(MISCOMPILATION_EXAMPLES[bug_pass])
+        oracle_module.functions[function.name] = mutated
+        flagged_by_oracle = oracle_flags_difference(
+            module, function, oracle_module, mutated)
+
+        assert caught_by_validator or flagged_by_oracle, (
+            f"{bug_pass}: neither the validator nor the differential oracle "
+            f"noticed the miscompilation")
+        # These examples are built to make the breakage observable, so the
+        # static and the executable judges must both convict.
+        assert caught_by_validator, f"{bug_pass}: validator accepted observable breakage"
+        assert flagged_by_oracle, f"{bug_pass}: oracle saw no difference"
+
+
+class TestOracleHarness:
+    """The harness itself must be trustworthy (deterministic, trap-aware)."""
+
+    def test_observation_is_deterministic(self):
+        module = small_test_corpus(functions=4, seed=7)
+        function = module.defined_functions()[0]
+        args = argument_sets(function)[1]
+        assert observe(module, function, args) == observe(module, function, args)
+
+    def test_original_trap_imposes_no_constraint(self):
+        # The original traps on every input (division by the constant 0),
+        # so §2's conditional guarantee constrains nothing and even a
+        # wildly different optimized version is not flagged.
+        before = parse_module("""
+            define i32 @div() {
+            entry:
+              %q = sdiv i32 10, 0
+              ret i32 %q
+            }
+            """)
+        after = parse_module("""
+            define i32 @div() {
+            entry:
+              ret i32 7
+            }
+            """)
+        before_fn = before.get_function("div")
+        assert observe(before, before_fn, []) == TRAP
+        assert not oracle_flags_difference(
+            before, before_fn, after, after.get_function("div"))
+
+    def test_oracle_detects_divergence(self):
+        before = parse_module("define i32 @f(i32 %a) {\nentry:\n  ret i32 %a\n}")
+        after = parse_module("define i32 @f(i32 %a) {\nentry:\n  ret i32 0\n}")
+        assert oracle_flags_difference(
+            before, before.get_function("f"), after, after.get_function("f"))

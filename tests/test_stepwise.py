@@ -1,19 +1,25 @@
 """Tests for stepwise pipeline validation: snapshots, strategies, blame,
-the shared analysis cache and the global-cloning guarantees of the driver."""
+the shared analysis cache, process-pool sharding parity and the
+global-cloning guarantees of the driver."""
+
+import pickle
+from dataclasses import replace
 
 import pytest
 
 from repro.analysis import AnalysisManager, function_fingerprint
-from repro.bench import stepwise_comparison
+from repro.bench import sharded_comparison, small_test_corpus, stepwise_comparison
 from repro.errors import IrreducibleCFGError
 from repro.ir import Interpreter, clone_function, parse_function
-from repro.transforms import PAPER_PIPELINE, PassManager
+from repro.transforms import PAPER_PIPELINE, PassManager, checkpoint_chain
 from repro.validator import (
+    DEFAULT_CONFIG,
     STRATEGIES,
     ValidationCache,
     llvm_md,
     validate,
     validate_function_pipeline,
+    validate_module_batch,
 )
 from repro.validator.report import FunctionRecord, ValidationReport
 from repro.validator.validate import ValidationResult
@@ -90,7 +96,8 @@ class TestAnalysisManager:
         assert first is second
         assert manager.computed == 1 and manager.reused == 1
         assert manager.stats() == {
-            "analyses_computed": 1, "analyses_reused": 1, "analyses_cached": 1,
+            "analyses_computed": 1, "analyses_reused": 1,
+            "analyses_evicted": 0, "analyses_cached": 1,
         }
 
     def test_in_place_mutation_invalidates(self, loop_source):
@@ -356,6 +363,180 @@ class TestReportExtensions:
         assert report.kept_prefix_steps == 1
         assert partial.partially_kept and not ok.partially_kept
         assert not rolled_back.partially_kept
+
+
+class TestShardedParity:
+    """Sharding may change where a query runs, never what it decides."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_sharded_records_identical_to_serial(self, mini_corpus, strategy):
+        _, serial = llvm_md(mini_corpus, PAPER_PIPELINE, strategy=strategy)
+        sharded_config = replace(DEFAULT_CONFIG, concurrency=2)
+        (_, sharded), = validate_module_batch(
+            [mini_corpus], config=sharded_config, strategy=strategy)
+        assert [r.signature() for r in serial.records] == \
+               [r.signature() for r in sharded.records]
+        assert sharded.shard_stats is not None
+        assert sharded.shard_stats["distinct_pairs"] > 0
+
+    def test_sharded_blame_matches_serial_on_buggy_pipeline(self, mini_corpus):
+        _, serial = llvm_md(mini_corpus, BUGGY_PIPELINE, strategy="stepwise")
+        sharded_config = replace(DEFAULT_CONFIG, concurrency=2)
+        (_, sharded), = validate_module_batch(
+            [mini_corpus], BUGGY_PIPELINE, config=sharded_config, strategy="stepwise")
+        assert serial.blame_histogram() == sharded.blame_histogram()
+        assert [r.signature() for r in serial.records] == \
+               [r.signature() for r in sharded.records]
+        # Rejections exercised round 2 (the whole-query fallbacks).
+        assert serial.failures(), "the buggy pipeline should reject something"
+
+    def test_llvm_md_delegates_to_sharded_batch(self, mini_corpus):
+        config = replace(DEFAULT_CONFIG, concurrency=2)
+        _, report = llvm_md(mini_corpus, PAPER_PIPELINE, config, strategy="stepwise")
+        assert report.shard_stats is not None
+        _, serial = llvm_md(mini_corpus, PAPER_PIPELINE, strategy="stepwise")
+        assert [r.signature() for r in serial.records] == \
+               [r.signature() for r in report.records]
+
+    def test_cross_module_pair_dedup(self):
+        # Two content-identical modules: the sharded queue validates each
+        # distinct pair once, the duplicate module is all cache hits.
+        modules = [small_test_corpus(functions=4, seed=7),
+                   small_test_corpus(functions=4, seed=7)]
+        cache = ValidationCache()
+        config = replace(DEFAULT_CONFIG, concurrency=2)
+        results = validate_module_batch(
+            modules, config=config, cache=cache, strategy="stepwise")
+        duplicate_report = results[1][1]
+        assert duplicate_report.cache_hits == sum(
+            1 for r in duplicate_report.records if r.transformed)
+        assert all(r.from_cache for r in duplicate_report.records if r.transformed)
+        # Distinct consumed queries were counted exactly once overall.
+        assert cache.misses <= len(cache)
+
+    def test_batch_stepwise_partial_keep_is_semantically_sound(self, mini_corpus):
+        config = replace(DEFAULT_CONFIG, concurrency=2)
+        (result_module, report), = validate_module_batch(
+            [mini_corpus], BUGGY_PIPELINE, config=config, strategy="stepwise")
+        partial = [r for r in report.records if r.partially_kept]
+        assert partial, "expected a partial keep under the buggy pipeline"
+        for record in partial:
+            original = mini_corpus.get_function(record.name)
+            kept = result_module.get_function(record.name)
+            for base in [(2, 4, 6, 8, 10), (-1, 3, 0, 5, 2), (0, 0, 0, 0, 0)]:
+                args = list(base[: len(original.args)])
+                before = Interpreter(mini_corpus).run(original, args).return_value
+                after = Interpreter(result_module).run(kept, args).return_value
+                assert before == after, record.name
+
+    def test_sharded_comparison_experiment(self):
+        rows = sharded_comparison(scale=0.2, benchmarks=["sqlite", "mcf"],
+                                  concurrency=2)
+        assert [row["benchmark"] for row in rows] == ["sqlite", "mcf"]
+        for row in rows:
+            assert row["identical"], row["mismatches"]
+            assert row["distinct_pairs"] > 0
+
+
+class TestPoolPayloadPickleSafety:
+    """Everything shipped to the process pool must survive pickling."""
+
+    def test_checkpoints_and_configs_pickle(self, mini_corpus):
+        function = mini_corpus.defined_functions()[0]
+        snapshots = PassManager(PAPER_PIPELINE).run_with_snapshots(function)
+        steps, versions = checkpoint_chain(function, snapshots)
+        for before, after in zip(versions, versions[1:]):
+            payload = (before, after, replace(DEFAULT_CONFIG, concurrency=2))
+            restored_before, restored_after, restored_config = pickle.loads(
+                pickle.dumps(payload))
+            assert function_fingerprint(restored_before) == function_fingerprint(before)
+            assert function_fingerprint(restored_after) == function_fingerprint(after)
+            assert restored_config == replace(DEFAULT_CONFIG, concurrency=2)
+        for snapshot in snapshots:
+            restored = pickle.loads(pickle.dumps(snapshot))
+            assert restored.pass_name == snapshot.pass_name
+            assert restored.changed == snapshot.changed
+
+    def test_snapshot_fingerprint_cached_and_stable(self, mini_corpus):
+        function = mini_corpus.defined_functions()[0]
+        snapshots = PassManager(PAPER_PIPELINE).run_with_snapshots(function)
+        for snapshot in snapshots:
+            assert snapshot.fingerprint() == function_fingerprint(snapshot.function)
+            assert snapshot.fingerprint() is snapshot.fingerprint()  # cached
+
+    def test_pool_failure_falls_back_to_serial(self, mini_corpus, monkeypatch):
+        # Break process spawning entirely: the batch driver must degrade
+        # to serial in-process validation with identical results.
+        import concurrent.futures
+
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no processes for you")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", ExplodingPool)
+        config = replace(DEFAULT_CONFIG, concurrency=2)
+        (_, report), = validate_module_batch(
+            [mini_corpus], config=config, strategy="stepwise")
+        assert report.shard_stats["workers"] == 0  # pool never engaged
+        _, serial = llvm_md(mini_corpus, PAPER_PIPELINE, strategy="stepwise")
+        assert [r.signature() for r in serial.records] == \
+               [r.signature() for r in report.records]
+
+
+class TestAnalysisEviction:
+    """The LRU bound changes memory behavior, never verdicts."""
+
+    def test_eviction_preserves_stepwise_records(self, mini_corpus):
+        unbounded_records = []
+        bounded_records = []
+        for function in mini_corpus.defined_functions():
+            _, record = validate_function_pipeline(
+                function, PAPER_PIPELINE, strategy="stepwise",
+                manager=AnalysisManager())
+            unbounded_records.append(record)
+            _, record = validate_function_pipeline(
+                function, PAPER_PIPELINE, strategy="stepwise",
+                manager=AnalysisManager(max_entries=2))
+            bounded_records.append(record)
+        assert [r.signature() for r in unbounded_records] == \
+               [r.signature() for r in bounded_records]
+
+    def test_bound_enforced_and_counted(self, mini_corpus):
+        manager = AnalysisManager(max_entries=2)
+        for function in mini_corpus.defined_functions():
+            validate_function_pipeline(function, PAPER_PIPELINE,
+                                       strategy="stepwise", manager=manager)
+        assert len(manager) <= 2
+        assert manager.evicted > 0
+        assert manager.stats()["analyses_evicted"] == manager.evicted
+
+    def test_lru_order_preserves_stepwise_reuse(self, mini_corpus):
+        # Stepwise consumes versions in pipeline order, so even the
+        # minimal useful bound keeps every interior-checkpoint reuse.
+        for function in mini_corpus.defined_functions():
+            unbounded = AnalysisManager()
+            _, record = validate_function_pipeline(
+                function, PAPER_PIPELINE, strategy="stepwise", manager=unbounded)
+            if not (record.transformed and record.validated) or record.whole_fallback:
+                continue
+            bounded = AnalysisManager(max_entries=2)
+            validate_function_pipeline(
+                function, PAPER_PIPELINE, strategy="stepwise", manager=bounded)
+            assert bounded.reused == unbounded.reused
+
+    def test_config_bound_reaches_driver_managers(self, mini_corpus):
+        config = replace(DEFAULT_CONFIG, analysis_cache_size=2)
+        _, report = llvm_md(mini_corpus, PAPER_PIPELINE, config, strategy="stepwise")
+        assert report.analysis_stats["analyses_cached"] <= 2
+        _, unbounded_report = llvm_md(mini_corpus, PAPER_PIPELINE, strategy="stepwise")
+        assert [r.signature() for r in unbounded_report.records] == \
+               [r.signature() for r in report.records]
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            AnalysisManager(max_entries=0)
+        with pytest.raises(ValueError):
+            replace(DEFAULT_CONFIG, analysis_cache_size=-1)
 
 
 class TestStepwiseComparisonExperiment:
