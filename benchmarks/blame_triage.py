@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Blame-driven rule triage: which passes do the normalizer's rules fail on?
+
+Aggregates per-pass blame histograms — how often the stepwise/bisect
+strategies blamed each pass for a rejection — across corpus-sweep
+artifacts (any JSON whose rows carry a ``"blame"`` mapping, e.g.
+``benchmarks/artifacts/stepwise_comparison.json``) and prints the top
+offending passes.  With ``--sweep`` (the default when no artifacts are
+given or none contain blame data) it additionally runs a fresh stepwise
+sweep over the corpora to collect *sample rejected functions* per blamed
+pass, which is what turns a histogram into an actionable rule-writing
+worklist: pick the top pass, open its samples, grow targeted rewrite
+rules (ROADMAP: "blame-driven rule triage").
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/blame_triage.py benchmarks/artifacts/*.json
+    PYTHONPATH=src python benchmarks/blame_triage.py --sweep --scale 0.2
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List
+
+from repro.bench import ALL_BENCHMARKS, BENCHMARKS_BY_NAME, build_corpus, format_table
+from repro.validator import DEFAULT_CONFIG, llvm_md
+
+
+def harvest_artifacts(paths: List[pathlib.Path]) -> Dict[str, int]:
+    """Sum every ``"blame"`` histogram found in the given artifact files.
+
+    Rows are discovered recursively (artifacts nest rows under different
+    keys); unreadable or non-JSON files are skipped with a warning rather
+    than aborting a triage over a partially populated artifact directory.
+    """
+    histogram: Dict[str, int] = {}
+
+    def visit(node) -> None:
+        if isinstance(node, dict):
+            blame = node.get("blame")
+            if isinstance(blame, dict):
+                for pass_name, count in blame.items():
+                    if isinstance(count, int):
+                        histogram[pass_name] = histogram.get(pass_name, 0) + count
+            for value in node.values():
+                visit(value)
+        elif isinstance(node, list):
+            for value in node:
+                visit(value)
+
+    for path in paths:
+        try:
+            visit(json.loads(path.read_text()))
+        except (OSError, ValueError) as error:
+            print(f"skipping {path}: {error}", file=sys.stderr)
+    return histogram
+
+
+def sweep(scale: float, benchmarks: List[str],
+          samples_per_pass: int) -> Dict[str, Dict[str, object]]:
+    """Stepwise-sweep the corpora; returns blame counts + sample functions."""
+    triage: Dict[str, Dict[str, object]] = {}
+    for name in benchmarks:
+        module = build_corpus(BENCHMARKS_BY_NAME[name], scale)
+        _, report = llvm_md(module, config=DEFAULT_CONFIG, label=name,
+                            strategy="stepwise")
+        for record in report.records:
+            if record.blamed_pass is None:
+                continue
+            entry = triage.setdefault(record.blamed_pass,
+                                      {"count": 0, "samples": []})
+            entry["count"] += 1
+            samples: List[str] = entry["samples"]
+            if len(samples) < samples_per_pass:
+                reason = record.result.reason if record.result is not None else "?"
+                samples.append(f"{name}/@{record.name} ({reason}, "
+                               f"kept {record.kept_prefix}/{record.changed_steps})")
+    return triage
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifacts", nargs="*", type=pathlib.Path,
+                        help="sweep artifacts to harvest blame histograms from")
+    parser.add_argument("--sweep", action="store_true",
+                        help="run a fresh stepwise sweep for sample functions "
+                             "(implied when no artifacts yield blame data)")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="corpus scale for --sweep (default 0.2)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="show at most this many passes (default 10)")
+    parser.add_argument("--samples", type=int, default=3,
+                        help="sample rejected functions per pass (default 3)")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="optionally write the aggregated triage as JSON")
+    args = parser.parse_args()
+
+    histogram = harvest_artifacts(args.artifacts) if args.artifacts else {}
+    triage: Dict[str, Dict[str, object]] = {
+        name: {"count": count, "samples": []}
+        for name, count in histogram.items()
+    }
+    if args.sweep or not triage:
+        for pass_name, entry in sweep(args.scale, list(ALL_BENCHMARKS),
+                                      args.samples).items():
+            merged = triage.setdefault(pass_name, {"count": 0, "samples": []})
+            merged["count"] = int(merged["count"]) + int(entry["count"])
+            merged["samples"] = entry["samples"]
+
+    if not triage:
+        print("no blame data found (clean sweeps reject nothing)")
+        return 0
+
+    ranked = sorted(triage.items(), key=lambda item: (-int(item[1]["count"]), item[0]))
+    rows = [{
+        "pass": pass_name,
+        "blamed": entry["count"],
+        "sample rejected functions": "; ".join(entry["samples"]) or "-",
+    } for pass_name, entry in ranked[:args.top]]
+    print(format_table(rows, title="Blame-driven rule triage (most-blamed passes)"))
+    print("\nNext step (ROADMAP 'blame-driven rule triage'): take the top pass,")
+    print("reproduce its samples with validate(), and grow targeted rewrite rules.")
+
+    if args.out is not None:
+        payload = {"schema": 1,
+                   "triage": {name: entry for name, entry in ranked}}
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"triage written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

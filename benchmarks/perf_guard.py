@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""CI perf guard: gate deterministic work counters against a committed baseline.
+
+Validation work is deterministic for a fixed corpus, configuration and
+``PYTHONHASHSEED``: the number of graph nodes constructed, normalization
+rule invocations and equivalence (normalize) runs of a sweep never vary
+between runs — only wall-clock does.  That makes them gateable: this
+script compares the counters of a freshly produced
+``benchmarks/artifacts/chain_graphs.json`` artifact (see
+``bench_chain_graphs.py``, which pins ``PYTHONHASHSEED=0``) against the
+committed ``benchmarks/perf_baseline.json`` and fails when any counter
+regressed by more than ``--tolerance`` (default 10%).  Improvements are
+reported but never fail the guard; refresh the baseline with
+``--update-baseline`` after an intentional perf change and commit it.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_chain_graphs.py --scale 0.2
+    PYTHONPATH=src python benchmarks/perf_guard.py
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: Counters gated by the guard, read from the artifact's chain-mode totals
+#: (the default execution mode) — plus the per-pair totals, so a
+#: regression on the fallback/oracle path is caught too.
+GATED_MODES = ("chain", "per_pair")
+GATED_COUNTERS = ("nodes_built", "nodes_created", "rule_invocations",
+                  "normalize_runs")
+
+
+def _flatten(artifact: dict) -> dict:
+    """Extract the gated counters from a chain_graphs artifact."""
+    counters = {}
+    totals = artifact.get("totals", {})
+    for mode in GATED_MODES:
+        for key in GATED_COUNTERS:
+            counters[f"{mode}.{key}"] = int(totals.get(mode, {}).get(key, 0))
+    return counters
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--artifact", type=pathlib.Path,
+                        default=pathlib.Path("benchmarks/artifacts/chain_graphs.json"),
+                        help="chain_graphs artifact to check")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=pathlib.Path("benchmarks/perf_baseline.json"),
+                        help="committed counter baseline")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative regression (default 0.10 = 10%%)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the artifact and exit")
+    args = parser.parse_args()
+
+    artifact = json.loads(args.artifact.read_text())
+    counters = _flatten(artifact)
+
+    if args.update_baseline:
+        payload = {
+            "schema": 1,
+            "scale": artifact.get("scale"),
+            "hash_seed": artifact.get("hash_seed"),
+            "counters": counters,
+        }
+        args.baseline.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())
+    baseline_counters = baseline.get("counters", {})
+    if artifact.get("scale") != baseline.get("scale"):
+        print(f"perf guard: artifact scale {artifact.get('scale')} does not match "
+              f"baseline scale {baseline.get('scale')}", file=sys.stderr)
+        return 1
+
+    failures = []
+    width = max(len(name) for name in baseline_counters) if baseline_counters else 0
+    for name, expected in sorted(baseline_counters.items()):
+        actual = counters.get(name)
+        if actual is None:
+            failures.append(f"{name}: missing from artifact")
+            continue
+        if expected == 0:
+            delta = 0.0 if actual == 0 else float("inf")
+        else:
+            delta = (actual - expected) / expected
+        marker = "REGRESSION" if delta > args.tolerance else (
+            "improved" if delta < 0 else "ok")
+        print(f"  {name:<{width}}  baseline={expected:>9d}  actual={actual:>9d}  "
+              f"{delta:+7.1%}  {marker}")
+        if delta > args.tolerance:
+            failures.append(
+                f"{name}: {actual} vs baseline {expected} "
+                f"({delta:+.1%} > {args.tolerance:.0%} tolerance)")
+
+    if failures:
+        print("\nPERF REGRESSION:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nperf guard OK: every counter within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,14 @@ twelve corpora and fails unless the process-pool-sharded stepwise driver
 produced *identical* per-function record signatures (verdict, reason,
 blame, kept prefix, per-pass verdicts) to the serial driver.
 
+With ``--chain-parity`` (the default; ``--no-chain-parity`` disables) it
+also runs the :func:`repro.bench.chain_comparison` experiment over all
+twelve corpora and fails unless the chain-shared-graph stepwise path
+(``config.chain_graphs``, the default execution mode) produced record
+signatures identical to the per-pair oracle with ``chain_graphs=False``
+— chain graphs must change how fast validation runs, never what it
+decides.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/stepwise_guard.py [--scale 0.2] [--out FILE]
@@ -25,7 +33,12 @@ import json
 import pathlib
 import sys
 
-from repro.bench import format_table, sharded_comparison, stepwise_comparison
+from repro.bench import (
+    chain_comparison,
+    format_table,
+    sharded_comparison,
+    stepwise_comparison,
+)
 
 
 def main() -> int:
@@ -35,6 +48,13 @@ def main() -> int:
     parser.add_argument("--shard-concurrency", type=int, default=2,
                         help="workers for the serial-vs-sharded parity check "
                              "(0 skips the check)")
+    parser.add_argument("--chain-parity", dest="chain_parity",
+                        action="store_true", default=True,
+                        help="check chain-graph vs per-pair record parity "
+                             "(the default)")
+    parser.add_argument("--no-chain-parity", dest="chain_parity",
+                        action="store_false",
+                        help="skip the chain-parity check")
     parser.add_argument("--out", type=pathlib.Path,
                         default=pathlib.Path("benchmarks/artifacts/stepwise_comparison.json"),
                         help="where to write the JSON artifact")
@@ -45,10 +65,15 @@ def main() -> int:
     if args.shard_concurrency > 0:
         shard_rows = sharded_comparison(scale=args.scale,
                                         concurrency=args.shard_concurrency)
+    chain_rows = []
+    if args.chain_parity:
+        chain_rows = chain_comparison(scale=args.scale)
     args.out.parent.mkdir(parents=True, exist_ok=True)
-    payload = {"schema": 2, "scale": args.scale, "rows": rows,
+    payload = {"schema": 3, "scale": args.scale, "rows": rows,
                "shard_concurrency": args.shard_concurrency,
-               "shard_rows": shard_rows}
+               "shard_rows": shard_rows,
+               "chain_parity": args.chain_parity,
+               "chain_rows": chain_rows}
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     table_columns = ("benchmark", "transformed", "whole_validated", "stepwise_validated",
@@ -85,6 +110,20 @@ def main() -> int:
                     f"{row['benchmark']}: sharded records diverged from serial for: "
                     f"{', '.join(row['mismatches'])}"
                 )
+    if chain_rows:
+        chain_columns = ("benchmark", "transformed", "identical", "chains",
+                         "chain_fallbacks", "nodes_built_saved_pct",
+                         "rule_invocations_saved_pct", "per_pair_time_s",
+                         "chain_time_s")
+        print()
+        print(format_table([{k: row[k] for k in chain_columns} for row in chain_rows],
+                           title="Chain-shared graphs vs per-pair oracle"))
+        for row in chain_rows:
+            if not row["identical"]:
+                failures.append(
+                    f"{row['benchmark']}: chain-graph records diverged from "
+                    f"per-pair for: {', '.join(row['mismatches'])}"
+                )
     if failures:
         print("\nSTRATEGY REGRESSION:", file=sys.stderr)
         for line in failures:
@@ -93,6 +132,8 @@ def main() -> int:
     message = "strategy guard OK: stepwise accepted a superset of whole on every corpus"
     if shard_rows:
         message += "; sharded records matched serial on every corpus"
+    if chain_rows:
+        message += "; chain-graph records matched the per-pair oracle on every corpus"
     print(f"\n{message}")
     return 0
 

@@ -11,6 +11,7 @@ from .corpus import (
 from .experiments import (
     ALL_BENCHMARKS,
     cache_persistence,
+    chain_comparison,
     engine_comparison,
     figure4,
     figure5,
@@ -47,6 +48,7 @@ __all__ = [
     "engine_comparison",
     "stepwise_comparison",
     "sharded_comparison",
+    "chain_comparison",
     "cache_persistence",
     "matching_ablation",
     "ALL_BENCHMARKS",

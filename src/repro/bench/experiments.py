@@ -19,6 +19,7 @@ Figure 8     :func:`figure8` — SCCP rewrite-rule ablation
 (extension)  :func:`engine_comparison` — worklist vs full-scan normalization
 (extension)  :func:`stepwise_comparison` — whole vs stepwise vs bisect strategies
 (extension)  :func:`sharded_comparison` — serial vs process-pool sharded records
+(extension)  :func:`chain_comparison` — chain-shared graphs vs per-pair stepwise
 (extension)  :func:`cache_persistence` — cold vs warm persistent-cache sweeps
 ===========  ==================================================================
 """
@@ -351,8 +352,14 @@ def stepwise_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] 
     * the :class:`~repro.analysis.manager.AnalysisManager` counters,
       showing how much per-version analysis recomputation the shared
       cache removed.
+
+    The experiment pins ``chain_graphs=False``: it characterizes the
+    *per-pair* strategy implementations (including their analysis-reuse
+    pattern, which chain-shared graphs make moot by building every
+    version once); :func:`chain_comparison` is the experiment that
+    compares the per-pair path against the chain-shared path.
     """
-    config = config or DEFAULT_CONFIG
+    config = _dc_replace(config or DEFAULT_CONFIG, chain_graphs=False)
     rows: List[Dict[str, object]] = []
     for spec in _selected_specs(benchmarks):
         module = build_corpus(spec, scale)
@@ -480,6 +487,84 @@ def sharded_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] =
     return rows
 
 
+def chain_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = None,
+                     passes: Sequence[str] = PAPER_PIPELINE,
+                     config: Optional[ValidatorConfig] = None) -> List[Dict[str, object]]:
+    """Chain-shared graphs vs the per-pair baseline on identical inputs.
+
+    For every corpus, runs the full stepwise ``llvm_md`` sweep twice —
+    once with ``chain_graphs=False`` (every adjacent checkpoint pair gets
+    a fresh two-version graph) and once with ``chain_graphs=True`` (every
+    checkpoint chain is hash-consed into ONE graph, normalized once) —
+    and records:
+
+    * ``identical`` / ``mismatches`` — the per-function
+      :meth:`~repro.validator.report.FunctionRecord.signature` comparison:
+      chain graphs are a pure execution strategy, so verdicts, blame,
+      kept prefixes and per-pass verdicts must be byte-identical (the CI
+      guard ``stepwise_guard.py --chain-parity`` enforces this on all
+      twelve corpora);
+    * the deterministic work counters of both sweeps — nodes built during
+      graph construction, total nodes created, rule invocations and
+      normalize runs — plus wall time;
+    * the chain telemetry (chains built, versions hash-consed, the
+      estimated per-pair construction baseline, fallbacks).
+
+    No cache is involved, so the counters measure exactly the work each
+    mode performs.
+    """
+    base = config or DEFAULT_CONFIG
+    counter_keys = ("nodes_built", "nodes_created", "rule_invocations",
+                    "normalize_runs")
+    rows: List[Dict[str, object]] = []
+    for spec in _selected_specs(benchmarks):
+        per_mode: Dict[str, Dict[str, object]] = {}
+        signatures: Dict[str, List[Dict[str, object]]] = {}
+        for mode in ("per_pair", "chain"):
+            module = build_corpus(spec, scale)
+            mode_config = _dc_replace(base, chain_graphs=(mode == "chain"))
+            start = time.perf_counter()
+            _, report = llvm_md(module, passes, mode_config, label=spec.name,
+                                strategy="stepwise")
+            elapsed = time.perf_counter() - start
+            totals = report.engine_totals()
+            per_mode[mode] = {key: totals.get(key, 0) for key in counter_keys}
+            per_mode[mode]["time_s"] = round(elapsed, 3)
+            per_mode[mode]["transformed"] = report.transformed_functions
+            per_mode[mode]["validated"] = report.validated_functions
+            per_mode[mode]["chain"] = report.chain_totals()
+            signatures[mode] = [record.signature() for record in report.records]
+        mismatches = [serial["name"]
+                      for serial, chained in zip(signatures["per_pair"],
+                                                 signatures["chain"])
+                      if serial != chained]
+        if len(signatures["per_pair"]) != len(signatures["chain"]):  # pragma: no cover
+            mismatches.append("<record-count-mismatch>")
+        chain_totals = per_mode["chain"]["chain"]
+        row: Dict[str, object] = {
+            "benchmark": spec.name,
+            "transformed": per_mode["chain"]["transformed"],
+            "validated": per_mode["chain"]["validated"],
+            "identical": not mismatches,
+            "mismatches": mismatches,
+            "chains": chain_totals.get("chains", 0),
+            "chain_versions": chain_totals.get("chain_versions", 0),
+            "chain_fallbacks": chain_totals.get("chain_fallbacks", 0),
+            "chain_pair_baseline_nodes": chain_totals.get("chain_pair_baseline_nodes", 0),
+            "per_pair_time_s": per_mode["per_pair"]["time_s"],
+            "chain_time_s": per_mode["chain"]["time_s"],
+        }
+        for key in counter_keys:
+            off_value = int(per_mode["per_pair"][key])
+            on_value = int(per_mode["chain"][key])
+            row[f"per_pair_{key}"] = off_value
+            row[f"chain_{key}"] = on_value
+            row[f"{key}_saved_pct"] = round(100.0 * (1.0 - on_value / off_value), 1) \
+                if off_value else 0.0
+        rows.append(row)
+    return rows
+
+
 def cache_persistence(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = None,
                       passes: Sequence[str] = PAPER_PIPELINE,
                       config: Optional[ValidatorConfig] = None,
@@ -563,6 +648,7 @@ __all__ = [
     "engine_comparison",
     "stepwise_comparison",
     "sharded_comparison",
+    "chain_comparison",
     "cache_persistence",
     "matching_ablation",
 ]

@@ -17,12 +17,20 @@ from .driver import (
     validate_module_batch,
 )
 from .report import FunctionRecord, ValidationReport
-from .validate import ValidationResult, validate, validate_or_raise
+from .validate import (
+    ChainOutcome,
+    ValidationResult,
+    validate,
+    validate_chain,
+    validate_or_raise,
+)
 
 __all__ = [
     "validate",
+    "validate_chain",
     "validate_or_raise",
     "ValidationResult",
+    "ChainOutcome",
     "ValidatorConfig",
     "DEFAULT_CONFIG",
     "GVN_ABLATION_STEPS",

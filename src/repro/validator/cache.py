@@ -110,9 +110,19 @@ class ValidationCache:
         :meth:`save` writes the current contents back.  Loading is fully
         tolerant: corruption, schema mismatches and malformed entries are
         silently discarded.
+    max_bytes:
+        Size budget for the serialized file (``0`` = unbounded, the
+        historical behavior).  When the budget is exceeded at save time,
+        entries are evicted **least-recently-hit first** — recency is
+        tracked per process across :meth:`get` hits and :meth:`put`
+        stores; entries merely loaded from disk (or merged in from a
+        concurrent writer) and never consumed rank oldest, in
+        deterministic key order.  Eviction can only cost re-validation
+        time, never correctness.
     """
 
-    def __init__(self, path: Optional[Union[str, os.PathLike]] = None) -> None:
+    def __init__(self, path: Optional[Union[str, os.PathLike]] = None,
+                 max_bytes: int = 0) -> None:
         self._results: Dict[CacheKey, ValidationResult] = {}
         #: Number of lookups answered from the cache.
         self.hits = 0
@@ -122,9 +132,16 @@ class ValidationCache:
         self.loaded = 0
         #: Entries written by the most recent :meth:`save`.
         self.stored = 0
+        #: Entries dropped by the ``max_bytes`` budget across all saves.
+        self.evicted = 0
+        #: Size budget for the serialized file (0 = unbounded).
+        self.max_bytes = max_bytes
         #: Resolved persistence file, or ``None`` for an in-memory cache.
         self.path: Optional[Path] = _resolve_cache_path(path) if path is not None else None
         self._dirty = False
+        #: Monotonic recency stamps: key -> last hit/store tick.
+        self._hit_stamp: Dict[CacheKey, int] = {}
+        self._tick = 0
         if self.path is not None:
             self._results.update(_read_cache_file(self.path))
             self.loaded = len(self._results)
@@ -173,12 +190,18 @@ class ValidationCache:
             self.misses += 1
             return None
         self.hits += 1
+        self._touch(key)
         return replace(cached, function_name=function_name)
 
     def put(self, key: CacheKey, result: ValidationResult) -> None:
         """Store one validation outcome."""
         self._results[key] = result
+        self._touch(key)
         self._dirty = True
+
+    def _touch(self, key: CacheKey) -> None:
+        self._tick += 1
+        self._hit_stamp[key] = self._tick
 
     def merge(self, other: "ValidationCache") -> int:
         """Adopt every entry of ``other`` this cache does not hold yet.
@@ -211,6 +234,8 @@ class ValidationCache:
             return 0
         merged = _read_cache_file(target)
         merged.update(self._results)
+        if self.max_bytes:
+            self.evicted += _evict_to_budget(merged, self._hit_stamp, self.max_bytes)
         target.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": CACHE_SCHEMA,
@@ -247,15 +272,49 @@ class ValidationCache:
         """Hit/miss/size counters as a plain dict (for reports).
 
         Persistent caches additionally report how many entries the disk
-        backend contributed (``disk_loaded``) and how many the last save
-        wrote back (``disk_stored``).
+        backend contributed (``disk_loaded``), how many the last save
+        wrote back (``disk_stored``) and how many the ``max_bytes``
+        budget evicted across saves (``disk_evicted``).
         """
         counters = {"hits": self.hits, "misses": self.misses,
                     "entries": len(self._results)}
         if self.path is not None:
             counters["disk_loaded"] = self.loaded
             counters["disk_stored"] = self.stored
+            counters["disk_evicted"] = self.evicted
         return counters
+
+
+def _entry_size(key: CacheKey, result: ValidationResult) -> int:
+    """Serialized footprint of one entry (key, payload, JSON punctuation)."""
+    payload = {name: value for name, value in asdict(result).items()
+               if name in _RESULT_FIELDS}
+    return len(_encode_key(key)) + len(json.dumps(payload, sort_keys=True)) + 8
+
+
+def _evict_to_budget(entries: Dict[CacheKey, ValidationResult],
+                     hit_stamp: Dict[CacheKey, int], max_bytes: int) -> int:
+    """Drop least-recently-hit entries until the payload fits ``max_bytes``.
+
+    Entries this process never touched (loaded from disk or merged from a
+    concurrent writer) have no stamp and rank oldest, tie-broken by their
+    serialized key so eviction is deterministic.  Returns the number of
+    entries dropped; ``entries`` is mutated in place.
+    """
+    sizes = {key: _entry_size(key, result) for key, result in entries.items()}
+    total = sum(sizes.values())
+    if total <= max_bytes:
+        return 0
+    victims = sorted(entries,
+                     key=lambda key: (hit_stamp.get(key, 0), _encode_key(key)))
+    dropped = 0
+    for key in victims:
+        if total <= max_bytes:
+            break
+        total -= sizes[key]
+        del entries[key]
+        dropped += 1
+    return dropped
 
 
 def _read_cache_file(path: Path) -> Dict[CacheKey, ValidationResult]:

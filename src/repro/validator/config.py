@@ -79,6 +79,24 @@ class ValidatorConfig:
         value caps how many analysed function versions stay pinned in
         memory, which long-lived services need.  Eviction never changes a
         verdict, only the ``analysis_stats`` counters.
+    chain_graphs:
+        Answer the stepwise strategy's adjacent-pair queries from one
+        chain-shared value graph per function (build every pipeline
+        checkpoint once, normalize once) instead of one fresh two-version
+        graph per pair.  On by default; verdicts, blame, kept prefixes
+        and record signatures are identical either way (the per-pair path
+        remains both the fallback and the parity oracle — see
+        ``benchmarks/stepwise_guard.py --chain-parity``), so the flag is
+        *not* part of the cache key.
+    cache_max_bytes:
+        Size budget for the *persistent*
+        :class:`~repro.validator.cache.ValidationCache` backend.  ``0``
+        (the default) keeps the file unbounded; a positive value makes
+        :meth:`~repro.validator.cache.ValidationCache.save` evict
+        least-recently-hit entries until the serialized file fits the
+        budget (the ``disk_evicted`` counter reports how many).  Like
+        ``cache_dir`` it can never affect a verdict, so it is not part of
+        the cache key.
     """
 
     rule_groups: Tuple[str, ...] = tuple(ALL_RULE_GROUPS)
@@ -89,12 +107,16 @@ class ValidatorConfig:
     concurrency: int = 0
     cache_dir: Optional[str] = None
     analysis_cache_size: int = 0
+    chain_graphs: bool = True
+    cache_max_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             raise ValueError(f"unknown engine {self.engine!r} (known: {ENGINES})")
         if self.analysis_cache_size < 0:
             raise ValueError("analysis_cache_size must be >= 0 (0 = unbounded)")
+        if self.cache_max_bytes < 0:
+            raise ValueError("cache_max_bytes must be >= 0 (0 = unbounded)")
 
     def with_rules(self, rule_groups) -> "ValidatorConfig":
         """A copy of this configuration with different rule groups."""

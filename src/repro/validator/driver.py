@@ -45,6 +45,16 @@ validates lazily through the :class:`ValidationCache`) and the sharded
 batch driver (which pre-validates a flattened work queue on a process
 pool) assemble byte-identical per-function verdicts from the same code.
 
+Under ``strategy="stepwise"`` with ``config.chain_graphs`` (the default),
+the adjacent-pair queries are answered from ONE *chain-shared* value
+graph per function: every pipeline checkpoint is hash-consed into a
+single :class:`~repro.vgraph.graph.ValueGraph` and normalized once
+(:func:`~repro.validator.validate.validate_chain`), replacing k
+independent build+normalize runs.  The per-pair path remains both the
+fallback (chain construction failures, iteration-capped normalizations)
+and the parity oracle — ``benchmarks/stepwise_guard.py --chain-parity``
+enforces identical record signatures with the flag on vs off.
+
 For corpus-scale traffic the module adds a batch layer on top:
 :func:`validate_module_batch` validates many modules through one
 :class:`ValidationCache` and, when ``config.concurrency > 1``, *shards*
@@ -79,7 +89,7 @@ from ..transforms.pass_manager import (
 from .cache import CacheKey, ValidationCache
 from .config import DEFAULT_CONFIG, ValidatorConfig
 from .report import FunctionRecord, ValidationReport
-from .validate import ValidationResult, validate
+from .validate import ChainOutcome, ValidationResult, validate, validate_chain
 
 #: The validation strategies :func:`validate_function_pipeline` implements.
 STRATEGIES = ("whole", "stepwise", "bisect")
@@ -114,6 +124,80 @@ def _serial_provider(config: ValidatorConfig, cache: Optional[ValidationCache],
 
     def provider(before: Function, after: Function) -> Tuple[ValidationResult, bool]:
         return _validate_pair_cached(before, after, config, cache, manager)
+
+    return provider
+
+
+def _chain_provider(versions: List[Function], config: ValidatorConfig,
+                    cache: Optional[ValidationCache],
+                    manager: Optional[AnalysisManager],
+                    record: FunctionRecord) -> PairProvider:
+    """Answer adjacent-pair queries from ONE chain-shared value graph.
+
+    The chain graph is built (and normalized, once) lazily — on the first
+    adjacent-pair query the cache cannot answer — so fully cached
+    functions never pay for it, exactly as the per-pair path never
+    validates on a hit.  Raw chain *accepts* are consumed directly; raw
+    chain *rejects* are re-checked with an isolated per-pair
+    :func:`~repro.validator.validate.validate` before being trusted or
+    cached, which keeps every consumed verdict identical to the per-pair
+    strategy's (the chain can only have normalized *more* context, never
+    less, so an accept is exact while a reject may merely reflect the
+    union-scoped observability approximations).  The whole-query fallback
+    ``(original, final)`` is answered from the same graph when the chain
+    raw-accepted it and re-checked per-pair otherwise; anything else
+    falls through to the per-pair path untouched.
+    """
+    state: Dict[str, ChainOutcome] = {}
+    positions = {(id(before), id(after)): index
+                 for index, (before, after) in enumerate(zip(versions, versions[1:]))}
+    whole_pair = (id(versions[0]), id(versions[-1]))
+    fallthrough = _serial_provider(config, cache, manager)
+
+    def outcome() -> ChainOutcome:
+        if "outcome" not in state:
+            # Lazy fallback: on a chain build/normalize failure the
+            # outcome comes back empty and every query below validates
+            # per-pair on demand — pairs past the stepwise walk's first
+            # rejection are then never paid for.
+            state["outcome"] = validate_chain(versions, config, manager,
+                                              eager_fallback=False)
+            record.chain_stats = state["outcome"].chain_stats
+        return state["outcome"]
+
+    def provider(before: Function, after: Function) -> Tuple[ValidationResult, bool]:
+        position = positions.get((id(before), id(after)))
+        is_whole = position is None and (id(before), id(after)) == whole_pair
+        if position is None and not is_whole:
+            return fallthrough(before, after)
+        if is_whole and "outcome" not in state:
+            # Every adjacent pair was answered from the cache, so no
+            # chain was built; deciding the whole query per-pair mirrors
+            # the batch driver's whole-fallback round exactly.
+            return fallthrough(before, after)
+        key: Optional[CacheKey] = None
+        if cache is not None:
+            key = cache.key(before, after, config)
+            cached = cache.get(key, before.name)
+            if cached is not None:
+                return cached, True
+        chain = outcome()
+        result: Optional[ValidationResult]
+        if chain.fallback:
+            result = None  # lazy fallback: validate this query in isolation
+        elif is_whole:
+            result = chain.whole_result
+        else:
+            result = chain.pair_results[position]
+        if result is not None and not result.is_success and not chain.rejects_trusted:
+            # The chain's normalization was cut off by the iteration
+            # bound, so this rejection is not authoritative yet.
+            result = None
+        if result is None:
+            result = validate(before, after, config, manager=manager)
+        if cache is not None and key is not None:
+            cache.put(key, result)
+        return result, False
 
     return provider
 
@@ -308,7 +392,14 @@ def validate_function_pipeline(
     # pass (unchanged passes are identity steps — nothing to validate).
     steps, versions = checkpoint_chain(function, snapshots)
     manager = manager if manager is not None else _driver_manager(config)
-    provider = _serial_provider(config, cache, manager)
+    if strategy == "stepwise" and config.chain_graphs and len(steps) >= 2:
+        # Chain-shared graph: every checkpoint is built once into one
+        # graph and all adjacent pairs are answered from its single
+        # normalization (the per-pair provider remains the fallback for
+        # the whole-query and for chain construction failures).
+        provider = _chain_provider(versions, config, cache, manager, record)
+    else:
+        provider = _serial_provider(config, cache, manager)
     if not steps:
         # skip_unchanged=False and no pass changed anything: validate the
         # identity pair, for parity with the whole strategy.
@@ -388,7 +479,7 @@ def llvm_md(
         return result_module, report
 
     if cache is None and config.cache_dir is not None:
-        cache = ValidationCache(config.cache_dir)
+        cache = ValidationCache(config.cache_dir, max_bytes=config.cache_max_bytes)
     if manager is None and strategy != "whole":
         manager = _driver_manager(config)
     report = ValidationReport(label=label or module.name)
@@ -446,29 +537,89 @@ class _FunctionPlan:
         self.whole_key = whole_key
 
 
-def _validate_pair(item: Tuple[Function, Function, ValidatorConfig]) -> ValidationResult:
-    """Process-pool worker: validate one (before, after) pair."""
-    before, after, config = item
+def _settle_chain_results(outcome: ChainOutcome, versions: Sequence[Function],
+                          config: ValidatorConfig,
+                          ) -> Tuple[List[Optional[ValidationResult]],
+                                     Optional[ValidationResult]]:
+    """Turn raw chain verdicts into cache-safe verdicts.
+
+    Raw accepts are exact and kept, and when the chain's normalization
+    reached its natural fixpoint (``rejects_trusted``) so are the
+    rejections — everything is cacheable as-is.  When normalization was
+    instead cut off by the iteration bound, rejects on the *consumed
+    prefix* (up to and including the first pair the stepwise walk would
+    stop at) are re-checked with an isolated per-pair validation — the
+    verdict the per-pair strategy would produce — and rejects beyond the
+    consumed prefix are censored to ``None``: the walk never consumes
+    them for this function, and caching an unconfirmed reject could
+    poison another function whose walk *does* consume that content pair.
+    The whole (original, final) verdict gets the same treatment.
+
+    Returns ``(pair_verdicts, whole_verdict)``.
+    """
+    if outcome.fallback:
+        # Every pair result already is an isolated per-pair verdict; the
+        # whole query is left to the batch driver's fallback round.
+        return list(outcome.pair_results), None
+    if outcome.rejects_trusted:
+        return list(outcome.pair_results), outcome.whole_result
+    settled: List[Optional[ValidationResult]] = []
+    failed = False
+    for index, result in enumerate(outcome.pair_results):
+        if result.is_success:
+            settled.append(result)
+            continue
+        if failed:
+            settled.append(None)
+            continue
+        rechecked = validate(versions[index], versions[index + 1], config)
+        settled.append(rechecked)
+        if not rechecked.is_success:
+            failed = True
+    whole = outcome.whole_result
+    if whole is not None and not whole.is_success:
+        whole = validate(versions[0], versions[-1], config) if failed else None
+    return settled, whole
+
+
+#: A sharded-chain worker's return value: one (possibly censored) verdict
+#: per adjacent pair, the (possibly censored) whole-pair verdict, and the
+#: chain graph's work telemetry.
+ChainItemResult = Tuple[List[Optional[ValidationResult]],
+                        Optional[ValidationResult], Dict[str, int]]
+
+
+def _validate_item(item: Tuple):
+    """Process-pool worker: validate one work item (pair or whole chain)."""
+    if item[0] == "chain":
+        _, versions, config = item
+        outcome = validate_chain(versions, config)
+        settled, whole = _settle_chain_results(outcome, versions, config)
+        return settled, whole, outcome.chain_stats
+    _, before, after, config = item
     return validate(before, after, config)
 
 
-def _run_validations(items: List[Tuple[Function, Function, ValidatorConfig]],
-                     config: ValidatorConfig) -> Tuple[List[ValidationResult], bool]:
-    """Validate a list of pairs; returns ``(results, used_process_pool)``.
+def _run_validations(items: List[Tuple],
+                     config: ValidatorConfig) -> Tuple[List, bool]:
+    """Validate a list of work items; returns ``(results, used_process_pool)``.
 
-    Uses a ``ProcessPoolExecutor`` with ``config.concurrency`` workers
-    when configured.  Any pool-level failure — a platform that cannot
-    spawn processes, an object that fails to pickle, a worker crash —
-    falls back to validating serially in-process: re-running the items is
-    always safe (validation is deterministic and side-effect free) and a
-    genuine per-item error would reproduce serially anyway.
+    Items are tagged tuples — ``("pair", before, after, config)`` yields a
+    :class:`ValidationResult`, ``("chain", versions, config)`` yields a
+    :data:`ChainItemResult`.  Uses a ``ProcessPoolExecutor`` with
+    ``config.concurrency`` workers when configured.  Any pool-level
+    failure — a platform that cannot spawn processes, an object that
+    fails to pickle, a worker crash — falls back to validating serially
+    in-process: re-running the items is always safe (validation is
+    deterministic and side-effect free) and a genuine per-item error
+    would reproduce serially anyway.
     """
     if config.concurrency and config.concurrency > 1 and len(items) > 1:
         try:
             from concurrent.futures import ProcessPoolExecutor
             from concurrent.futures.process import BrokenProcessPool
         except ImportError:  # pragma: no cover - stdlib always has it
-            return [_validate_pair(item) for item in items], False
+            return [_validate_item(item) for item in items], False
         # Deep operand chains make pickling recursive; give the parent the
         # same recursion headroom validation itself gets.
         old_limit = sys.getrecursionlimit()
@@ -476,7 +627,7 @@ def _run_validations(items: List[Tuple[Function, Function, ValidatorConfig]],
         try:
             chunksize = max(1, len(items) // (config.concurrency * 4))
             with ProcessPoolExecutor(max_workers=config.concurrency) as pool:
-                return list(pool.map(_validate_pair, items, chunksize=chunksize)), True
+                return list(pool.map(_validate_item, items, chunksize=chunksize)), True
         except (OSError, ValueError, TypeError, AttributeError, RecursionError,
                 pickle.PicklingError, BrokenProcessPool):
             # Platforms without working process spawning, unpicklable
@@ -484,7 +635,7 @@ def _run_validations(items: List[Tuple[Function, Function, ValidatorConfig]],
             pass
         finally:
             sys.setrecursionlimit(old_limit)
-    return [_validate_pair(item) for item in items], False
+    return [_validate_item(item) for item in items], False
 
 
 def validate_module_batch(
@@ -507,7 +658,12 @@ def validate_module_batch(
       or every per-pass *adjacent checkpoint pair* under stepwise — are
       flattened into one work queue and *deduplicated* by content hash:
       identical pairs (common in template-heavy or generated corpora, and
-      in repeated single-pass effects) are validated once;
+      in repeated single-pass effects) are validated once; with
+      ``config.chain_graphs`` (the default) a multi-step stepwise
+      function ships as ONE packed chain work item instead — the worker
+      builds all of its checkpoints into one shared graph, normalizes it
+      once, and returns every adjacent-pair verdict (plus the whole-pair
+      verdict) together;
     * the distinct pairs are validated either serially or, when
       ``config.concurrency > 1``, sharded over a ``ProcessPoolExecutor``
       with that many workers (falling back to serial execution if the
@@ -537,14 +693,24 @@ def validate_module_batch(
     if function_names is not None and len(function_names) != len(modules):
         raise ValueError("function_names must match modules one to one")
     if cache is None:
-        cache = ValidationCache(config.cache_dir)
+        cache = ValidationCache(config.cache_dir, max_bytes=config.cache_max_bytes)
 
     # Phase 1: optimize everything, planning the queries each function
     # needs.  Whole/bisect plan the (original, final) pair; stepwise plans
-    # every adjacent checkpoint pair.  Fingerprints are computed once per
-    # version and shared by all the keys derived from them.
+    # every adjacent checkpoint pair — packed as ONE chain work item per
+    # multi-step function when ``config.chain_graphs`` is on, so a worker
+    # builds all of that function's checkpoints into one shared graph and
+    # normalizes it once instead of once per pair.  Fingerprints are
+    # computed once per version and shared by all the keys derived from
+    # them.
+    chain_mode = strategy == "stepwise" and config.chain_graphs
     plans: List[Tuple[Module, ValidationReport, Dict[Value, Value], List[_FunctionPlan]]] = []
     pending: Dict[CacheKey, Tuple[Function, Function]] = {}
+    #: Chain work items, keyed by the tuple of the chain's pair keys
+    #: (content-identical chains are validated once, like identical
+    #: pairs); the value carries the version chain and the whole-pair key.
+    pending_chains: Dict[Tuple[CacheKey, ...],
+                         Tuple[List[Function], CacheKey]] = {}
     for index, module in enumerate(modules):
         label = labels[index] if labels is not None else module.name
         selected: Optional[set] = None
@@ -589,19 +755,49 @@ def validate_module_batch(
             else:
                 pair_keys = [whole_key]
                 pair_versions = [(versions[0], versions[-1])]
-            for key, (before, after) in zip(pair_keys, pair_versions):
-                if cache.peek(key) is None and key not in pending:
-                    pending[key] = (before, after)
+            if chain_mode and len(pair_keys) >= 2:
+                # One packed work item covers every adjacent pair of this
+                # function; enqueue it when any of its pairs still needs
+                # validating (a fully cached chain costs nothing, exactly
+                # like the serial path's lazy chain construction).
+                if any(cache.peek(key) is None for key in pair_keys):
+                    chain_signature = tuple(pair_keys)
+                    if chain_signature not in pending_chains:
+                        pending_chains[chain_signature] = (versions, whole_key)
+            else:
+                for key, (before, after) in zip(pair_keys, pair_versions):
+                    if cache.peek(key) is None and key not in pending:
+                        pending[key] = (before, after)
             work.append(_FunctionPlan(function, record, versions, steps,
                                       fingerprints, pair_keys, whole_key))
         plans.append((result_module, report, global_map, work))
 
-    # Phase 2, round 1: validate the distinct pairs (sharded when
+    # Phase 2, round 1: validate the distinct work items (sharded when
     # configured) and merge the outcomes back into the shared cache.
-    items = [(before, after, config) for before, after in pending.values()]
+    # Chain items return one settled verdict per adjacent pair (raw
+    # rejects beyond the consumed prefix are censored — see
+    # :func:`_settle_chain_results`); only verdicts for keys nobody
+    # stored yet are adopted, so identical pairs keep a single entry.
+    items: List[Tuple] = [("pair", before, after, config)
+                          for before, after in pending.values()]
+    items += [("chain", versions, config)
+              for versions, _ in pending_chains.values()]
     outcomes, pooled_round1 = _run_validations(items, config)
-    for key, result in zip(pending, outcomes):
+    fresh: set = set()
+    for key, result in zip(pending, outcomes[:len(pending)]):
         cache.put(key, result)
+        fresh.add(key)
+    chain_stats_by_signature: Dict[Tuple[CacheKey, ...], Dict[str, int]] = {}
+    for (chain_signature, (_, chain_whole_key)), item_result in zip(
+            pending_chains.items(), outcomes[len(pending):]):
+        settled, whole_result, chain_stats = item_result
+        chain_stats_by_signature[chain_signature] = chain_stats
+        for key, result in zip(chain_signature + (chain_whole_key,),
+                               settled + [whole_result]):
+            if result is None or cache.peek(key) is not None:
+                continue
+            cache.put(key, result)
+            fresh.add(key)
 
     # Round 2 (stepwise only): functions whose adjacent-pair walk hits a
     # rejection fall back to the whole (original, final) query — the serial
@@ -622,10 +818,12 @@ def validate_module_batch(
                         and plan.whole_key not in pending_whole:
                     pending_whole[plan.whole_key] = (plan.versions[0], plan.versions[-1])
         if pending_whole:
-            items = [(before, after, config) for before, after in pending_whole.values()]
+            items = [("pair", before, after, config)
+                     for before, after in pending_whole.values()]
             outcomes, pooled_round2 = _run_validations(items, config)
             for key, result in zip(pending_whole, outcomes):
                 cache.put(key, result)
+                fresh.add(key)
 
     # Phase 3: assemble result modules and reports from the cache through
     # the same strategy runners the serial driver uses.  The first
@@ -633,9 +831,10 @@ def validate_module_batch(
     # further consumption of the same key — within a module, across
     # modules, or from an earlier batch / the disk backend — is a cache
     # hit, so totals count each query exactly once.  Queries the rounds
-    # could not anticipate (bisect probes) validate inline through a
+    # could not anticipate (bisect probes, chain verdicts censored beyond
+    # another function's consumed prefix) validate inline through a
     # bounded analysis manager.
-    fresh = set(pending) | set(pending_whole)
+    chain_pairs_fresh = len(fresh) - len(pending) - len(pending_whole)
     consumed: set = set()
     manager = _driver_manager(config)
     inline_validations = 0
@@ -676,6 +875,12 @@ def validate_module_batch(
     results: List[Tuple[Module, ValidationReport]] = []
     for result_module, report, global_map, work in plans:
         for plan in work:
+            chain_stats = chain_stats_by_signature.pop(tuple(plan.pair_keys), None)
+            if chain_stats is not None:
+                # Attached to the (first) function whose chain item
+                # actually ran — the same function whose lazy chain the
+                # serial path would have built.
+                plan.record.chain_stats = chain_stats
             if strategy == "whole":
                 kept = _run_whole(plan.function, plan.versions[-1], provider, plan.record)
             elif strategy == "stepwise":
@@ -695,9 +900,10 @@ def validate_module_batch(
 
     pooled = pooled_round1 or pooled_round2
     shard_stats = {
-        "distinct_pairs": len(pending) + len(pending_whole),
-        "pooled_pairs": (len(pending) if pooled_round1 else 0)
+        "distinct_pairs": len(pending) + chain_pairs_fresh + len(pending_whole),
+        "pooled_pairs": ((len(pending) + chain_pairs_fresh) if pooled_round1 else 0)
                         + (len(pending_whole) if pooled_round2 else 0),
+        "chain_items": len(pending_chains),
         "inline_validations": inline_validations,
         "workers": config.concurrency if pooled else 0,
     }
@@ -705,7 +911,7 @@ def validate_module_batch(
     analysis_stats = manager.stats()
     for _, report in results:
         report.shard_stats = dict(shard_stats)
-        report.analysis_stats = analysis_stats
+        report.analysis_stats = dict(analysis_stats)
         report.cache_stats = cache.stats()
     return results
 

@@ -51,6 +51,15 @@ class FunctionRecord:
     #: Computed/reused counters of the :class:`~repro.analysis.manager.AnalysisManager`
     #: this record's validations went through (``None`` without a manager).
     analysis_stats: Optional[Dict[str, int]] = None
+    #: Chain-shared graph telemetry (``None`` when the record's queries
+    #: were answered without building a chain graph — cache hits, the
+    #: per-pair path, or non-stepwise strategies): versions hash-consed
+    #: into the one graph, nodes built vs. the estimated 2×-per-pair
+    #: construction baseline, normalization rounds/rule work of the single
+    #: normalize run and how many per-pair normalizations it replaced.
+    #: Deliberately *not* part of :meth:`signature` — chain graphs must
+    #: never change what validation decides.
+    chain_stats: Optional[Dict[str, int]] = None
 
     def signature(self) -> Dict[str, object]:
         """Everything about this record that validation *decided*.
@@ -192,7 +201,39 @@ class ValidationReport:
                 continue
             for key, value in record.result.stats.items():
                 totals[key] = totals.get(key, 0) + int(value)
+            if record.chain_stats:
+                # The chain-shared graph's work is carried on the record
+                # (its per-pair results deliberately hold no stats, so
+                # one normalization is never counted once per pair);
+                # fold it into the same counters the per-pair path
+                # reports so the two modes stay comparable.
+                totals["rule_invocations"] = (totals.get("rule_invocations", 0)
+                                              + record.chain_stats.get("chain_rule_invocations", 0))
+                totals["nodes_built"] = (totals.get("nodes_built", 0)
+                                         + record.chain_stats.get("chain_nodes_built", 0))
+                totals["nodes_created"] = (totals.get("nodes_created", 0)
+                                           + record.chain_stats.get("chain_nodes_created", 0))
+                totals["normalize_runs"] = (totals.get("normalize_runs", 0)
+                                            + record.chain_stats.get("chains", 0))
         totals["cache_hits"] = self.cache_hits
+        return totals
+
+    def chain_totals(self) -> Dict[str, int]:
+        """Chain-shared graph counters summed over the records that used one.
+
+        ``chains`` (graphs built), ``chain_versions`` (checkpoints
+        hash-consed into them), ``chain_nodes_built`` vs.
+        ``chain_pair_baseline_nodes`` (construction work against the
+        estimated per-pair baseline), ``chain_rounds`` /
+        ``chain_rule_invocations`` (the single normalize run's work),
+        ``chain_normalizations_saved`` and ``chain_fallbacks``.
+        """
+        totals: Dict[str, int] = {}
+        for record in self.records:
+            if not record.chain_stats:
+                continue
+            for key, value in record.chain_stats.items():
+                totals[key] = totals.get(key, 0) + int(value)
         return totals
 
     @property

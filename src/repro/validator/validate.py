@@ -1,4 +1,4 @@
-"""The per-function validation entry point.
+"""The per-function validation entry points.
 
 ``validate(before, after)`` is the paper's ``validate fi fo``: build both
 functions into one shared value graph, normalize, and report whether the
@@ -6,6 +6,19 @@ observable roots (return value and final memory state) merged into the
 same nodes.  A positive answer means: *if the original function terminates
 without a runtime error, the transformed function computes the same return
 value and leaves memory in the same state* (§2's guarantee).
+
+``validate_chain(versions)`` generalizes the shared graph from 2 versions
+to a whole checkpoint chain: all k versions are hash-consed into ONE
+graph (:func:`repro.vgraph.builder.build_chain_graph`), which is
+normalized **once** against every adjacent pair's goal roots; the per-pair
+verdicts are then read off the single normalized graph.  Accepts read off
+the chain are exact — two roots merged during construction iff they are
+structurally identical (a graph-independent fact), and normalization of
+the union applies at least the rewrites either pair-local run would — so
+the stepwise driver consumes them directly and re-checks only *rejecting*
+pairs with an isolated two-version :func:`validate` before trusting them,
+keeping chain-mode verdicts identical to the per-pair strategy while
+paying for one build and one normalization instead of k.
 """
 
 from __future__ import annotations
@@ -13,12 +26,12 @@ from __future__ import annotations
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.manager import AnalysisManager
 from ..errors import IrreducibleCFGError, ReproError, ValidationInternalError
 from ..ir.module import Function
-from ..vgraph.builder import build_shared_graph
+from ..vgraph.builder import build_chain_graph, build_shared_graph
 from ..vgraph.normalize import NormalizationStats, Normalizer
 from .config import DEFAULT_CONFIG, ValidatorConfig
 
@@ -46,7 +59,13 @@ class ValidationResult:
     elapsed: float = 0.0
     #: Number of nodes in the shared graph after construction.
     graph_nodes: int = 0
-    #: Normalization statistics (empty when construction failed).
+    #: Normalization statistics (empty when construction failed).  On top
+    #: of the engine counters, fresh per-pair validations record the
+    #: deterministic work counters ``nodes_built`` (nodes created while
+    #: constructing the graph), ``nodes_created`` (total nodes ever
+    #: created, including normalization-manufactured ones) and
+    #: ``normalize_runs`` — the counters the chain-graph benchmarks and
+    #: the CI perf guard compare.
     stats: Dict[str, int] = field(default_factory=dict)
     #: Human-readable detail for failures (best-effort diff rendering).
     detail: str = ""
@@ -72,6 +91,10 @@ def validate(before: Function, after: Function,
     config = config or DEFAULT_CONFIG
     start = time.perf_counter()
     old_limit = sys.getrecursionlimit()
+    # Only graph *construction* recurses (symbolic evaluation follows the
+    # SSA def-use chains); every normalization-phase walk — rules, cycle
+    # unification, partition refinement, signatures — is iterative, so
+    # the raised limit is scoped to the build.
     sys.setrecursionlimit(max(old_limit, config.recursion_limit))
     try:
         graph, summary_before, summary_after = build_shared_graph(before, after, manager)
@@ -84,12 +107,12 @@ def validate(before: Function, after: Function,
     finally:
         sys.setrecursionlimit(old_limit)
 
+    nodes_built = graph.next_id
     goal_pairs = [
         (summary_before.result, summary_after.result),
         (summary_before.memory, summary_after.memory),
     ]
 
-    sys.setrecursionlimit(max(old_limit, config.recursion_limit))
     try:
         normalizer = Normalizer(
             graph,
@@ -108,19 +131,247 @@ def validate(before: Function, after: Function,
             elapsed=time.perf_counter() - start,
             graph_nodes=graph.live_node_count(), detail=str(error),
         )
-    finally:
-        sys.setrecursionlimit(old_limit)
 
+    counters = _work_counters(stats, nodes_built, graph.next_id)
     elapsed = time.perf_counter() - start
     if matched:
         reason = "trivially-equal" if stats.trivially_equal else "equal"
         return ValidationResult(before.name, True, reason, elapsed=elapsed,
-                                graph_nodes=graph.live_node_count(), stats=stats.as_dict())
+                                graph_nodes=graph.live_node_count(), stats=counters)
 
     detail = _failure_detail(graph, summary_before, summary_after)
     return ValidationResult(before.name, False, "normalization-exhausted", elapsed=elapsed,
-                            graph_nodes=graph.live_node_count(), stats=stats.as_dict(),
+                            graph_nodes=graph.live_node_count(), stats=counters,
                             detail=detail)
+
+
+def _work_counters(stats: NormalizationStats, nodes_built: int,
+                   nodes_created: int) -> Dict[str, int]:
+    """Engine stats plus the deterministic work counters of one run."""
+    counters = stats.as_dict()
+    counters["nodes_built"] = nodes_built
+    counters["nodes_created"] = nodes_created
+    counters["normalize_runs"] = 1
+    return counters
+
+
+@dataclass
+class ChainOutcome:
+    """Raw result of validating a whole checkpoint chain from one graph.
+
+    ``pair_results[i]`` is the verdict of the adjacent pair
+    ``(versions[i], versions[i + 1])`` as read off the shared chain
+    graph.  Accepts are always exact: two roots are equal only when they
+    actually merged, construction-time equality is structural identity,
+    and the union graph applies at least every rewrite a pair-local run
+    would.  Rejections are exact when ``rejects_trusted`` holds — the
+    normalization reached a natural rewrite fixpoint, at which point a
+    sub-term another version eliminated (and an earlier, accepted pair
+    therefore proved equal to its replacement) has merged away and can no
+    longer inhibit the pair-scoped rules; when normalization was instead
+    cut off by the iteration bound, consumers must re-check rejections
+    with an isolated per-pair :func:`validate` before acting on them.
+    When the chain itself could not be built or normalized, ``fallback``
+    is true and every pair result already *is* an isolated per-pair
+    verdict — or, under ``validate_chain(..., eager_fallback=False)``,
+    ``pair_results`` is empty and the caller validates per-pair lazily.
+    """
+
+    function_name: str
+    pair_results: List[ValidationResult]
+    #: Work telemetry of the chain run (see the driver's ``chain_stats``).
+    chain_stats: Dict[str, int]
+    #: Raw verdict of the (original, final) pair — the stepwise strategy's
+    #: whole-query fallback — read off the same graph (``None`` when the
+    #: chain fell back to isolated per-pair validation, or for 2-version
+    #: chains where the single pair *is* the whole pair).  Trustworthy on
+    #: exactly the same terms as ``pair_results``.
+    whole_result: Optional[ValidationResult] = None
+    #: Chain construction/normalization failed; per-pair results inside.
+    fallback: bool = False
+    #: Normalization reached a natural fixpoint, so read-off rejections
+    #: are as authoritative as a per-pair run's (see above).
+    rejects_trusted: bool = False
+
+
+def validate_chain(versions: Sequence[Function],
+                   config: Optional[ValidatorConfig] = None,
+                   manager: Optional[AnalysisManager] = None,
+                   eager_fallback: bool = True) -> ChainOutcome:
+    """Validate every adjacent pair of a checkpoint chain from ONE graph.
+
+    All ``len(versions)`` checkpoints are hash-consed into a single
+    :class:`~repro.vgraph.graph.ValueGraph` and normalized once against
+    the union of every adjacent pair's goal roots; the per-pair verdicts
+    are read off the normalized graph.  This replaces the per-pair
+    strategy's ``k - 1`` independent build+normalize runs (each of which
+    translates both endpoints afresh) with one build and one
+    normalization.
+
+    The function is *total*: any construction or normalization failure
+    degrades to the per-pair path (``fallback=True``).  With
+    ``eager_fallback`` (the default — what the sharded workers need,
+    since they must return a complete verdict list) the fallback runs an
+    isolated :func:`validate` for every adjacent pair; with
+    ``eager_fallback=False`` it returns *empty* ``pair_results`` and the
+    caller validates per-pair lazily — the serial driver uses this so a
+    broken chain whose first pair already rejects never pays for the
+    pairs the stepwise walk would not have consumed.
+    """
+    config = config or DEFAULT_CONFIG
+    if len(versions) < 2:
+        raise ValidationInternalError("a checkpoint chain needs at least 2 versions")
+    name = versions[0].name
+    start = time.perf_counter()
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, config.recursion_limit))
+    try:
+        graph, summaries = build_chain_graph(list(versions), manager)
+    except (ReproError, RecursionError):
+        # Which version is at fault decides which pairs fail; the
+        # isolated per-pair runs reproduce exactly the per-pair strategy.
+        return _chain_fallback(versions, config, manager, eager_fallback)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    nodes_built = graph.next_id
+    pair_goals: List[List[Tuple[Optional[int], Optional[int]]]] = []
+    for left, right in zip(summaries, summaries[1:]):
+        pair_goals.append([
+            (left.result, right.result),
+            (left.memory, right.memory),
+        ])
+    # The (original, final) pair — the stepwise whole-query fallback — is
+    # free to answer from the same graph; for 2-version chains it IS the
+    # single adjacent pair.
+    whole_goals: Optional[List[Tuple[Optional[int], Optional[int]]]] = None
+    if len(versions) > 2:
+        whole_goals = [
+            (summaries[0].result, summaries[-1].result),
+            (summaries[0].memory, summaries[-1].memory),
+        ]
+    all_goals = [goal for goals in pair_goals for goal in goals]
+    if whole_goals is not None:
+        all_goals += whole_goals
+
+    # Pre-normalization equality is structural identity — a graph-size
+    # independent fact, so "trivially-equal" means exactly what it means
+    # on the per-pair path.
+    trivially = [all(_goal_equal(graph, goal) for goal in goals)
+                 for goals in pair_goals]
+    whole_trivially = (whole_goals is not None
+                       and all(_goal_equal(graph, goal) for goal in whole_goals))
+
+    baseline_nodes = _pair_baseline_nodes(graph, summaries)
+
+    try:
+        normalizer = Normalizer(
+            graph,
+            rule_groups=config.rule_groups,
+            matcher=config.matcher,
+            max_iterations=config.max_iterations,
+            engine=config.engine,
+        )
+        _, stats = normalizer.normalize_until_equal(all_goals)
+    except (ReproError, RecursionError):
+        return _chain_fallback(versions, config, manager, eager_fallback)
+
+    elapsed = time.perf_counter() - start
+    graph_nodes = graph.live_node_count()
+    pair_results: List[ValidationResult] = []
+    for index, goals in enumerate(pair_goals):
+        merged = all(_goal_equal(graph, goal) for goal in goals)
+        if merged:
+            reason = "trivially-equal" if trivially[index] else "equal"
+            result = ValidationResult(name, True, reason,
+                                      elapsed=elapsed if index == 0 else 0.0,
+                                      graph_nodes=graph_nodes)
+        else:
+            detail = _failure_detail(graph, summaries[index], summaries[index + 1])
+            result = ValidationResult(name, False, "normalization-exhausted",
+                                      elapsed=elapsed if index == 0 else 0.0,
+                                      graph_nodes=graph_nodes, detail=detail)
+        pair_results.append(result)
+
+    whole_result: Optional[ValidationResult] = None
+    if whole_goals is not None:
+        if all(_goal_equal(graph, goal) for goal in whole_goals):
+            reason = "trivially-equal" if whole_trivially else "equal"
+            whole_result = ValidationResult(name, True, reason,
+                                            graph_nodes=graph_nodes)
+        else:
+            whole_result = ValidationResult(
+                name, False, "normalization-exhausted", graph_nodes=graph_nodes,
+                detail=_failure_detail(graph, summaries[0], summaries[-1]))
+
+    chain_stats = _chain_stats(len(versions), nodes_built, graph.next_id,
+                               baseline_nodes, stats)
+    return ChainOutcome(name, pair_results, chain_stats,
+                        whole_result=whole_result,
+                        rejects_trusted=stats.reached_fixpoint)
+
+
+def _goal_equal(graph, goal: Tuple[Optional[int], Optional[int]]) -> bool:
+    left, right = goal
+    if left is None and right is None:
+        return True
+    if left is None or right is None:
+        return False
+    return graph.same(left, right)
+
+
+def _pair_baseline_nodes(graph, summaries) -> int:
+    """Estimate of the nodes the per-pair strategy would construct.
+
+    Each adjacent pair's fresh two-version graph holds (about) the union
+    of the two versions' reachable sub-graphs; summing those unions over
+    the chain is the "2×-per-pair" construction baseline the
+    ``chain_stats`` telemetry reports against.  Computed before
+    normalization, from one reachability walk per version.
+    """
+    reach = [graph.reachable(summary.roots()) for summary in summaries]
+    return sum(len(left | right) for left, right in zip(reach, reach[1:]))
+
+
+def _chain_stats(versions: int, nodes_built: int, nodes_created: int,
+                 baseline_nodes: int, stats: NormalizationStats) -> Dict[str, int]:
+    return {
+        "chains": 1,
+        "chain_versions": versions,
+        "chain_pairs": versions - 1,
+        "chain_nodes_built": nodes_built,
+        "chain_nodes_created": nodes_created,
+        "chain_pair_baseline_nodes": baseline_nodes,
+        "chain_rounds": stats.iterations,
+        "chain_rule_invocations": stats.rule_invocations,
+        "chain_normalizations_saved": versions - 2,
+        "chain_fallbacks": 0,
+    }
+
+
+def _chain_fallback(versions: Sequence[Function], config: ValidatorConfig,
+                    manager: Optional[AnalysisManager],
+                    eager: bool) -> ChainOutcome:
+    """Per-pair fallback outcome: eager (complete verdicts) or lazy (empty)."""
+    pair_results = []
+    if eager:
+        pair_results = [validate(before, after, config, manager=manager)
+                        for before, after in zip(versions, versions[1:])]
+    chain_stats = {
+        "chains": 0,
+        "chain_versions": len(versions),
+        "chain_pairs": len(versions) - 1,
+        "chain_nodes_built": 0,
+        "chain_nodes_created": 0,
+        "chain_pair_baseline_nodes": 0,
+        "chain_rounds": 0,
+        "chain_rule_invocations": 0,
+        "chain_normalizations_saved": 0,
+        "chain_fallbacks": 1,
+    }
+    return ChainOutcome(versions[0].name, pair_results, chain_stats,
+                        fallback=True)
 
 
 def _failure_detail(graph, summary_before, summary_after) -> str:
@@ -150,4 +401,5 @@ def validate_or_raise(before: Function, after: Function,
     return result
 
 
-__all__ = ["validate", "validate_or_raise", "ValidationResult"]
+__all__ = ["validate", "validate_chain", "validate_or_raise",
+           "ValidationResult", "ChainOutcome"]

@@ -567,4 +567,34 @@ def build_shared_graph(before: Function, after: Function,
     return graph, summary_before, summary_after
 
 
-__all__ = ["GraphBuilder", "FunctionSummary", "build_function_graph", "build_shared_graph"]
+def build_chain_graph(versions: List[Function],
+                      manager: Optional[AnalysisManager] = None,
+                      ) -> Tuple[ValueGraph, List[FunctionSummary]]:
+    """Build a whole checkpoint chain into ONE shared graph.
+
+    This generalizes :func:`build_shared_graph` from 2 versions to the
+    k versions of a stepwise pipeline walk: every version is translated
+    into the *same* :class:`ValueGraph`, so a sub-term left untouched by
+    the pipeline exists **once** no matter how many checkpoints contain
+    it — where the per-pair strategy re-translates every interior
+    checkpoint twice (as the "after" of step *i* and the "before" of step
+    *i + 1*) and re-normalizes the largely identical shared structure
+    once per pair.
+
+    Returns ``(graph, summaries)`` with one :class:`FunctionSummary` per
+    version, in chain order; ``summaries[i]``/``summaries[i + 1]`` hold
+    the goal roots of the adjacent pair validating step *i*.
+    """
+    graph = ValueGraph()
+    summaries = [build_function_graph(graph, version, manager)
+                 for version in versions]
+    return graph, summaries
+
+
+__all__ = [
+    "GraphBuilder",
+    "FunctionSummary",
+    "build_function_graph",
+    "build_shared_graph",
+    "build_chain_graph",
+]

@@ -70,6 +70,12 @@ class NormalizationStats:
         #: Number of individual rule invocations (both engines count this;
         #: the worklist engine's count is the ISSUE's headline metric).
         self.rule_invocations = 0
+        #: Goal-directed runs only: did the loop end at a *natural*
+        #: fixpoint (every goal merged, or a round applied no rewrite)
+        #: rather than by exhausting ``max_iterations``?  Chain validation
+        #: trusts read-off rejections only when this holds (not exported
+        #: by :meth:`as_dict` — it qualifies a run, it is not work done).
+        self.reached_fixpoint = False
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view (handy for reports and benchmarks)."""
@@ -142,6 +148,7 @@ class Normalizer:
         stats = NormalizationStats()
         if self._pairs_equal(goal_pairs):
             stats.trivially_equal = True
+            stats.reached_fixpoint = True
             return True, stats
 
         roots = [node for pair in goal_pairs for node in pair if node is not None]
@@ -221,8 +228,10 @@ class Normalizer:
                     merges += partition
                 if goal_pairs is not None:
                     if self._pairs_equal(goal_pairs):
+                        stats.reached_fixpoint = True
                         return True
                     if rewrites == 0:
+                        stats.reached_fixpoint = True
                         break
                 elif rewrites == 0 and merges == 0:
                     break

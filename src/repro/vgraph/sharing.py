@@ -9,6 +9,12 @@ walk finds no structural disagreement merge every pair of nodes visited.
 This is a coinductive (bisimulation-style) equality check, which is the
 right notion of equality for the recursive stream equations μ-nodes
 denote.
+
+The walk is iterative (an explicit DFS stack): value graphs are as deep
+as the SSA def-use chains that produced them, and unification runs inside
+the normalization fixpoint, which must not depend on the Python recursion
+limit.  Graph *construction* is the only remaining recursive consumer of
+the configured recursion headroom.
 """
 
 from __future__ import annotations
@@ -16,7 +22,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from .graph import ValueGraph
-from .nodes import VNode
 
 
 def unify(graph: ValueGraph, a: int, b: int,
@@ -27,32 +32,41 @@ def unify(graph: ValueGraph, a: int, b: int,
     (for every pair visited), or ``None`` if the nodes differ.  The check
     assumes pairs already on the visit stack are equal, which is what
     makes equivalent cycles unify.
+
+    The traversal is an explicit-stack DFS that visits argument pairs in
+    order and records each mapping entry after its children (the same
+    postorder the recursive formulation produced), so merge order — and
+    with it which canonical node survives — is unchanged.
     """
     pending: Dict[Tuple[int, int], bool] = {} if assumptions is None else assumptions
     mapping: Dict[int, int] = {}
 
-    def walk(x: int, y: int) -> bool:
+    # Stack entries: (x, y, post).  A pre-visit entry (post=False) checks
+    # the pair and schedules its children; the matching post-visit entry
+    # (post=True, already resolved) records the mapping once every child
+    # pair has been proved equal.
+    stack: List[Tuple[int, int, bool]] = [(a, b, False)]
+    while stack:
+        x, y, post = stack.pop()
+        if post:
+            mapping[y] = x
+            continue
         x, y = graph.resolve(x), graph.resolve(y)
         if x == y:
-            return True
+            continue
         key = (x, y)
         if key in pending:
-            return True
+            continue
         node_x, node_y = graph.node(x), graph.node(y)
         if node_x.kind != node_y.kind or node_x.data != node_y.data:
-            return False
+            return None
         if len(node_x.args) != len(node_y.args):
-            return False
+            return None
         pending[key] = True
-        for arg_x, arg_y in zip(node_x.args, node_y.args):
-            if not walk(arg_x, arg_y):
-                return False
-        mapping[y] = x
-        return True
-
-    if walk(a, b):
-        return mapping
-    return None
+        stack.append((x, y, True))
+        for arg_x, arg_y in zip(reversed(node_x.args), reversed(node_y.args)):
+            stack.append((arg_x, arg_y, False))
+    return mapping
 
 
 def merge_cycles(graph: ValueGraph, roots: Optional[List[int]] = None,
@@ -72,8 +86,18 @@ def merge_cycles(graph: ValueGraph, roots: Optional[List[int]] = None,
     before can only succeed once something inside one of the cycles has
     changed.  As soon as a round merges anything the restriction is
     lifted, because merges reshape the graph around every μ.
+
+    Two hot spots the profile exposed are avoided: the μ population is
+    collected from one reachability walk and carried across rounds
+    (merging can only *shrink* it, so later rounds just re-resolve the
+    survivors instead of re-walking the graph), and the structural
+    signatures used for candidate grouping are seeded from the μ-nodes
+    themselves — a node's signature depends only on its descendants, so
+    the values agree exactly with a whole-graph computation while walking
+    only the μ sub-graphs.
     """
     merged = 0
+    mu_ids: Optional[List[int]] = None
     for _ in range(8):
         if candidates is not None:
             # A pair is only attempted when one side is a candidate, so
@@ -82,17 +106,32 @@ def merge_cycles(graph: ValueGraph, roots: Optional[List[int]] = None,
             candidates = {graph.resolve(c) for c in candidates}
             if not any(graph.node(c).kind == "mu" for c in candidates):
                 return merged
-        if roots is not None:
-            reachable = graph.reachable(roots)
-            mus = [graph.node(n) for n in reachable if graph.node(n).kind == "mu"]
+        if mu_ids is None:
+            if roots is not None:
+                reachable = graph.reachable(roots)
+                mu_ids = [n for n in reachable if graph.node(n).kind == "mu"]
+            else:
+                mu_ids = [node.id for node in graph.live_nodes() if node.kind == "mu"]
         else:
-            mus = [node for node in graph.live_nodes() if node.kind == "mu"]
-        if len(mus) < 2:
+            # Rounds after the first: merging never creates μ-nodes, so
+            # the surviving population is the previous one re-resolved.
+            seen: Set[int] = set()
+            survivors: List[int] = []
+            for mu_id in mu_ids:
+                resolved = graph.resolve(mu_id)
+                if resolved in seen:
+                    continue
+                seen.add(resolved)
+                if graph.node(resolved).kind == "mu":
+                    survivors.append(resolved)
+            mu_ids = survivors
+        if len(mu_ids) < 2:
             return merged
-        signatures = graph.signatures(rounds=3, roots=roots)
-        by_signature: Dict[int, List[VNode]] = {}
-        for node in mus:
-            by_signature.setdefault(signatures.get(graph.resolve(node.id), 0), []).append(node)
+        signatures = graph.signatures(rounds=3, roots=mu_ids)
+        by_signature: Dict[int, List[int]] = {}
+        for mu_id in mu_ids:
+            resolved = graph.resolve(mu_id)
+            by_signature.setdefault(signatures.get(resolved, 0), []).append(resolved)
 
         attempts = 0
         round_merged = 0
@@ -101,7 +140,7 @@ def merge_cycles(graph: ValueGraph, roots: Optional[List[int]] = None,
                 for j in range(i + 1, len(group)):
                     if attempts >= max_pairs:
                         break
-                    a, b = graph.resolve(group[i].id), graph.resolve(group[j].id)
+                    a, b = graph.resolve(group[i]), graph.resolve(group[j])
                     if a == b:
                         continue
                     if candidates is not None and a not in candidates and b not in candidates:

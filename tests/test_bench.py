@@ -138,3 +138,78 @@ class TestTables:
     def test_format_grouped_bars(self):
         text = format_grouped_bars({"no rules": {"a": 10.0}, "all": {"a": 90.0}})
         assert "[no rules]" in text and "[all]" in text
+
+
+class TestChainComparisonExperiment:
+    def test_chain_comparison_parity_and_savings(self):
+        from repro.bench import chain_comparison
+
+        rows = chain_comparison(scale=0.25, benchmarks=["mcf", "hmmer"])
+        assert [row["benchmark"] for row in rows] == ["mcf", "hmmer"]
+        for row in rows:
+            assert row["identical"], row["mismatches"]
+            if row["chains"]:
+                # The whole point: chain construction beats per-pair.
+                assert row["chain_nodes_built"] < row["per_pair_nodes_built"]
+                assert row["chain_normalize_runs"] < row["per_pair_normalize_runs"]
+
+
+class TestPerfGuardAndTriageCLIs:
+    def test_perf_guard_flatten_and_gate(self, tmp_path):
+        import json
+        import pathlib
+        import subprocess
+        import sys
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        artifact = {
+            "schema": 1, "scale": 0.2,
+            "totals": {"chain": {"nodes_built": 100, "nodes_created": 120,
+                                 "rule_invocations": 500, "normalize_runs": 5},
+                       "per_pair": {"nodes_built": 200, "nodes_created": 240,
+                                    "rule_invocations": 900, "normalize_runs": 11}},
+        }
+        artifact_path = tmp_path / "chain_graphs.json"
+        artifact_path.write_text(json.dumps(artifact))
+        baseline_path = tmp_path / "baseline.json"
+
+        def run(*extra):
+            return subprocess.run(
+                [sys.executable, str(root / "benchmarks" / "perf_guard.py"),
+                 "--artifact", str(artifact_path), "--baseline", str(baseline_path),
+                 *extra],
+                capture_output=True, text=True,
+                env={"PYTHONPATH": str(root / "src"), "PATH": "/usr/bin:/bin"})
+
+        assert run("--update-baseline").returncode == 0
+        assert run().returncode == 0  # identical counters pass
+        artifact["totals"]["chain"]["rule_invocations"] = 600  # +20%
+        artifact_path.write_text(json.dumps(artifact))
+        regression = run()
+        assert regression.returncode == 1
+        assert "REGRESSION" in regression.stderr
+        artifact["totals"]["chain"]["rule_invocations"] = 400  # improvement
+        artifact_path.write_text(json.dumps(artifact))
+        assert run().returncode == 0
+
+    def test_blame_triage_harvests_artifacts(self, tmp_path):
+        import importlib.util
+        import json
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        spec = importlib.util.spec_from_file_location(
+            "blame_triage", root / "benchmarks" / "blame_triage.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        good = tmp_path / "sweep.json"
+        good.write_text(json.dumps({
+            "rows": [{"benchmark": "a", "blame": {"gvn": 2, "dse": 1}},
+                     {"benchmark": "b", "blame": {"gvn": 1}}],
+            "chain_rows": [{"blame": {"licm": 4}}],
+        }))
+        junk = tmp_path / "junk.json"
+        junk.write_text("{not json")
+        histogram = module.harvest_artifacts([good, junk])
+        assert histogram == {"gvn": 3, "dse": 1, "licm": 4}

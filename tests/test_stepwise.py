@@ -184,14 +184,18 @@ class TestStrategies:
         assert seen_full
 
     def test_stepwise_interior_versions_analysed_once(self, mini_corpus):
-        # The acceptance criterion's counter check: for a fully validated
-        # chain of k changed steps there are k+1 versions and 2k builds,
-        # so exactly k-1 lookups must be answered from the cache.
+        # The per-pair path's counter check: for a fully validated chain
+        # of k changed steps there are k+1 versions and 2k builds, so
+        # exactly k-1 lookups must be answered from the cache.  The
+        # chain-shared path builds every version exactly once, so it
+        # needs no analysis reuse at all.
         checked = False
+        per_pair = replace(DEFAULT_CONFIG, chain_graphs=False)
         for function in mini_corpus.defined_functions():
             manager = AnalysisManager()
             _, record = validate_function_pipeline(
-                function, PAPER_PIPELINE, strategy="stepwise", manager=manager)
+                function, PAPER_PIPELINE, per_pair, strategy="stepwise",
+                manager=manager)
             if not (record.transformed and record.validated) or record.whole_fallback:
                 continue
             steps = record.changed_steps
@@ -201,6 +205,13 @@ class TestStrategies:
             assert manager.computed == steps + 1
             assert manager.reused == steps - 1
             assert record.analysis_stats == manager.stats()
+            chain_manager = AnalysisManager()
+            _, chain_record = validate_function_pipeline(
+                function, PAPER_PIPELINE, strategy="stepwise",
+                manager=chain_manager)
+            assert chain_record.signature() == record.signature()
+            assert chain_manager.computed == steps + 1
+            assert chain_manager.reused == 0
         assert checked
 
     def test_stepwise_blames_injected_bug(self, mini_corpus):
