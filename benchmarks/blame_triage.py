@@ -105,9 +105,17 @@ def main() -> int:
     if args.sweep or not triage:
         for pass_name, entry in sweep(args.scale, list(ALL_BENCHMARKS),
                                       args.samples).items():
-            merged = triage.setdefault(pass_name, {"count": 0, "samples": []})
-            merged["count"] = int(merged["count"]) + int(entry["count"])
-            merged["samples"] = entry["samples"]
+            merged = triage.get(pass_name)
+            if merged is None:
+                # Not in the harvested histogram: the sweep's count is the
+                # only one there is.
+                triage[pass_name] = dict(entry)
+            else:
+                # The artifacts already count these rejections (they were
+                # produced by the same kind of sweep), so the fresh sweep
+                # only contributes the sample functions — adding its count
+                # on top would double-count every blame.
+                merged["samples"] = entry["samples"]
 
     if not triage:
         print("no blame data found (clean sweeps reject nothing)")

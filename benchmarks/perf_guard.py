@@ -76,6 +76,14 @@ def main() -> int:
         print(f"perf guard: artifact scale {artifact.get('scale')} does not match "
               f"baseline scale {baseline.get('scale')}", file=sys.stderr)
         return 1
+    # Counters are only deterministic for a fixed hash seed (structural
+    # signatures and φ-branch orderings vary with it), so a seed mismatch
+    # would gate noise, not regressions.
+    if artifact.get("hash_seed") != baseline.get("hash_seed"):
+        print(f"perf guard: artifact hash_seed {artifact.get('hash_seed')!r} does not "
+              f"match baseline hash_seed {baseline.get('hash_seed')!r}",
+              file=sys.stderr)
+        return 1
 
     failures = []
     width = max(len(name) for name in baseline_counters) if baseline_counters else 0

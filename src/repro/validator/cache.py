@@ -285,31 +285,46 @@ class ValidationCache:
         return counters
 
 
+#: Fixed JSON envelope :meth:`ValidationCache.save` writes around the
+#: entries map — ``{"entries": {`` … ``}, "schema": N}`` plus the trailing
+#: newline — charged against the byte budget so the *file* fits it.
+_FILE_ENVELOPE = 32
+
+
 def _entry_size(key: CacheKey, result: ValidationResult) -> int:
-    """Serialized footprint of one entry (key, payload, JSON punctuation)."""
+    """Serialized footprint of one entry (key, payload, JSON punctuation).
+
+    Measured in *file* bytes: the encoded key lands on disk as a JSON
+    string — its many embedded quotes escape to two bytes each — so it
+    is sized through ``json.dumps``, not ``len`` of the raw string; the
+    ``+ 4`` covers the ``": "`` joining key and payload and the ``", "``
+    chaining entries.
+    """
     payload = {name: value for name, value in asdict(result).items()
                if name in _RESULT_FIELDS}
-    return len(_encode_key(key)) + len(json.dumps(payload, sort_keys=True)) + 8
+    return (len(json.dumps(_encode_key(key)))
+            + len(json.dumps(payload, sort_keys=True)) + 4)
 
 
 def _evict_to_budget(entries: Dict[CacheKey, ValidationResult],
                      hit_stamp: Dict[CacheKey, int], max_bytes: int) -> int:
-    """Drop least-recently-hit entries until the payload fits ``max_bytes``.
+    """Drop least-recently-hit entries until the saved file fits ``max_bytes``.
 
     Entries this process never touched (loaded from disk or merged from a
     concurrent writer) have no stamp and rank oldest, tie-broken by their
     serialized key so eviction is deterministic.  Returns the number of
     entries dropped; ``entries`` is mutated in place.
     """
+    budget = max(0, max_bytes - _FILE_ENVELOPE)
     sizes = {key: _entry_size(key, result) for key, result in entries.items()}
     total = sum(sizes.values())
-    if total <= max_bytes:
+    if total <= budget:
         return 0
     victims = sorted(entries,
                      key=lambda key: (hit_stamp.get(key, 0), _encode_key(key)))
     dropped = 0
     for key in victims:
-        if total <= max_bytes:
+        if total <= budget:
             break
         total -= sizes[key]
         del entries[key]

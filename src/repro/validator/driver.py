@@ -51,7 +51,7 @@ graph per function: every pipeline checkpoint is hash-consed into a
 single :class:`~repro.vgraph.graph.ValueGraph` and normalized once
 (:func:`~repro.validator.validate.validate_chain`), replacing k
 independent build+normalize runs.  The per-pair path remains both the
-fallback (chain construction failures, iteration-capped normalizations)
+fallback (chain construction failures, untrusted rejection re-checks)
 and the parity oracle — ``benchmarks/stepwise_guard.py --chain-parity``
 enforces identical record signatures with the flag on vs off.
 
@@ -128,6 +128,18 @@ def _serial_provider(config: ValidatorConfig, cache: Optional[ValidationCache],
     return provider
 
 
+def _chain_amortizes(missing_pairs: int, versions: int) -> bool:
+    """Does building the chain beat validating the misses in isolation?
+
+    The chain translates all ``versions`` checkpoints once; the per-pair
+    path translates two per uncached pair — so the chain pays off
+    roughly when ``2 × misses >= k``.  The serial provider and the batch
+    planner share this policy so both drivers choose chain vs straggler
+    identically for the same cache state.
+    """
+    return 2 * missing_pairs >= versions
+
+
 def _chain_provider(versions: List[Function], config: ValidatorConfig,
                     cache: Optional[ValidationCache],
                     manager: Optional[AnalysisManager],
@@ -137,22 +149,41 @@ def _chain_provider(versions: List[Function], config: ValidatorConfig,
     The chain graph is built (and normalized, once) lazily — on the first
     adjacent-pair query the cache cannot answer — so fully cached
     functions never pay for it, exactly as the per-pair path never
-    validates on a hit.  Raw chain *accepts* are consumed directly; raw
-    chain *rejects* are re-checked with an isolated per-pair
+    validates on a hit; and only when enough pairs are uncached to
+    amortize translating all k versions (:func:`_chain_amortizes`), so a
+    warm cache with one modified pipeline pass revalidates the straggler
+    pairs in isolation instead of re-paying near-cold cost.  Raw chain
+    *accepts* are consumed directly; raw chain *rejects* are consumed
+    only when the outcome marks them authoritative (``rejects_trusted``)
+    and otherwise re-checked with an isolated per-pair
     :func:`~repro.validator.validate.validate` before being trusted or
     cached, which keeps every consumed verdict identical to the per-pair
-    strategy's (the chain can only have normalized *more* context, never
-    less, so an accept is exact while a reject may merely reflect the
-    union-scoped observability approximations).  The whole-query fallback
-    ``(original, final)`` is answered from the same graph when the chain
-    raw-accepted it and re-checked per-pair otherwise; anything else
-    falls through to the per-pair path untouched.
+    strategy's (an iteration-capped normalization, or a reject that may
+    merely reflect the union-scoped observability approximations, is
+    never authoritative).  The whole-query fallback ``(original,
+    final)`` is answered from the same graph on the same terms; anything
+    else falls through to the per-pair path untouched.
     """
     state: Dict[str, ChainOutcome] = {}
+    decision: Dict[str, bool] = {}
+    fingerprints: Dict[int, str] = {}
     positions = {(id(before), id(after)): index
                  for index, (before, after) in enumerate(zip(versions, versions[1:]))}
     whole_pair = (id(versions[0]), id(versions[-1]))
     fallthrough = _serial_provider(config, cache, manager)
+
+    def fingerprint(function: Function) -> str:
+        # Interior versions serve two pairs (and the worthwhile check
+        # peeks every pair), so memoize the full-IR print + hash by
+        # identity — the versions list pins the objects alive.
+        memoized = fingerprints.get(id(function))
+        if memoized is None:
+            memoized = function_fingerprint(function)
+            fingerprints[id(function)] = memoized
+        return memoized
+
+    def pair_key(before: Function, after: Function) -> CacheKey:
+        return cache.key_for(fingerprint(before), fingerprint(after), config)
 
     def outcome() -> ChainOutcome:
         if "outcome" not in state:
@@ -165,34 +196,60 @@ def _chain_provider(versions: List[Function], config: ValidatorConfig,
             record.chain_stats = state["outcome"].chain_stats
         return state["outcome"]
 
+    def chain_worthwhile() -> bool:
+        """Is building the chain cheaper than validating the misses alone?
+
+        With a warm cache and only a straggler or two missing (one
+        pipeline pass changed since the last sweep), per-pair wins — the
+        chain would re-pay near-cold cost for the whole function.
+        Without a cache every pair is missing and the chain always wins.
+        """
+        if cache is None:
+            return True
+        if "build" not in decision:
+            missing = sum(
+                1 for left, right in zip(versions, versions[1:])
+                if cache.peek(pair_key(left, right)) is None)
+            decision["build"] = _chain_amortizes(missing, len(versions))
+        return decision["build"]
+
     def provider(before: Function, after: Function) -> Tuple[ValidationResult, bool]:
         position = positions.get((id(before), id(after)))
         is_whole = position is None and (id(before), id(after)) == whole_pair
         if position is None and not is_whole:
             return fallthrough(before, after)
         if is_whole and "outcome" not in state:
-            # Every adjacent pair was answered from the cache, so no
-            # chain was built; deciding the whole query per-pair mirrors
-            # the batch driver's whole-fallback round exactly.
+            # Every adjacent pair was answered from the cache (or the
+            # stragglers validated per-pair), so no chain was built;
+            # deciding the whole query per-pair mirrors the batch
+            # driver's whole-fallback round exactly.
             return fallthrough(before, after)
         key: Optional[CacheKey] = None
         if cache is not None:
-            key = cache.key(before, after, config)
+            key = pair_key(before, after)
             cached = cache.get(key, before.name)
             if cached is not None:
                 return cached, True
-        chain = outcome()
         result: Optional[ValidationResult]
-        if chain.fallback:
-            result = None  # lazy fallback: validate this query in isolation
-        elif is_whole:
-            result = chain.whole_result
-        else:
-            result = chain.pair_results[position]
-        if result is not None and not result.is_success and not chain.rejects_trusted:
-            # The chain's normalization was cut off by the iteration
-            # bound, so this rejection is not authoritative yet.
+        if "outcome" not in state and not chain_worthwhile():
+            # Too few uncached pairs to amortize a chain build: answer
+            # this straggler in isolation below.
             result = None
+        else:
+            chain = outcome()
+            if chain.fallback:
+                result = None  # lazy fallback: validate this query in isolation
+            elif is_whole:
+                result = chain.whole_result
+            else:
+                result = chain.pair_results[position]
+            if result is not None and not result.is_success and not chain.rejects_trusted:
+                # The chain's normalization was cut off by the iteration
+                # bound, or a rejecting pair holds a store only its
+                # isolated pair graph can prune (root-scoped
+                # observability), so this rejection is not authoritative
+                # yet.
+                result = None
         if result is None:
             result = validate(before, after, config, manager=manager)
         if cache is not None and key is not None:
@@ -543,17 +600,21 @@ def _settle_chain_results(outcome: ChainOutcome, versions: Sequence[Function],
                                      Optional[ValidationResult]]:
     """Turn raw chain verdicts into cache-safe verdicts.
 
-    Raw accepts are exact and kept, and when the chain's normalization
-    reached its natural fixpoint (``rejects_trusted``) so are the
-    rejections — everything is cacheable as-is.  When normalization was
-    instead cut off by the iteration bound, rejects on the *consumed
-    prefix* (up to and including the first pair the stepwise walk would
-    stop at) are re-checked with an isolated per-pair validation — the
-    verdict the per-pair strategy would produce — and rejects beyond the
-    consumed prefix are censored to ``None``: the walk never consumes
-    them for this function, and caching an unconfirmed reject could
-    poison another function whose walk *does* consume that content pair.
-    The whole (original, final) verdict gets the same treatment.
+    Raw accepts are exact and kept, and when the chain's rejections are
+    authoritative too (``rejects_trusted``: a natural normalization
+    fixpoint, and no rejecting pair holds a store only its isolated pair
+    graph could prune) everything is cacheable as-is.  Otherwise —
+    normalization cut off by the iteration bound, or the union-scoped
+    store pruning missing a prune an isolated pair graph performs — the
+    rejects on the
+    *consumed prefix* (up to and including the first pair the stepwise
+    walk would stop at) are re-checked with an isolated per-pair
+    validation — the verdict the per-pair strategy would produce — and
+    rejects beyond the consumed prefix are censored to ``None``: the
+    walk never consumes them for this function, and caching an
+    unconfirmed reject could poison another function whose walk *does*
+    consume that content pair.  The whole (original, final) verdict gets
+    the same treatment.
 
     Returns ``(pair_verdicts, whole_verdict)``.
     """
@@ -757,13 +818,24 @@ def validate_module_batch(
                 pair_versions = [(versions[0], versions[-1])]
             if chain_mode and len(pair_keys) >= 2:
                 # One packed work item covers every adjacent pair of this
-                # function; enqueue it when any of its pairs still needs
-                # validating (a fully cached chain costs nothing, exactly
-                # like the serial path's lazy chain construction).
-                if any(cache.peek(key) is None for key in pair_keys):
+                # function — but only when enough pairs still need
+                # validating to amortize it: the chain translates all k
+                # versions once while the per-pair path translates two
+                # per miss, so with a warm cache and a straggler or two
+                # the misses ship as plain pair items instead (and a
+                # fully cached chain costs nothing, exactly like the
+                # serial path's lazy chain construction).
+                missing = [(key, pair)
+                           for key, pair in zip(pair_keys, pair_versions)
+                           if cache.peek(key) is None]
+                if _chain_amortizes(len(missing), len(versions)):
                     chain_signature = tuple(pair_keys)
                     if chain_signature not in pending_chains:
                         pending_chains[chain_signature] = (versions, whole_key)
+                else:
+                    for key, (before, after) in missing:
+                        if key not in pending:
+                            pending[key] = (before, after)
             else:
                 for key, (before, after) in zip(pair_keys, pair_versions):
                     if cache.peek(key) is None and key not in pending:
@@ -787,6 +859,13 @@ def validate_module_batch(
     for key, result in zip(pending, outcomes[:len(pending)]):
         cache.put(key, result)
         fresh.add(key)
+    #: Keys whose verdict a chain item contributed (disjoint from
+    #: ``pending`` — those were stored just above, so the peek guard
+    #: skips them — and from round 2's ``pending_whole``, which only
+    #: admits keys still unanswered after this loop).  Tracked directly
+    #: rather than derived by subtraction, which miscounts when a chain
+    #: adopts a key another structure also covers.
+    chain_fresh: set = set()
     chain_stats_by_signature: Dict[Tuple[CacheKey, ...], Dict[str, int]] = {}
     for (chain_signature, (_, chain_whole_key)), item_result in zip(
             pending_chains.items(), outcomes[len(pending):]):
@@ -798,6 +877,7 @@ def validate_module_batch(
                 continue
             cache.put(key, result)
             fresh.add(key)
+            chain_fresh.add(key)
 
     # Round 2 (stepwise only): functions whose adjacent-pair walk hits a
     # rejection fall back to the whole (original, final) query — the serial
@@ -834,7 +914,7 @@ def validate_module_batch(
     # could not anticipate (bisect probes, chain verdicts censored beyond
     # another function's consumed prefix) validate inline through a
     # bounded analysis manager.
-    chain_pairs_fresh = len(fresh) - len(pending) - len(pending_whole)
+    chain_pairs_fresh = len(chain_fresh)
     consumed: set = set()
     manager = _driver_manager(config)
     inline_validations = 0

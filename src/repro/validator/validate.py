@@ -15,8 +15,9 @@ verdicts are then read off the single normalized graph.  Accepts read off
 the chain are exact — two roots merged during construction iff they are
 structurally identical (a graph-independent fact), and normalization of
 the union applies at least the rewrites either pair-local run would — so
-the stepwise driver consumes them directly and re-checks only *rejecting*
-pairs with an isolated two-version :func:`validate` before trusting them,
+the stepwise driver consumes them directly and re-checks *rejecting*
+pairs (unless the outcome marks them authoritative, see
+:class:`ChainOutcome`) with an isolated two-version :func:`validate`,
 keeping chain-mode verdicts identical to the per-pair strategy while
 paying for one build and one normalization instead of k.
 """
@@ -32,7 +33,11 @@ from ..analysis.manager import AnalysisManager
 from ..errors import IrreducibleCFGError, ReproError, ValidationInternalError
 from ..ir.module import Function
 from ..vgraph.builder import build_chain_graph, build_shared_graph
-from ..vgraph.normalize import NormalizationStats, Normalizer
+from ..vgraph.normalize import (
+    NormalizationStats,
+    Normalizer,
+    unobservable_stores,
+)
 from .config import DEFAULT_CONFIG, ValidatorConfig
 
 
@@ -165,12 +170,21 @@ class ChainOutcome:
     actually merged, construction-time equality is structural identity,
     and the union graph applies at least every rewrite a pair-local run
     would.  Rejections are exact when ``rejects_trusted`` holds — the
-    normalization reached a natural rewrite fixpoint, at which point a
-    sub-term another version eliminated (and an earlier, accepted pair
-    therefore proved equal to its replacement) has merged away and can no
-    longer inhibit the pair-scoped rules; when normalization was instead
-    cut off by the iteration bound, consumers must re-check rejections
-    with an isolated per-pair :func:`validate` before acting on them.
+    normalization reached a natural rewrite fixpoint *and* no rejecting
+    pair shows a pruning-scope divergence.  At a fixpoint, a sub-term
+    another version eliminated (and an earlier, accepted pair therefore
+    proved equal to its replacement) has merged away and can no longer
+    inhibit the pair-scoped rules; but the ``loadstore`` group's
+    dead-store pruning is *root-scoped*, and the chain graph's goal set
+    is the union of every version's roots, so a store that is dead in an
+    isolated two-version graph can stay observable here (an earlier
+    checkpoint still loads the shared allocation) and keep a pair's
+    memory goals apart even at a fixpoint.  :func:`validate_chain`
+    therefore re-runs the pruning analysis scoped to each *rejecting*
+    pair's own roots; when any such pair holds a pair-dead store — or
+    when normalization was cut off by the iteration bound — consumers
+    must re-check rejections with an isolated per-pair :func:`validate`
+    before acting on them.
     When the chain itself could not be built or normalized, ``fallback``
     is true and every pair result already *is* an isolated per-pair
     verdict — or, under ``validate_chain(..., eager_fallback=False)``,
@@ -189,8 +203,10 @@ class ChainOutcome:
     whole_result: Optional[ValidationResult] = None
     #: Chain construction/normalization failed; per-pair results inside.
     fallback: bool = False
-    #: Normalization reached a natural fixpoint, so read-off rejections
-    #: are as authoritative as a per-pair run's (see above).
+    #: Normalization reached a natural fixpoint and no rejecting pair
+    #: holds a store that only its isolated pair graph could prune, so
+    #: read-off rejections are as authoritative as a per-pair run's
+    #: (see above).
     rejects_trusted: bool = False
 
 
@@ -236,36 +252,41 @@ def validate_chain(versions: Sequence[Function],
         sys.setrecursionlimit(old_limit)
 
     nodes_built = graph.next_id
-    pair_goals: List[List[Tuple[Optional[int], Optional[int]]]] = []
-    for left, right in zip(summaries, summaries[1:]):
-        pair_goals.append([
-            (left.result, right.result),
-            (left.memory, right.memory),
-        ])
-    # The (original, final) pair — the stepwise whole-query fallback — is
-    # free to answer from the same graph; for 2-version chains it IS the
-    # single adjacent pair.
-    whole_goals: Optional[List[Tuple[Optional[int], Optional[int]]]] = None
-    if len(versions) > 2:
-        whole_goals = [
-            (summaries[0].result, summaries[-1].result),
-            (summaries[0].memory, summaries[-1].memory),
-        ]
-    all_goals = [goal for goals in pair_goals for goal in goals]
-    if whole_goals is not None:
-        all_goals += whole_goals
-
-    # Pre-normalization equality is structural identity — a graph-size
-    # independent fact, so "trivially-equal" means exactly what it means
-    # on the per-pair path.
-    trivially = [all(_goal_equal(graph, goal) for goal in goals)
-                 for goals in pair_goals]
-    whole_trivially = (whole_goals is not None
-                       and all(_goal_equal(graph, goal) for goal in whole_goals))
-
-    baseline_nodes = _pair_baseline_nodes(graph, summaries)
-
+    # Totality: everything between construction and read-off — summary
+    # read-off, the triviality and baseline reachability walks, and the
+    # normalization itself — degrades to the per-pair oracle on *any*
+    # failure, not just the ReproError/RecursionError pair construction
+    # raises.  A genuine per-pair failure reproduces in the fallback.
     try:
+        pair_goals: List[List[Tuple[Optional[int], Optional[int]]]] = []
+        for left, right in zip(summaries, summaries[1:]):
+            pair_goals.append([
+                (left.result, right.result),
+                (left.memory, right.memory),
+            ])
+        # The (original, final) pair — the stepwise whole-query fallback
+        # — is free to answer from the same graph; for 2-version chains
+        # it IS the single adjacent pair.
+        whole_goals: Optional[List[Tuple[Optional[int], Optional[int]]]] = None
+        if len(versions) > 2:
+            whole_goals = [
+                (summaries[0].result, summaries[-1].result),
+                (summaries[0].memory, summaries[-1].memory),
+            ]
+        all_goals = [goal for goals in pair_goals for goal in goals]
+        if whole_goals is not None:
+            all_goals += whole_goals
+
+        # Pre-normalization equality is structural identity — a
+        # graph-size independent fact, so "trivially-equal" means exactly
+        # what it means on the per-pair path.
+        trivially = [all(_goal_equal(graph, goal) for goal in goals)
+                     for goals in pair_goals]
+        whole_trivially = (whole_goals is not None
+                           and all(_goal_equal(graph, goal) for goal in whole_goals))
+
+        baseline_nodes = _pair_baseline_nodes(graph, summaries)
+
         normalizer = Normalizer(
             graph,
             rule_groups=config.rule_groups,
@@ -274,7 +295,7 @@ def validate_chain(versions: Sequence[Function],
             engine=config.engine,
         )
         _, stats = normalizer.normalize_until_equal(all_goals)
-    except (ReproError, RecursionError):
+    except Exception:
         return _chain_fallback(versions, config, manager, eager_fallback)
 
     elapsed = time.perf_counter() - start
@@ -305,11 +326,38 @@ def validate_chain(versions: Sequence[Function],
                 name, False, "normalization-exhausted", graph_nodes=graph_nodes,
                 detail=_failure_detail(graph, summaries[0], summaries[-1]))
 
+    rejects_trusted = stats.reached_fixpoint
+    if rejects_trusted and "loadstore" in normalizer.rule_groups:
+        # Observability pruning is *root-scoped*, and the chain graph's
+        # goal set spans every version's roots: a store that is dead in
+        # an isolated (v_i, v_i+1) graph — the DSE case — can stay
+        # observable here because an earlier checkpoint still loads the
+        # shared allocation, so the pair's memory goals never merge even
+        # at a natural fixpoint (the fixpoint argument covers rule
+        # inhibition, not pruning scope).  Detect exactly that
+        # divergence: the union-scoped pruning left nothing union-dead,
+        # so any store that is dead under a *rejecting pair's own* roots
+        # marks a prune the isolated run performs and this graph cannot
+        # — the rejection is then not authoritative and every consumer
+        # re-checks it per-pair, as for iteration-capped runs.  Loads
+        # and escapes only disappear as normalization progresses, so a
+        # pair with no pair-dead store at the fixpoint never diverged.
+        rejecting_goals = [goals for result, goals
+                           in zip(pair_results, pair_goals)
+                           if not result.is_success]
+        if whole_result is not None and not whole_result.is_success:
+            rejecting_goals.append(whole_goals)
+        for goals in rejecting_goals:
+            pair_roots = [node for goal in goals for node in goal
+                          if node is not None]
+            if unobservable_stores(graph, pair_roots):
+                rejects_trusted = False
+                break
     chain_stats = _chain_stats(len(versions), nodes_built, graph.next_id,
                                baseline_nodes, stats)
     return ChainOutcome(name, pair_results, chain_stats,
                         whole_result=whole_result,
-                        rejects_trusted=stats.reached_fixpoint)
+                        rejects_trusted=rejects_trusted)
 
 
 def _goal_equal(graph, goal: Tuple[Optional[int], Optional[int]]) -> bool:

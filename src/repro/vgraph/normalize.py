@@ -348,49 +348,10 @@ class Normalizer:
         validate DSE (and the ``*t = 42`` store of the paper's §4.2
         example).
         """
-
-        def base_object(node_id: int) -> int:
-            current = self.graph.resolve(node_id)
-            node = self.graph.node(current)
-            while node.kind == "gep":
-                current = self.graph.resolve(node.args[0])
-                node = self.graph.node(current)
-            return current
-
-        reachable = self.graph.reachable(roots)
-        loaded_bases = set()
-        escape_roots: List[int] = []
-        store_nodes: List[int] = []
-        for node_id in reachable:
-            node = self.graph.node(node_id)
-            if node.kind == "load":
-                loaded_bases.add(base_object(node.args[0]))
-            elif node.kind == "call":
-                # The allocation's address may escape through any argument.
-                escape_roots.extend(node.args)
-            elif node.kind == "store":
-                store_nodes.append(node_id)
-                # Storing a pointer publishes it: the *value* operand escapes.
-                escape_roots.append(node.args[0])
-
-        # An allocation whose address was never passed to a call nor stored
-        # into memory can only be read through loads whose pointer is a GEP
-        # chain rooted at the allocation itself.
-        escaped = {
-            node_id
-            for node_id in self.graph.reachable(escape_roots)
-            if self.graph.node(node_id).kind == "alloca"
-        }
-
         pruned = 0
-        for store_id in store_nodes:
+        for store_id in unobservable_stores(self.graph, roots):
             store = self.graph.node(store_id)
             if store.kind != "store":
-                continue
-            base = base_object(store.args[1])
-            if self.graph.node(base).kind != "alloca":
-                continue
-            if base in escaped or base in loaded_bases:
                 continue
             if self.graph.redirect(store_id, store.args[2]):
                 pruned += 1
@@ -446,4 +407,64 @@ class Normalizer:
         return changed
 
 
-__all__ = ["Normalizer", "NormalizationStats", "ENGINES"]
+def unobservable_stores(graph: ValueGraph, roots: Sequence[int]) -> List[int]:
+    """Stores to local allocations nothing reachable from ``roots`` can read.
+
+    The read-only analysis behind the normalizer's dead-store pruning: a
+    store to an ``alloca`` whose address never escapes (through a call
+    argument or a stored pointer value) and whose allocation is never
+    loaded within the reachable sub-graph is observable to nobody.  The
+    verdict is *root-scoped* — the same graph can hold a store that is
+    dead under one root set and live under a larger one — which is
+    exactly why chain validation re-runs this per pair before trusting a
+    read-off rejection (see ``repro.validator.validate.validate_chain``).
+    """
+
+    def base_object(node_id: int) -> int:
+        current = graph.resolve(node_id)
+        node = graph.node(current)
+        while node.kind == "gep":
+            current = graph.resolve(node.args[0])
+            node = graph.node(current)
+        return current
+
+    reachable = graph.reachable(roots)
+    loaded_bases = set()
+    escape_roots: List[int] = []
+    store_nodes: List[int] = []
+    for node_id in reachable:
+        node = graph.node(node_id)
+        if node.kind == "load":
+            loaded_bases.add(base_object(node.args[0]))
+        elif node.kind == "call":
+            # The allocation's address may escape through any argument.
+            escape_roots.extend(node.args)
+        elif node.kind == "store":
+            store_nodes.append(node_id)
+            # Storing a pointer publishes it: the *value* operand escapes.
+            escape_roots.append(node.args[0])
+
+    # An allocation whose address was never passed to a call nor stored
+    # into memory can only be read through loads whose pointer is a GEP
+    # chain rooted at the allocation itself.
+    escaped = {
+        node_id
+        for node_id in graph.reachable(escape_roots)
+        if graph.node(node_id).kind == "alloca"
+    }
+
+    dead: List[int] = []
+    for store_id in store_nodes:
+        store = graph.node(store_id)
+        if store.kind != "store":
+            continue
+        base = base_object(store.args[1])
+        if graph.node(base).kind != "alloca":
+            continue
+        if base in escaped or base in loaded_bases:
+            continue
+        dead.append(store_id)
+    return dead
+
+
+__all__ = ["Normalizer", "NormalizationStats", "ENGINES", "unobservable_stores"]

@@ -138,25 +138,36 @@ def _is_boolean_node(graph: ValueGraph, node_id: int,
     # The memo lives for one top-level query only: gate formulas are deep,
     # heavily shared DAGs, and without it the walk revisits shared
     # sub-terms exponentially often.  Only μ-nodes can be cyclic and they
-    # are classified as non-boolean without recursion, so memoizing on the
-    # canonical id is exact.
+    # are classified as non-boolean without descending, so memoizing on
+    # the canonical id is exact.  The walk uses an explicit stack: rules
+    # run during *normalization*, which gets no recursion-limit headroom
+    # (only graph construction does), and and/or/xor operand chains can
+    # be as deep as the gate formulas they encode.
     if memo is None:
         memo = {}
-    node_id = graph.resolve(node_id)
-    cached = memo.get(node_id)
-    if cached is not None:
-        return cached
-    node = graph.node(node_id)
-    if node.kind in ("icmp", "not"):
-        result = True
-    elif node.kind == "const":
-        result = node.data[1] == "i1"
-    elif node.kind == "binop" and node.data in ("and", "or", "xor"):
-        result = all(_is_boolean_node(graph, a, memo) for a in node.args)
-    else:
-        result = False
-    memo[node_id] = result
-    return result
+    root = graph.resolve(node_id)
+    stack = [root]
+    while stack:
+        current = stack.pop()
+        if current in memo:
+            continue
+        node = graph.node(current)
+        if node.kind in ("icmp", "not"):
+            memo[current] = True
+        elif node.kind == "const":
+            memo[current] = node.data[1] == "i1"
+        elif node.kind == "binop" and node.data in ("and", "or", "xor"):
+            operands = [graph.resolve(arg) for arg in node.args]
+            pending = [op for op in operands if op not in memo]
+            if pending:
+                # Classify the operands first, then revisit this node.
+                stack.append(current)
+                stack.extend(pending)
+            else:
+                memo[current] = all(memo[op] for op in operands)
+        else:
+            memo[current] = False
+    return memo[root]
 
 
 @rule(kinds=("not",), group="boolean")

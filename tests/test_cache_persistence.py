@@ -279,9 +279,9 @@ class TestSizeBoundedBackend:
         assert cache.stats()["disk_evicted"] == cache.evicted
         payload = json.loads((tmp_path / CACHE_FILE_NAME).read_text())
         assert len(payload["entries"]) == stored
-        # The serialized file respects the byte budget (up to the fixed
-        # JSON envelope around the entries map).
-        assert len((tmp_path / CACHE_FILE_NAME).read_text()) <= 2048 + 256
+        # The serialized file — envelope, escaping and all — respects
+        # the byte budget.
+        assert len((tmp_path / CACHE_FILE_NAME).read_text()) <= 2048
 
     def test_least_recently_hit_evicted_first(self, tmp_path):
         cache, keys = self._filled_cache(tmp_path)

@@ -148,6 +148,60 @@ class TestValidateChain:
             assert stats["chain_nodes_built"] < stats["chain_pair_baseline_nodes"]
             assert stats["chain_fallbacks"] == 0
 
+    def test_pruning_scoped_rejects_are_not_trusted(self):
+        # Observability pruning is root-scoped: the chain graph's goal
+        # set spans every version, so the load in the LAST checkpoint
+        # keeps the shared alloca observable and the dead store of the
+        # FIRST pair is never pruned — the chain raw-rejects a pair an
+        # isolated two-version run accepts, even at a natural fixpoint.
+        # Such rejections must not be trusted (or cached): settling must
+        # re-check them per-pair and recover the accepting verdict.
+        store_version = parse_function(
+            """
+            define i32 @f(i32 %x) {
+            entry:
+              %t = alloca i32
+              store i32 %x, i32* %t
+              ret i32 %x
+            }
+            """
+        )
+        pruned_version = parse_function(
+            """
+            define i32 @f(i32 %x) {
+            entry:
+              %t = alloca i32
+              ret i32 %x
+            }
+            """
+        )
+        loading_version = parse_function(
+            """
+            define i32 @f(i32 %x) {
+            entry:
+              %t = alloca i32
+              %v = load i32, i32* %t
+              ret i32 %v
+            }
+            """
+        )
+        versions = [store_version, pruned_version, loading_version]
+        outcome = validate_chain(versions)
+        assert not outcome.fallback
+        # The isolated pair prunes the dead store and accepts ...
+        isolated = validate(store_version, pruned_version)
+        assert isolated.is_success
+        # ... while the chain's raw read-off cannot (the hazard is real),
+        # so its rejections must not be authoritative under a pruning-
+        # enabled configuration, natural fixpoint or not.
+        assert not outcome.pair_results[0].is_success
+        assert not outcome.rejects_trusted
+        from repro.validator.driver import _settle_chain_results
+
+        settled, _ = _settle_chain_results(outcome, versions, DEFAULT_CONFIG)
+        assert settled[0] is not None and settled[0].is_success
+        assert settled[0].reason == isolated.reason
+
     def test_outcome_is_pickle_safe(self, mini_corpus):
         # Chain outcomes cross the process-pool boundary in the sharded
         # driver (as settled lists, but the dataclass must survive too).
@@ -256,6 +310,27 @@ class TestChainCacheInterplay:
                 assert warm.from_cache
             # A fully cached walk never builds a chain graph.
             assert warm.chain_stats is None
+
+    def test_straggler_pairs_skip_chain_construction(self, mini_corpus):
+        # A warm cache with only one uncached pair must not trigger a
+        # full k-version chain build: the straggler validates in
+        # isolation (chain_stats stays None, like the fully cached
+        # case) and the record still matches the per-pair oracle.
+        checked = False
+        for function, _, versions in _chains(mini_corpus, min_steps=3):
+            cache = ValidationCache()
+            # Warm every adjacent pair except the last one.
+            for before, after in list(zip(versions, versions[1:]))[:-1]:
+                key = cache.key(before, after, DEFAULT_CONFIG)
+                cache.put(key, validate(before, after, DEFAULT_CONFIG))
+            _, record = validate_function_pipeline(
+                function, PAPER_PIPELINE, cache=cache, strategy="stepwise")
+            assert record.chain_stats is None
+            _, per_pair = validate_function_pipeline(
+                function, PAPER_PIPELINE, PER_PAIR, strategy="stepwise")
+            assert record.signature() == per_pair.signature()
+            checked = True
+        assert checked
 
     def test_chain_and_per_pair_share_cache_entries(self, mini_corpus):
         # Verdicts are mode-independent, so chain_graphs is (by design)

@@ -1,5 +1,7 @@
 """Tests for the value graph: hash-consing, rules, sharing, partitioning, gates."""
 
+import sys
+
 import pytest
 
 from repro.gated import GateAnalysis, MemoryEffects, TRUE, make_and, make_or
@@ -124,6 +126,24 @@ class TestRules:
     def _normalize(self, graph, roots, groups=None):
         normalizer = Normalizer(graph, rule_groups=groups or tuple(RULE_GROUPS))
         normalizer.normalize(roots)
+
+    def test_boolean_classification_survives_deep_chains(self):
+        # Boolean classification runs during *normalization*, which gets
+        # no recursion-limit headroom (only graph construction does): a
+        # gate formula deeper than the interpreter's default limit must
+        # classify — and normalize — without a RecursionError.
+        from repro.vgraph.rules import _is_boolean_node
+
+        graph = ValueGraph()
+        node = graph.make("icmp", "eq", [graph.make("param", 0), graph.const(0)])
+        for index in range(sys.getrecursionlimit()):
+            leaf = graph.make("icmp", "slt",
+                              [graph.make("param", 0), graph.const(index)])
+            node = graph.make("binop", "and", [node, leaf])
+        assert _is_boolean_node(graph, node)
+        compared = graph.make("icmp", "ne", [node, graph.false()])
+        self._normalize(graph, [compared], ("boolean",))
+        assert graph.same(compared, node)
 
     def test_constant_folding_rule(self):
         graph = ValueGraph()
