@@ -8,14 +8,24 @@ between runs — only wall-clock does.  That makes them gateable: this
 script compares the counters of a freshly produced
 ``benchmarks/artifacts/chain_graphs.json`` artifact (see
 ``bench_chain_graphs.py``, which pins ``PYTHONHASHSEED=0``) against the
-committed ``benchmarks/perf_baseline.json`` and fails when any counter
-regressed by more than ``--tolerance`` (default 10%).  Improvements are
-reported but never fail the guard; refresh the baseline with
-``--update-baseline`` after an intentional perf change and commit it.
+committed ``benchmarks/perf_baseline.json`` and fails when
+
+* any counter at any recorded corpus scale regressed by more than
+  ``--tolerance`` (default 10%) — the absolute gate; or
+* any counter's **growth** between the smallest and largest recorded
+  scale exceeds the baseline's growth by more than ``--growth-tolerance``
+  (default 10%) — the *trendline* gate.  A change whose per-scale
+  absolutes squeak under the tolerance but whose scaling curve bent
+  super-linear is a scaling regression and fails here.
+
+Improvements are reported but never fail the guard; refresh the baseline
+with ``--update-baseline`` after an intentional perf change and commit
+it.  Single-scale (schema 1) artifacts/baselines are still accepted —
+they simply have no trendline to gate.
 
 Run with::
 
-    PYTHONPATH=src python benchmarks/bench_chain_graphs.py --scale 0.2
+    PYTHONPATH=src python benchmarks/bench_chain_graphs.py --scales 0.1 0.2 0.3
     PYTHONPATH=src python benchmarks/perf_guard.py
 """
 
@@ -32,14 +42,55 @@ GATED_COUNTERS = ("nodes_built", "nodes_created", "rule_invocations",
                   "normalize_runs")
 
 
-def _flatten(artifact: dict) -> dict:
-    """Extract the gated counters from a chain_graphs artifact."""
+def _scale_key(scale) -> str:
+    """Canonical string form of a scale (``0.2`` and ``"0.2"`` collapse)."""
+    try:
+        return f"{float(scale):g}"
+    except (TypeError, ValueError):
+        return str(scale)
+
+
+def _flatten_totals(totals: dict) -> dict:
+    """Extract the gated ``mode.counter`` values from one totals dict."""
     counters = {}
-    totals = artifact.get("totals", {})
     for mode in GATED_MODES:
         for key in GATED_COUNTERS:
             counters[f"{mode}.{key}"] = int(totals.get(mode, {}).get(key, 0))
     return counters
+
+
+def _flatten(artifact: dict) -> dict:
+    """Per-scale gated counters: ``{scale: {mode.counter: value}}``.
+
+    Schema 2 artifacts carry a ``runs`` map with one totals dict per
+    scale; schema 1 artifacts carry a single top-level ``totals`` keyed
+    by their one ``scale``.
+    """
+    runs = artifact.get("runs")
+    if isinstance(runs, dict) and runs:
+        return {scale: _flatten_totals(run.get("totals", {}))
+                for scale, run in runs.items()}
+    return {_scale_key(artifact.get("scale")): _flatten_totals(artifact.get("totals", {}))}
+
+
+def _growth(per_scale: dict) -> dict:
+    """Counter growth from the smallest to the largest recorded scale.
+
+    Returns ``{}`` for single-scale data (no trendline to measure).
+    Growth is the plain ratio ``counter(max scale) / counter(min scale)``
+    — both sides run the identical corpus generator, so comparing an
+    artifact's ratio with the baseline's detects *scaling-curve* changes
+    independent of the absolute level.
+    """
+    if len(per_scale) < 2:
+        return {}
+    ordered = sorted(per_scale, key=float)
+    low, high = per_scale[ordered[0]], per_scale[ordered[-1]]
+    growth = {}
+    for name, low_value in low.items():
+        high_value = high.get(name, 0)
+        growth[name] = round(high_value / low_value, 4) if low_value else 0.0
+    return growth
 
 
 def main() -> int:
@@ -51,30 +102,42 @@ def main() -> int:
                         default=pathlib.Path("benchmarks/perf_baseline.json"),
                         help="committed counter baseline")
     parser.add_argument("--tolerance", type=float, default=0.10,
-                        help="allowed relative regression (default 0.10 = 10%%)")
+                        help="allowed relative regression per counter per "
+                             "scale (default 0.10 = 10%%)")
+    parser.add_argument("--growth-tolerance", type=float, default=0.10,
+                        help="allowed relative increase of the smallest-to-"
+                             "largest-scale growth ratio (default 0.10)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline from the artifact and exit")
     args = parser.parse_args()
 
     artifact = json.loads(args.artifact.read_text())
-    counters = _flatten(artifact)
+    per_scale = _flatten(artifact)
+    growth = _growth(per_scale)
 
     if args.update_baseline:
         payload = {
-            "schema": 1,
-            "scale": artifact.get("scale"),
+            "schema": 2,
+            "scales": sorted(per_scale, key=float),
             "hash_seed": artifact.get("hash_seed"),
-            "counters": counters,
+            "counters": per_scale,
+            "growth": growth,
         }
         args.baseline.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"baseline updated: {args.baseline}")
         return 0
 
     baseline = json.loads(args.baseline.read_text())
-    baseline_counters = baseline.get("counters", {})
-    if artifact.get("scale") != baseline.get("scale"):
-        print(f"perf guard: artifact scale {artifact.get('scale')} does not match "
-              f"baseline scale {baseline.get('scale')}", file=sys.stderr)
+    if baseline.get("schema", 1) >= 2:
+        baseline_per_scale = baseline.get("counters", {})
+        baseline_growth = baseline.get("growth", {})
+    else:
+        baseline_per_scale = {_scale_key(baseline.get("scale")): baseline.get("counters", {})}
+        baseline_growth = {}
+    if sorted(per_scale, key=float) != sorted(baseline_per_scale, key=float):
+        print(f"perf guard: artifact scales {sorted(per_scale, key=float)} do not "
+              f"match baseline scales {sorted(baseline_per_scale, key=float)}",
+              file=sys.stderr)
         return 1
     # Counters are only deterministic for a fixed hash seed (structural
     # signatures and φ-branch orderings vary with it), so a seed mismatch
@@ -86,31 +149,62 @@ def main() -> int:
         return 1
 
     failures = []
-    width = max(len(name) for name in baseline_counters) if baseline_counters else 0
-    for name, expected in sorted(baseline_counters.items()):
-        actual = counters.get(name)
-        if actual is None:
-            failures.append(f"{name}: missing from artifact")
+    for scale in sorted(baseline_per_scale, key=float):
+        expected_counters = baseline_per_scale[scale]
+        actual_counters = per_scale.get(scale, {})
+        if not expected_counters:
             continue
-        if expected == 0:
-            delta = 0.0 if actual == 0 else float("inf")
-        else:
-            delta = (actual - expected) / expected
-        marker = "REGRESSION" if delta > args.tolerance else (
-            "improved" if delta < 0 else "ok")
-        print(f"  {name:<{width}}  baseline={expected:>9d}  actual={actual:>9d}  "
-              f"{delta:+7.1%}  {marker}")
-        if delta > args.tolerance:
-            failures.append(
-                f"{name}: {actual} vs baseline {expected} "
-                f"({delta:+.1%} > {args.tolerance:.0%} tolerance)")
+        width = max(len(name) for name in expected_counters)
+        print(f"scale {scale}:")
+        for name, expected in sorted(expected_counters.items()):
+            actual = actual_counters.get(name)
+            if actual is None:
+                failures.append(f"scale {scale} {name}: missing from artifact")
+                continue
+            if expected == 0:
+                delta = 0.0 if actual == 0 else float("inf")
+            else:
+                delta = (actual - expected) / expected
+            marker = "REGRESSION" if delta > args.tolerance else (
+                "improved" if delta < 0 else "ok")
+            print(f"  {name:<{width}}  baseline={expected:>9d}  actual={actual:>9d}  "
+                  f"{delta:+7.1%}  {marker}")
+            if delta > args.tolerance:
+                failures.append(
+                    f"scale {scale} {name}: {actual} vs baseline {expected} "
+                    f"({delta:+.1%} > {args.tolerance:.0%} tolerance)")
+
+    if baseline_growth and growth:
+        scales = sorted(per_scale, key=float)
+        width = max(len(name) for name in baseline_growth)
+        print(f"growth (scale {scales[0]} -> {scales[-1]}):")
+        for name, expected in sorted(baseline_growth.items()):
+            actual = growth.get(name)
+            if actual is None:
+                failures.append(f"growth {name}: missing from artifact")
+                continue
+            if expected == 0:
+                delta = 0.0 if actual == 0 else float("inf")
+            else:
+                delta = (actual - expected) / expected
+            marker = "SUPER-LINEAR" if delta > args.growth_tolerance else (
+                "improved" if delta < 0 else "ok")
+            print(f"  {name:<{width}}  baseline=x{expected:<8.3f}  actual=x{actual:<8.3f}  "
+                  f"{delta:+7.1%}  {marker}")
+            if delta > args.growth_tolerance:
+                failures.append(
+                    f"growth {name}: x{actual:.3f} vs baseline x{expected:.3f} "
+                    f"({delta:+.1%} > {args.growth_tolerance:.0%} tolerance) — "
+                    f"super-linear scaling regression")
 
     if failures:
         print("\nPERF REGRESSION:", file=sys.stderr)
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print(f"\nperf guard OK: every counter within {args.tolerance:.0%} of baseline")
+    trend = " and growth trendline" if baseline_growth else ""
+    print(f"\nperf guard OK: every counter within {args.tolerance:.0%} of "
+          f"baseline{trend} at every scale")
     return 0
 
 

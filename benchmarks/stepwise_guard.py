@@ -23,6 +23,16 @@ signatures identical to the per-pair oracle with ``chain_graphs=False``
 — chain graphs must change how fast validation runs, never what it
 decides.
 
+With ``--executor-parity`` (the default; ``--no-executor-parity``
+disables) it additionally runs the
+:func:`repro.bench.executor_comparison` experiment over all twelve
+corpora and fails unless the ``serial``, ``pool`` and ``wave``
+scheduling backends produced identical per-function record signatures —
+a backend may change where and in what order queries run, never what
+they decide.  The table also reports the wave backend's speculative
+savings (validated pairs avoided by cancelling the doomed later waves of
+rejected functions).
+
 Run with::
 
     PYTHONPATH=src python benchmarks/stepwise_guard.py [--scale 0.2] [--out FILE]
@@ -35,6 +45,7 @@ import sys
 
 from repro.bench import (
     chain_comparison,
+    executor_comparison,
     format_table,
     sharded_comparison,
     stepwise_comparison,
@@ -55,6 +66,13 @@ def main() -> int:
     parser.add_argument("--no-chain-parity", dest="chain_parity",
                         action="store_false",
                         help="skip the chain-parity check")
+    parser.add_argument("--executor-parity", dest="executor_parity",
+                        action="store_true", default=True,
+                        help="check serial/pool/wave backend record parity "
+                             "(the default)")
+    parser.add_argument("--no-executor-parity", dest="executor_parity",
+                        action="store_false",
+                        help="skip the executor-parity check")
     parser.add_argument("--out", type=pathlib.Path,
                         default=pathlib.Path("benchmarks/artifacts/stepwise_comparison.json"),
                         help="where to write the JSON artifact")
@@ -68,12 +86,18 @@ def main() -> int:
     chain_rows = []
     if args.chain_parity:
         chain_rows = chain_comparison(scale=args.scale)
+    executor_rows = []
+    if args.executor_parity:
+        executor_rows = executor_comparison(
+            scale=args.scale, concurrency=max(2, args.shard_concurrency))
     args.out.parent.mkdir(parents=True, exist_ok=True)
-    payload = {"schema": 3, "scale": args.scale, "rows": rows,
+    payload = {"schema": 4, "scale": args.scale, "rows": rows,
                "shard_concurrency": args.shard_concurrency,
                "shard_rows": shard_rows,
                "chain_parity": args.chain_parity,
-               "chain_rows": chain_rows}
+               "chain_rows": chain_rows,
+               "executor_parity": args.executor_parity,
+               "executor_rows": executor_rows}
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     table_columns = ("benchmark", "transformed", "whole_validated", "stepwise_validated",
@@ -124,6 +148,25 @@ def main() -> int:
                     f"{row['benchmark']}: chain-graph records diverged from "
                     f"per-pair for: {', '.join(row['mismatches'])}"
                 )
+    if executor_rows:
+        executor_columns = ("benchmark", "transformed", "identical",
+                            "serial_pairs", "wave_pairs", "wave_pairs_saved",
+                            "waves", "waves_cancelled", "serial_time_s",
+                            "wave_time_s")
+        print()
+        print(format_table([{k: row[k] for k in executor_columns}
+                            for row in executor_rows],
+                           title="Serial vs pool vs wave scheduling backends"))
+        saved = sum(row["wave_pairs_saved"] for row in executor_rows)
+        total = sum(row["serial_pairs"] for row in executor_rows)
+        print(f"wave backend answered {saved} fewer queries than the eager "
+              f"schedule ({total} -> {total - saved})")
+        for row in executor_rows:
+            if not row["identical"]:
+                failures.append(
+                    f"{row['benchmark']}: backend records diverged from "
+                    f"serial for: {', '.join(row['mismatches'])}"
+                )
     if failures:
         print("\nSTRATEGY REGRESSION:", file=sys.stderr)
         for line in failures:
@@ -134,6 +177,8 @@ def main() -> int:
         message += "; sharded records matched serial on every corpus"
     if chain_rows:
         message += "; chain-graph records matched the per-pair oracle on every corpus"
+    if executor_rows:
+        message += "; serial/pool/wave backends produced identical records on every corpus"
     print(f"\n{message}")
     return 0
 

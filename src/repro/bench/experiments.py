@@ -19,6 +19,7 @@ Figure 8     :func:`figure8` — SCCP rewrite-rule ablation
 (extension)  :func:`engine_comparison` — worklist vs full-scan normalization
 (extension)  :func:`stepwise_comparison` — whole vs stepwise vs bisect strategies
 (extension)  :func:`sharded_comparison` — serial vs process-pool sharded records
+(extension)  :func:`executor_comparison` — serial vs pool vs wave scheduling backends
 (extension)  :func:`chain_comparison` — chain-shared graphs vs per-pair stepwise
 (extension)  :func:`cache_persistence` — cold vs warm persistent-cache sweeps
 ===========  ==================================================================
@@ -487,6 +488,87 @@ def sharded_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] =
     return rows
 
 
+def executor_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = None,
+                        passes: Sequence[str] = PAPER_PIPELINE,
+                        config: Optional[ValidatorConfig] = None,
+                        concurrency: int = 2,
+                        strategy: str = "stepwise") -> List[Dict[str, object]]:
+    """Serial vs pool vs wave scheduling backends on identical inputs.
+
+    For every corpus, validates the module through
+    ``validate_module_batch`` once per backend (``config.executor`` set
+    to ``"serial"``, ``"pool"`` and ``"wave"``) and compares the
+    per-function *record signatures* — a backend may only change where
+    and in what order queries run, never what they decide, so
+    ``identical`` must be true on every row (the CI executor-parity
+    guard enforces exactly that over all twelve corpora).
+
+    Each row also carries the scheduling telemetry that makes the wave
+    backend's speculation visible: ``distinct_pairs`` per backend (the
+    deduplicated queries each one actually validated), the wave count,
+    the function-wave slots cancelled after rejections and
+    ``wave_pairs_saved`` — how many fewer queries the wave backend
+    answered than the eager serial schedule.  On a high-rejection corpus
+    the saving is the point of the backend; on an all-accepting corpus
+    it is legitimately zero (no wave is ever cancelled).
+    """
+    base = config or DEFAULT_CONFIG
+    workers = max(2, concurrency)
+    backends = {
+        "serial": _dc_replace(base, executor="serial", concurrency=0),
+        "pool": _dc_replace(base, executor="pool", concurrency=workers),
+        "wave": _dc_replace(base, executor="wave", concurrency=workers),
+    }
+    rows: List[Dict[str, object]] = []
+    for spec in _selected_specs(benchmarks):
+        module = build_corpus(spec, scale)
+        signatures: Dict[str, List[Dict[str, object]]] = {}
+        per_backend: Dict[str, Dict[str, object]] = {}
+        for name, backend_config in backends.items():
+            start = time.perf_counter()
+            (_, report), = validate_module_batch(
+                [module], passes, backend_config, labels=[spec.name],
+                strategy=strategy)
+            elapsed = time.perf_counter() - start
+            signatures[name] = [record.signature() for record in report.records]
+            shard = report.shard_stats or {}
+            per_backend[name] = {
+                "distinct_pairs": shard.get("distinct_pairs", 0),
+                "waves": shard.get("waves", 0),
+                "waves_cancelled": shard.get("waves_cancelled", 0),
+                "pairs_skipped": shard.get("speculative_pairs_skipped", 0),
+                "transformed": report.transformed_functions,
+                "time_s": round(elapsed, 3),
+            }
+        mismatches = []
+        for name in ("pool", "wave"):
+            mismatches += [f"{signature['name']} ({name})"
+                           for signature, other in zip(signatures["serial"],
+                                                       signatures[name])
+                           if signature != other]
+            if len(signatures["serial"]) != len(signatures[name]):  # pragma: no cover
+                mismatches.append(f"<record-count-mismatch> ({name})")
+        rows.append({
+            "benchmark": spec.name,
+            "strategy": strategy,
+            "transformed": per_backend["serial"]["transformed"],
+            "identical": not mismatches,
+            "mismatches": mismatches,
+            "serial_pairs": per_backend["serial"]["distinct_pairs"],
+            "pool_pairs": per_backend["pool"]["distinct_pairs"],
+            "wave_pairs": per_backend["wave"]["distinct_pairs"],
+            "wave_pairs_saved": (per_backend["serial"]["distinct_pairs"]
+                                 - per_backend["wave"]["distinct_pairs"]),
+            "waves": per_backend["wave"]["waves"],
+            "waves_cancelled": per_backend["wave"]["waves_cancelled"],
+            "pairs_skipped": per_backend["wave"]["pairs_skipped"],
+            "serial_time_s": per_backend["serial"]["time_s"],
+            "pool_time_s": per_backend["pool"]["time_s"],
+            "wave_time_s": per_backend["wave"]["time_s"],
+        })
+    return rows
+
+
 def chain_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = None,
                      passes: Sequence[str] = PAPER_PIPELINE,
                      config: Optional[ValidatorConfig] = None) -> List[Dict[str, object]]:
@@ -648,6 +730,7 @@ __all__ = [
     "engine_comparison",
     "stepwise_comparison",
     "sharded_comparison",
+    "executor_comparison",
     "chain_comparison",
     "cache_persistence",
     "matching_ablation",

@@ -3,6 +3,7 @@
 from .cache import CACHE_FILE_NAME, CACHE_SCHEMA, CacheKey
 from .config import (
     DEFAULT_CONFIG,
+    EXECUTORS,
     GVN_ABLATION_STEPS,
     LICM_ABLATION_STEPS,
     SCCP_ABLATION_STEPS,
@@ -15,6 +16,17 @@ from .driver import (
     llvm_md,
     validate_function_pipeline,
     validate_module_batch,
+)
+from .scheduler import (
+    Executor,
+    PoolExecutor,
+    SerialExecutor,
+    WaveExecutor,
+    WorkPlan,
+    build_plan,
+    create_executor,
+    resolved_executor,
+    settle_plan,
 )
 from .report import FunctionRecord, ValidationReport
 from .validate import (
@@ -37,6 +49,16 @@ __all__ = [
     "SCCP_ABLATION_STEPS",
     "LICM_ABLATION_STEPS",
     "STRATEGIES",
+    "EXECUTORS",
+    "Executor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "WaveExecutor",
+    "WorkPlan",
+    "build_plan",
+    "create_executor",
+    "resolved_executor",
+    "settle_plan",
     "llvm_md",
     "validate_function_pipeline",
     "validate_module_batch",

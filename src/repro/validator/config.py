@@ -14,6 +14,11 @@ from typing import Optional, Tuple
 from ..vgraph.normalize import ENGINES
 from ..vgraph.rules import ALL_RULE_GROUPS
 
+#: Scheduling backends the batch driver can execute a work plan on
+#: (``"auto"`` resolves to ``"pool"`` when ``concurrency > 1``, else
+#: ``"serial"``).  See :mod:`repro.validator.scheduler.executors`.
+EXECUTORS = ("auto", "serial", "pool", "wave")
+
 #: Cumulative rule sets used for the GVN ablation (paper Figure 6).
 GVN_ABLATION_STEPS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("no rules", ()),
@@ -64,6 +69,23 @@ class ValidatorConfig:
         :func:`repro.validator.driver.validate_module_batch`) may use to
         shard validation queries.  ``0`` or ``1`` validates serially
         in-process.
+    executor:
+        Scheduling backend the batch driver executes its work plan on:
+        ``"serial"`` (in-process), ``"pool"`` (process-pool sharding;
+        requires ``concurrency > 1``) or ``"wave"`` (speculative
+        pipeline-position waves: validate wave *i* of every function's
+        adjacent pairs, cancel the later waves of functions whose pair
+        rejected and settle them from the whole-query fallback — pooled
+        when ``concurrency > 1``, in-process otherwise).  The default
+        ``"auto"`` resolves to ``"pool"`` when ``concurrency > 1`` and
+        ``"serial"`` otherwise (the historical behavior).  Contradictory
+        combinations (``"pool"`` without workers, ``"serial"`` with
+        workers) are rejected at construction time instead of silently
+        running something else.  Every backend produces byte-identical
+        :meth:`~repro.validator.report.FunctionRecord.signature`\\ s —
+        ``benchmarks/stepwise_guard.py --executor-parity`` enforces it —
+        so the field can never affect a verdict and is *not* part of the
+        cache key.
     cache_dir:
         Optional persistence location for the
         :class:`~repro.validator.cache.ValidationCache`.  When set and no
@@ -105,6 +127,7 @@ class ValidatorConfig:
     recursion_limit: int = 50_000
     engine: str = "worklist"
     concurrency: int = 0
+    executor: str = "auto"
     cache_dir: Optional[str] = None
     analysis_cache_size: int = 0
     chain_graphs: bool = True
@@ -113,6 +136,17 @@ class ValidatorConfig:
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             raise ValueError(f"unknown engine {self.engine!r} (known: {ENGINES})")
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {self.executor!r} (known: {EXECUTORS})")
+        if self.executor == "pool" and self.concurrency <= 1:
+            raise ValueError(
+                f"executor='pool' needs concurrency > 1 worker processes "
+                f"(got concurrency={self.concurrency}); raise concurrency or "
+                f"pick executor='serial'/'wave'")
+        if self.executor == "serial" and self.concurrency > 1:
+            raise ValueError(
+                f"executor='serial' contradicts concurrency={self.concurrency} "
+                f"(workers would never be used); drop one of the two settings")
         if self.analysis_cache_size < 0:
             raise ValueError("analysis_cache_size must be >= 0 (0 = unbounded)")
         if self.cache_max_bytes < 0:
@@ -126,6 +160,13 @@ class ValidatorConfig:
         """A copy of this configuration with a different normalization engine."""
         return replace(self, engine=engine)
 
+    def with_executor(self, executor: str, concurrency: Optional[int] = None
+                      ) -> "ValidatorConfig":
+        """A copy with a different scheduling backend (and optionally workers)."""
+        if concurrency is None:
+            concurrency = self.concurrency
+        return replace(self, executor=executor, concurrency=concurrency)
+
     def with_cache_dir(self, cache_dir: Optional[str]) -> "ValidatorConfig":
         """A copy of this configuration with a different persistent cache dir."""
         return replace(self, cache_dir=cache_dir)
@@ -137,6 +178,7 @@ DEFAULT_CONFIG = ValidatorConfig()
 __all__ = [
     "ValidatorConfig",
     "DEFAULT_CONFIG",
+    "EXECUTORS",
     "GVN_ABLATION_STEPS",
     "SCCP_ABLATION_STEPS",
     "LICM_ABLATION_STEPS",

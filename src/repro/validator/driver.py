@@ -41,356 +41,73 @@ so per-version analyses (dominators, loops, gates, ...) are computed once
 per checkpoint no matter how many queries consume them, and every strategy
 is written against one *pair provider* abstraction — a callable answering
 ``(before, after) -> (result, was_cached)`` — so the serial driver (which
-validates lazily through the :class:`ValidationCache`) and the sharded
-batch driver (which pre-validates a flattened work queue on a process
-pool) assemble byte-identical per-function verdicts from the same code.
+validates lazily through the :class:`ValidationCache`) and the batch
+driver assemble byte-identical per-function verdicts from the same code.
 
 Under ``strategy="stepwise"`` with ``config.chain_graphs`` (the default),
 the adjacent-pair queries are answered from ONE *chain-shared* value
-graph per function: every pipeline checkpoint is hash-consed into a
-single :class:`~repro.vgraph.graph.ValueGraph` and normalized once
-(:func:`~repro.validator.validate.validate_chain`), replacing k
-independent build+normalize runs.  The per-pair path remains both the
-fallback (chain construction failures, untrusted rejection re-checks)
-and the parity oracle — ``benchmarks/stepwise_guard.py --chain-parity``
-enforces identical record signatures with the flag on vs off.
+graph per function (:func:`~repro.validator.validate.validate_chain`);
+the per-pair path remains both the fallback and the parity oracle —
+``benchmarks/stepwise_guard.py --chain-parity`` enforces identical record
+signatures with the flag on vs off.
 
-For corpus-scale traffic the module adds a batch layer on top:
-:func:`validate_module_batch` validates many modules through one
-:class:`ValidationCache` and, when ``config.concurrency > 1``, *shards*
-the work: the deduplicated validation queries of **all** functions of
-**all** modules — whole pairs under ``"whole"``/``"bisect"``, every
-per-pass adjacent checkpoint pair under ``"stepwise"`` — are flattened
-into one queue and fanned out over a ``ProcessPoolExecutor``, then merged
-back into the shared cache and reassembled into per-function records
-identical to the serial path's.  With ``config.cache_dir`` set the cache
-is *persistent*: previously proved pairs are loaded from disk up front and
-the merged results are saved back after the run, so repeated corpus sweeps
-and CI re-runs skip everything proved before.
+For corpus-scale traffic, batch validation is orchestrated by the
+:mod:`~repro.validator.scheduler` subsystem in three layers:
+
+* **plan** (:func:`~repro.validator.scheduler.plan.build_plan`): pure,
+  deterministic work-item generation — every selected function of every
+  module is optimized, its queries derived, content-deduplicated and
+  checked against the shared cache;
+* **execute** (:mod:`~repro.validator.scheduler.executors`): a pluggable
+  :class:`~repro.validator.scheduler.executors.Executor` backend —
+  ``config.executor`` selects ``"serial"``, ``"pool"``
+  (``ProcessPoolExecutor`` sharding) or ``"wave"`` (speculative
+  pipeline-position waves that cancel the doomed later pairs of
+  rejecting functions) — fills the cache with verdicts; pool failures
+  degrade to serial through the same interface;
+* **settle** (:func:`~repro.validator.scheduler.settle.settle_plan`):
+  per-function records are reassembled from the cache through the same
+  strategy runners the serial path uses, so every backend produces
+  byte-identical :meth:`~repro.validator.report.FunctionRecord.signature`\\ s
+  (``benchmarks/stepwise_guard.py --executor-parity`` enforces it).
+
+With ``config.cache_dir`` set the cache is *persistent*: previously
+proved pairs are loaded from disk up front and the merged results are
+saved back after the run, so repeated corpus sweeps and CI re-runs skip
+everything proved before.
 """
 
 from __future__ import annotations
 
-import pickle
-import sys
-from dataclasses import replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis.manager import AnalysisManager, function_fingerprint
 from ..ir.cloning import clone_function, clone_globals_into
 from ..ir.module import Function, Module
-from ..ir.values import Value
 from ..transforms.pass_manager import (
     PAPER_PIPELINE,
     PassManager,
-    PassSnapshot,
     checkpoint_chain,
 )
-from .cache import CacheKey, ValidationCache
+from .cache import ValidationCache
 from .config import DEFAULT_CONFIG, ValidatorConfig
 from .report import FunctionRecord, ValidationReport
-from .validate import ChainOutcome, ValidationResult, validate, validate_chain
+from .scheduler import (
+    build_plan,
+    chain_provider,
+    create_executor,
+    remap_function_refs,
+    remap_globals,
+    resolved_executor,
+    run_bisect,
+    run_stepwise,
+    run_whole,
+    serial_provider,
+    settle_plan,
+)
 
 #: The validation strategies :func:`validate_function_pipeline` implements.
 STRATEGIES = ("whole", "stepwise", "bisect")
-
-#: A pair provider: answers one ``(before, after)`` validation query,
-#: returning ``(result, was_answered_from_cache)``.
-PairProvider = Callable[[Function, Function], Tuple[ValidationResult, bool]]
-
-
-def _validate_pair_cached(
-    before: Function,
-    after: Function,
-    config: ValidatorConfig,
-    cache: Optional[ValidationCache],
-    manager: Optional[AnalysisManager],
-) -> Tuple[ValidationResult, bool]:
-    """Validate one pair through the optional cache; returns (result, hit)."""
-    if cache is None:
-        return validate(before, after, config, manager=manager), False
-    key = cache.key(before, after, config)
-    cached = cache.get(key, before.name)
-    if cached is not None:
-        return cached, True
-    result = validate(before, after, config, manager=manager)
-    cache.put(key, result)
-    return result, False
-
-
-def _serial_provider(config: ValidatorConfig, cache: Optional[ValidationCache],
-                     manager: Optional[AnalysisManager]) -> PairProvider:
-    """The lazy provider: validate on demand through the optional cache."""
-
-    def provider(before: Function, after: Function) -> Tuple[ValidationResult, bool]:
-        return _validate_pair_cached(before, after, config, cache, manager)
-
-    return provider
-
-
-def _chain_amortizes(missing_pairs: int, versions: int) -> bool:
-    """Does building the chain beat validating the misses in isolation?
-
-    The chain translates all ``versions`` checkpoints once; the per-pair
-    path translates two per uncached pair — so the chain pays off
-    roughly when ``2 × misses >= k``.  The serial provider and the batch
-    planner share this policy so both drivers choose chain vs straggler
-    identically for the same cache state.
-    """
-    return 2 * missing_pairs >= versions
-
-
-def _chain_provider(versions: List[Function], config: ValidatorConfig,
-                    cache: Optional[ValidationCache],
-                    manager: Optional[AnalysisManager],
-                    record: FunctionRecord) -> PairProvider:
-    """Answer adjacent-pair queries from ONE chain-shared value graph.
-
-    The chain graph is built (and normalized, once) lazily — on the first
-    adjacent-pair query the cache cannot answer — so fully cached
-    functions never pay for it, exactly as the per-pair path never
-    validates on a hit; and only when enough pairs are uncached to
-    amortize translating all k versions (:func:`_chain_amortizes`), so a
-    warm cache with one modified pipeline pass revalidates the straggler
-    pairs in isolation instead of re-paying near-cold cost.  Raw chain
-    *accepts* are consumed directly; raw chain *rejects* are consumed
-    only when the outcome marks them authoritative (``rejects_trusted``)
-    and otherwise re-checked with an isolated per-pair
-    :func:`~repro.validator.validate.validate` before being trusted or
-    cached, which keeps every consumed verdict identical to the per-pair
-    strategy's (an iteration-capped normalization, or a reject that may
-    merely reflect the union-scoped observability approximations, is
-    never authoritative).  The whole-query fallback ``(original,
-    final)`` is answered from the same graph on the same terms; anything
-    else falls through to the per-pair path untouched.
-    """
-    state: Dict[str, ChainOutcome] = {}
-    decision: Dict[str, bool] = {}
-    fingerprints: Dict[int, str] = {}
-    positions = {(id(before), id(after)): index
-                 for index, (before, after) in enumerate(zip(versions, versions[1:]))}
-    whole_pair = (id(versions[0]), id(versions[-1]))
-    fallthrough = _serial_provider(config, cache, manager)
-
-    def fingerprint(function: Function) -> str:
-        # Interior versions serve two pairs (and the worthwhile check
-        # peeks every pair), so memoize the full-IR print + hash by
-        # identity — the versions list pins the objects alive.
-        memoized = fingerprints.get(id(function))
-        if memoized is None:
-            memoized = function_fingerprint(function)
-            fingerprints[id(function)] = memoized
-        return memoized
-
-    def pair_key(before: Function, after: Function) -> CacheKey:
-        return cache.key_for(fingerprint(before), fingerprint(after), config)
-
-    def outcome() -> ChainOutcome:
-        if "outcome" not in state:
-            # Lazy fallback: on a chain build/normalize failure the
-            # outcome comes back empty and every query below validates
-            # per-pair on demand — pairs past the stepwise walk's first
-            # rejection are then never paid for.
-            state["outcome"] = validate_chain(versions, config, manager,
-                                              eager_fallback=False)
-            record.chain_stats = state["outcome"].chain_stats
-        return state["outcome"]
-
-    def chain_worthwhile() -> bool:
-        """Is building the chain cheaper than validating the misses alone?
-
-        With a warm cache and only a straggler or two missing (one
-        pipeline pass changed since the last sweep), per-pair wins — the
-        chain would re-pay near-cold cost for the whole function.
-        Without a cache every pair is missing and the chain always wins.
-        """
-        if cache is None:
-            return True
-        if "build" not in decision:
-            missing = sum(
-                1 for left, right in zip(versions, versions[1:])
-                if cache.peek(pair_key(left, right)) is None)
-            decision["build"] = _chain_amortizes(missing, len(versions))
-        return decision["build"]
-
-    def provider(before: Function, after: Function) -> Tuple[ValidationResult, bool]:
-        position = positions.get((id(before), id(after)))
-        is_whole = position is None and (id(before), id(after)) == whole_pair
-        if position is None and not is_whole:
-            return fallthrough(before, after)
-        if is_whole and "outcome" not in state:
-            # Every adjacent pair was answered from the cache (or the
-            # stragglers validated per-pair), so no chain was built;
-            # deciding the whole query per-pair mirrors the batch
-            # driver's whole-fallback round exactly.
-            return fallthrough(before, after)
-        key: Optional[CacheKey] = None
-        if cache is not None:
-            key = pair_key(before, after)
-            cached = cache.get(key, before.name)
-            if cached is not None:
-                return cached, True
-        result: Optional[ValidationResult]
-        if "outcome" not in state and not chain_worthwhile():
-            # Too few uncached pairs to amortize a chain build: answer
-            # this straggler in isolation below.
-            result = None
-        else:
-            chain = outcome()
-            if chain.fallback:
-                result = None  # lazy fallback: validate this query in isolation
-            elif is_whole:
-                result = chain.whole_result
-            else:
-                result = chain.pair_results[position]
-            if result is not None and not result.is_success and not chain.rejects_trusted:
-                # The chain's normalization was cut off by the iteration
-                # bound, or a rejecting pair holds a store only its
-                # isolated pair graph can prune (root-scoped
-                # observability), so this rejection is not authoritative
-                # yet.
-                result = None
-        if result is None:
-            result = validate(before, after, config, manager=manager)
-        if cache is not None and key is not None:
-            cache.put(key, result)
-        return result, False
-
-    return provider
-
-
-def _merge_stats(results: Sequence[ValidationResult]) -> Dict[str, int]:
-    """Sum the integer normalization counters of several results."""
-    totals: Dict[str, int] = {}
-    for result in results:
-        for key, value in result.stats.items():
-            totals[key] = totals.get(key, 0) + int(value)
-    return totals
-
-
-def _run_whole(
-    function: Function,
-    optimized: Function,
-    provider: PairProvider,
-    record: FunctionRecord,
-) -> Function:
-    """The paper's strategy: one query over the composed pipeline."""
-    record.result, record.from_cache = provider(function, optimized)
-    if record.result.is_success:
-        record.kept_prefix = record.changed_steps
-        return optimized
-    return function
-
-
-def _run_stepwise(
-    function: Function,
-    versions: List[Function],
-    steps: List[PassSnapshot],
-    provider: PairProvider,
-    record: FunctionRecord,
-) -> Function:
-    """Validate adjacent checkpoint pairs; keep the longest proved prefix."""
-    results: List[ValidationResult] = []
-    hits: List[bool] = []
-    failed_index: Optional[int] = None
-    for index, step in enumerate(steps):
-        result, hit = provider(versions[index], versions[index + 1])
-        record.pass_verdicts[step.pass_name] = result
-        results.append(result)
-        hits.append(hit)
-        if not result.is_success:
-            failed_index = index
-            break
-
-    elapsed = sum(result.elapsed for result in results)
-    if failed_index is None:
-        record.kept_prefix = len(steps)
-        record.from_cache = all(hits)
-        record.result = ValidationResult(
-            function.name, True, "stepwise-equal", elapsed=elapsed,
-            graph_nodes=max(result.graph_nodes for result in results),
-            stats=_merge_stats(results),
-        )
-        return versions[-1]
-
-    # A checkpoint pair was rejected.  That does not prove the composition
-    # invalid (pass i+1 may undo pass i, making the pair *harder* than the
-    # whole), so try the whole query before settling for the prefix —
-    # this is what makes stepwise accept a superset of whole.  With a
-    # single changed step the failing pair *is* the whole pair: reuse its
-    # verdict instead of validating the identical query a second time.
-    if len(steps) == 1:
-        whole_result, whole_hit = results[failed_index], hits[failed_index]
-    else:
-        whole_result, whole_hit = provider(versions[0], versions[-1])
-    if whole_result.is_success:
-        record.whole_fallback = True
-        record.kept_prefix = len(steps)
-        record.from_cache = whole_hit
-        record.result = replace(whole_result, elapsed=elapsed + whole_result.elapsed)
-        return versions[-1]
-
-    failing = results[failed_index]
-    record.blamed_pass = steps[failed_index].pass_name
-    record.kept_prefix = failed_index
-    record.from_cache = all(hits) and whole_hit
-    record.result = ValidationResult(
-        function.name, False, failing.reason,
-        elapsed=elapsed + whole_result.elapsed,
-        graph_nodes=failing.graph_nodes,
-        stats=_merge_stats(results + [whole_result]),
-        detail=(f"pass '{record.blamed_pass}' "
-                f"(changed step {failed_index + 1}/{len(steps)}) rejected; "
-                f"kept the {failed_index}-step validated prefix\n{failing.detail}"),
-    )
-    return versions[failed_index]
-
-
-def _run_bisect(
-    function: Function,
-    versions: List[Function],
-    steps: List[PassSnapshot],
-    provider: PairProvider,
-    record: FunctionRecord,
-) -> Function:
-    """Whole query first; on rejection, bisect the checkpoints for blame."""
-    whole_result, whole_hit = provider(versions[0], versions[-1])
-    record.from_cache = whole_hit
-    record.pass_verdicts[steps[-1].pass_name] = whole_result
-    if whole_result.is_success:
-        record.kept_prefix = len(steps)
-        record.result = whole_result
-        return versions[-1]
-
-    # versions[0] vs itself trivially validates, versions[-1] was just
-    # rejected: binary-search for the first checkpoint whose composed
-    # effect no longer validates against the original and blame the pass
-    # that produced it.  (Like any bisection this assumes prefix verdicts
-    # are monotone — true for a persistent miscompilation.)
-    probes: List[ValidationResult] = [whole_result]
-    lo, hi = 0, len(steps)
-    while hi - lo > 1:
-        mid = (lo + hi) // 2
-        result, _ = provider(versions[0], versions[mid])
-        probes.append(result)
-        record.pass_verdicts[steps[mid - 1].pass_name] = result
-        if result.is_success:
-            lo = mid
-        else:
-            hi = mid
-
-    record.blamed_pass = steps[hi - 1].pass_name
-    record.kept_prefix = lo
-    record.result = ValidationResult(
-        function.name, False, whole_result.reason,
-        elapsed=sum(result.elapsed for result in probes),
-        graph_nodes=whole_result.graph_nodes,
-        stats=_merge_stats(probes),
-        detail=(f"bisected the rejection to pass '{record.blamed_pass}' "
-                f"(changed step {hi}/{len(steps)}); "
-                f"kept the {lo}-step validated prefix\n{whole_result.detail}"),
-    )
-    return versions[lo]
 
 
 def _driver_manager(config: ValidatorConfig) -> AnalysisManager:
@@ -420,7 +137,9 @@ def validate_function_pipeline(
     (monolithic or adjacent-checkpoint) are answered from it; when
     ``manager`` is given (or a snapshot strategy creates its own, bounded
     by ``config.analysis_cache_size``), every distinct function version's
-    analyses are computed only once.
+    analyses are computed only once.  This per-function entry point
+    always executes lazily in-process; ``config.executor`` selects
+    backends for the module/batch drivers.
     """
     config = config or DEFAULT_CONFIG
     if strategy not in STRATEGIES:
@@ -434,8 +153,8 @@ def validate_function_pipeline(
         record.transformed_by = PassManager(passes).run_on_function(optimized)
         if skip_unchanged and not record.transformed:
             return function, record
-        provider = _serial_provider(config, cache, manager)
-        kept = _run_whole(function, optimized, provider, record)
+        provider = serial_provider(config, cache, manager)
+        kept = run_whole(function, optimized, provider, record)
         if manager is not None:
             record.analysis_stats = manager.stats()
         return kept, record
@@ -454,48 +173,19 @@ def validate_function_pipeline(
         # graph and all adjacent pairs are answered from its single
         # normalization (the per-pair provider remains the fallback for
         # the whole-query and for chain construction failures).
-        provider = _chain_provider(versions, config, cache, manager, record)
+        provider = chain_provider(versions, config, cache, manager, record)
     else:
-        provider = _serial_provider(config, cache, manager)
+        provider = serial_provider(config, cache, manager)
     if not steps:
         # skip_unchanged=False and no pass changed anything: validate the
         # identity pair, for parity with the whole strategy.
         record.result, record.from_cache = provider(function, function)
         record.analysis_stats = manager.stats()
         return function, record
-    runner = _run_stepwise if strategy == "stepwise" else _run_bisect
+    runner = run_stepwise if strategy == "stepwise" else run_bisect
     kept = runner(function, versions, steps, provider, record)
     record.analysis_stats = manager.stats()
     return kept, record
-
-
-def _remap_globals(function: Function, global_map: Dict[Value, Value]) -> None:
-    """Re-point a kept optimized body at the result module's global clones."""
-    if not global_map:
-        return
-    for inst in function.instructions():
-        for index, operand in enumerate(inst.operands):
-            replacement = global_map.get(operand)
-            if replacement is not None:
-                inst.operands[index] = replacement
-
-
-def _remap_function_refs(result_module: Module) -> None:
-    """Re-point call operands at the result module's own function objects.
-
-    Cloned bodies initially share callee :class:`Function` references with
-    the input module; rebinding them by name completes the driver's
-    no-shared-mutable-structure guarantee (mutating the input module's
-    functions can never change the result module's behavior).
-    """
-    by_name = result_module.functions
-    for function in result_module.functions.values():
-        for inst in function.instructions():
-            for index, operand in enumerate(inst.operands):
-                if isinstance(operand, Function):
-                    replacement = by_name.get(operand.name)
-                    if replacement is not None and replacement is not operand:
-                        inst.operands[index] = replacement
 
 
 def llvm_md(
@@ -518,17 +208,19 @@ def llvm_md(
     and shares no mutable structure — functions *and* globals are cloned)
     and the per-function :class:`ValidationReport`.
 
-    With ``config.concurrency > 1`` the module's validation queries are
-    sharded through :func:`validate_module_batch`'s process pool (the
-    per-function records are identical to the serial path's; ``manager``
-    is only consulted on the serial path).  With ``config.cache_dir`` set
-    and no explicit ``cache``, a persistent cache is opened there and
-    saved back after the run.
+    With ``config.concurrency > 1`` (or an explicit non-serial
+    ``config.executor``) the module's validation is delegated to
+    :func:`validate_module_batch`'s scheduling subsystem — the
+    per-function records are identical to the serial path's by
+    construction; ``manager`` is only consulted on the serial path.  With
+    ``config.cache_dir`` set and no explicit ``cache``, a persistent
+    cache is opened there and saved back after the run.
     """
     config = config or DEFAULT_CONFIG
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r} (known: {STRATEGIES})")
-    if config.concurrency and config.concurrency > 1:
+    if (config.concurrency and config.concurrency > 1) \
+            or resolved_executor(config) != "serial":
         selections = [list(function_names)] if function_names is not None else None
         (result_module, report), = validate_module_batch(
             [module], passes, config, labels=[label or module.name],
@@ -559,144 +251,15 @@ def llvm_md(
         if kept is function:
             result_module.add_function(clone_function(function, value_map=global_map))
         else:
-            _remap_globals(kept, global_map)
+            remap_globals(kept, global_map)
             result_module.add_function(kept)
-    _remap_function_refs(result_module)
+    remap_function_refs(result_module)
     if cache is not None:
         cache.save_if_dirty()
         report.cache_stats = cache.stats()
     if manager is not None:
         report.analysis_stats = manager.stats()
     return result_module, report
-
-
-class _FunctionPlan:
-    """One function's sharded-validation work: versions, keys, record."""
-
-    __slots__ = ("function", "record", "versions", "steps", "fingerprints",
-                 "pair_keys", "whole_key")
-
-    def __init__(self, function: Function, record: FunctionRecord,
-                 versions: List[Function], steps: Optional[List[PassSnapshot]],
-                 fingerprints: List[str], pair_keys: List[CacheKey],
-                 whole_key: CacheKey) -> None:
-        self.function = function
-        self.record = record
-        self.versions = versions
-        self.steps = steps
-        #: Content fingerprint of each version, computed once in phase 1
-        #: and reused by assembly-time key derivation.
-        self.fingerprints = fingerprints
-        #: Round-1 keys, in validation order (adjacent pairs under
-        #: stepwise; the single whole pair otherwise).
-        self.pair_keys = pair_keys
-        #: Key of the (original, final) pair — stepwise round 2's fallback.
-        self.whole_key = whole_key
-
-
-def _settle_chain_results(outcome: ChainOutcome, versions: Sequence[Function],
-                          config: ValidatorConfig,
-                          ) -> Tuple[List[Optional[ValidationResult]],
-                                     Optional[ValidationResult]]:
-    """Turn raw chain verdicts into cache-safe verdicts.
-
-    Raw accepts are exact and kept, and when the chain's rejections are
-    authoritative too (``rejects_trusted``: a natural normalization
-    fixpoint, and no rejecting pair holds a store only its isolated pair
-    graph could prune) everything is cacheable as-is.  Otherwise —
-    normalization cut off by the iteration bound, or the union-scoped
-    store pruning missing a prune an isolated pair graph performs — the
-    rejects on the
-    *consumed prefix* (up to and including the first pair the stepwise
-    walk would stop at) are re-checked with an isolated per-pair
-    validation — the verdict the per-pair strategy would produce — and
-    rejects beyond the consumed prefix are censored to ``None``: the
-    walk never consumes them for this function, and caching an
-    unconfirmed reject could poison another function whose walk *does*
-    consume that content pair.  The whole (original, final) verdict gets
-    the same treatment.
-
-    Returns ``(pair_verdicts, whole_verdict)``.
-    """
-    if outcome.fallback:
-        # Every pair result already is an isolated per-pair verdict; the
-        # whole query is left to the batch driver's fallback round.
-        return list(outcome.pair_results), None
-    if outcome.rejects_trusted:
-        return list(outcome.pair_results), outcome.whole_result
-    settled: List[Optional[ValidationResult]] = []
-    failed = False
-    for index, result in enumerate(outcome.pair_results):
-        if result.is_success:
-            settled.append(result)
-            continue
-        if failed:
-            settled.append(None)
-            continue
-        rechecked = validate(versions[index], versions[index + 1], config)
-        settled.append(rechecked)
-        if not rechecked.is_success:
-            failed = True
-    whole = outcome.whole_result
-    if whole is not None and not whole.is_success:
-        whole = validate(versions[0], versions[-1], config) if failed else None
-    return settled, whole
-
-
-#: A sharded-chain worker's return value: one (possibly censored) verdict
-#: per adjacent pair, the (possibly censored) whole-pair verdict, and the
-#: chain graph's work telemetry.
-ChainItemResult = Tuple[List[Optional[ValidationResult]],
-                        Optional[ValidationResult], Dict[str, int]]
-
-
-def _validate_item(item: Tuple):
-    """Process-pool worker: validate one work item (pair or whole chain)."""
-    if item[0] == "chain":
-        _, versions, config = item
-        outcome = validate_chain(versions, config)
-        settled, whole = _settle_chain_results(outcome, versions, config)
-        return settled, whole, outcome.chain_stats
-    _, before, after, config = item
-    return validate(before, after, config)
-
-
-def _run_validations(items: List[Tuple],
-                     config: ValidatorConfig) -> Tuple[List, bool]:
-    """Validate a list of work items; returns ``(results, used_process_pool)``.
-
-    Items are tagged tuples — ``("pair", before, after, config)`` yields a
-    :class:`ValidationResult`, ``("chain", versions, config)`` yields a
-    :data:`ChainItemResult`.  Uses a ``ProcessPoolExecutor`` with
-    ``config.concurrency`` workers when configured.  Any pool-level
-    failure — a platform that cannot spawn processes, an object that
-    fails to pickle, a worker crash — falls back to validating serially
-    in-process: re-running the items is always safe (validation is
-    deterministic and side-effect free) and a genuine per-item error
-    would reproduce serially anyway.
-    """
-    if config.concurrency and config.concurrency > 1 and len(items) > 1:
-        try:
-            from concurrent.futures import ProcessPoolExecutor
-            from concurrent.futures.process import BrokenProcessPool
-        except ImportError:  # pragma: no cover - stdlib always has it
-            return [_validate_item(item) for item in items], False
-        # Deep operand chains make pickling recursive; give the parent the
-        # same recursion headroom validation itself gets.
-        old_limit = sys.getrecursionlimit()
-        sys.setrecursionlimit(max(old_limit, config.recursion_limit))
-        try:
-            chunksize = max(1, len(items) // (config.concurrency * 4))
-            with ProcessPoolExecutor(max_workers=config.concurrency) as pool:
-                return list(pool.map(_validate_item, items, chunksize=chunksize)), True
-        except (OSError, ValueError, TypeError, AttributeError, RecursionError,
-                pickle.PicklingError, BrokenProcessPool):
-            # Platforms without working process spawning, unpicklable
-            # payloads and worker crashes all degrade to serial execution.
-            pass
-        finally:
-            sys.setrecursionlimit(old_limit)
-    return [_validate_item(item) for item in items], False
 
 
 def validate_module_batch(
@@ -711,32 +274,31 @@ def validate_module_batch(
     """Optimize and validate a batch of modules through one shared cache.
 
     The batch layer is what lets module-level validation scale to large
-    corpora:
+    corpora.  It is thin orchestration over the
+    :mod:`~repro.validator.scheduler` subsystem:
 
-    * every function of every module is optimized first (checkpointing
-      each pass under ``strategy="stepwise"``/``"bisect"``), and the
-      resulting validation queries — whole (original, optimized) pairs,
-      or every per-pass *adjacent checkpoint pair* under stepwise — are
-      flattened into one work queue and *deduplicated* by content hash:
-      identical pairs (common in template-heavy or generated corpora, and
-      in repeated single-pass effects) are validated once; with
-      ``config.chain_graphs`` (the default) a multi-step stepwise
-      function ships as ONE packed chain work item instead — the worker
-      builds all of its checkpoints into one shared graph, normalizes it
-      once, and returns every adjacent-pair verdict (plus the whole-pair
-      verdict) together;
-    * the distinct pairs are validated either serially or, when
-      ``config.concurrency > 1``, sharded over a ``ProcessPoolExecutor``
-      with that many workers (falling back to serial execution if the
-      platform cannot spawn processes or a payload cannot be pickled);
-      under stepwise, a second round fans out the whole-query fallbacks of
-      functions whose checkpoint pair was rejected;
-    * worker results are merged back into the shared cache and per-module
-      reports are assembled from it — records identical to what serial
-      per-module :func:`llvm_md` calls would have produced (verdicts,
-      blame, kept prefixes, per-pass verdicts), with ``from_cache``
-      marking deduplicated queries and each query counted exactly once in
-      the cache's hit/miss totals.
+    * **plan** — every function of every module is optimized first
+      (checkpointing each pass under ``strategy="stepwise"``/``"bisect"``)
+      and the resulting validation queries — whole (original, optimized)
+      pairs, or every per-pass *adjacent checkpoint pair* under stepwise
+      — are flattened into one work queue and *deduplicated* by content
+      hash; with ``config.chain_graphs`` (the default) a multi-step
+      stepwise function ships as ONE packed chain work item when enough
+      of its pairs are uncached to amortize it;
+    * **execute** — the ``config.executor`` backend validates the
+      distinct items: ``"serial"`` in-process, ``"pool"`` sharded over a
+      ``ProcessPoolExecutor`` with ``config.concurrency`` workers
+      (degrading to serial if the platform cannot spawn processes, a
+      payload cannot be pickled, or a worker raises/dies), or ``"wave"``
+      in speculative pipeline-position waves that cancel the later pairs
+      of functions whose pair rejected; under stepwise, a settle round
+      fans out the whole-query fallbacks of rejected functions;
+    * **settle** — worker results are merged into the shared cache and
+      per-module reports are assembled from it — records identical to
+      what serial per-module :func:`llvm_md` calls would have produced
+      (verdicts, blame, kept prefixes, per-pass verdicts), with
+      ``from_cache`` marking deduplicated queries and each query counted
+      exactly once in the cache's hit/miss totals.
 
     With ``config.cache_dir`` set and no explicit ``cache``, the cache is
     persistent: previously proved pairs load from disk and the merged
@@ -756,236 +318,29 @@ def validate_module_batch(
     if cache is None:
         cache = ValidationCache(config.cache_dir, max_bytes=config.cache_max_bytes)
 
-    # Phase 1: optimize everything, planning the queries each function
-    # needs.  Whole/bisect plan the (original, final) pair; stepwise plans
-    # every adjacent checkpoint pair — packed as ONE chain work item per
-    # multi-step function when ``config.chain_graphs`` is on, so a worker
-    # builds all of that function's checkpoints into one shared graph and
-    # normalizes it once instead of once per pair.  Fingerprints are
-    # computed once per version and shared by all the keys derived from
-    # them.
-    chain_mode = strategy == "stepwise" and config.chain_graphs
-    plans: List[Tuple[Module, ValidationReport, Dict[Value, Value], List[_FunctionPlan]]] = []
-    pending: Dict[CacheKey, Tuple[Function, Function]] = {}
-    #: Chain work items, keyed by the tuple of the chain's pair keys
-    #: (content-identical chains are validated once, like identical
-    #: pairs); the value carries the version chain and the whole-pair key.
-    pending_chains: Dict[Tuple[CacheKey, ...],
-                         Tuple[List[Function], CacheKey]] = {}
-    for index, module in enumerate(modules):
-        label = labels[index] if labels is not None else module.name
-        selected: Optional[set] = None
-        if function_names is not None and function_names[index] is not None:
-            selected = set(function_names[index])
-        report = ValidationReport(label=label)
-        result_module = Module(module.name)
-        global_map = clone_globals_into(module, result_module)
-        work: List[_FunctionPlan] = []
-        for function in module.functions.values():
-            if function.is_declaration or (selected is not None and function.name not in selected):
-                result_module.add_function(clone_function(function, value_map=global_map))
-                continue
-            record = FunctionRecord(name=function.name, strategy=strategy)
-            if strategy == "whole":
-                optimized = clone_function(function)
-                record.transformed_by = PassManager(passes).run_on_function(optimized)
-                report.add(record)
-                if not record.transformed:
-                    result_module.add_function(clone_function(function, value_map=global_map))
-                    continue
-                steps = None
-                versions = [function, optimized]
-                fingerprints = [function_fingerprint(function),
-                                function_fingerprint(optimized)]
-            else:
-                snapshots = PassManager(passes).run_with_snapshots(function)
-                record.transformed_by = {snap.pass_name: snap.changed
-                                         for snap in snapshots}
-                report.add(record)
-                if not record.transformed:
-                    result_module.add_function(clone_function(function, value_map=global_map))
-                    continue
-                steps, versions = checkpoint_chain(function, snapshots)
-                fingerprints = [function_fingerprint(function)]
-                fingerprints += [snap.fingerprint() for snap in steps]
-            whole_key = cache.key_for(fingerprints[0], fingerprints[-1], config)
-            if strategy == "stepwise":
-                pair_keys = [cache.key_for(fingerprints[i], fingerprints[i + 1], config)
-                             for i in range(len(versions) - 1)]
-                pair_versions = list(zip(versions, versions[1:]))
-            else:
-                pair_keys = [whole_key]
-                pair_versions = [(versions[0], versions[-1])]
-            if chain_mode and len(pair_keys) >= 2:
-                # One packed work item covers every adjacent pair of this
-                # function — but only when enough pairs still need
-                # validating to amortize it: the chain translates all k
-                # versions once while the per-pair path translates two
-                # per miss, so with a warm cache and a straggler or two
-                # the misses ship as plain pair items instead (and a
-                # fully cached chain costs nothing, exactly like the
-                # serial path's lazy chain construction).
-                missing = [(key, pair)
-                           for key, pair in zip(pair_keys, pair_versions)
-                           if cache.peek(key) is None]
-                if _chain_amortizes(len(missing), len(versions)):
-                    chain_signature = tuple(pair_keys)
-                    if chain_signature not in pending_chains:
-                        pending_chains[chain_signature] = (versions, whole_key)
-                else:
-                    for key, (before, after) in missing:
-                        if key not in pending:
-                            pending[key] = (before, after)
-            else:
-                for key, (before, after) in zip(pair_keys, pair_versions):
-                    if cache.peek(key) is None and key not in pending:
-                        pending[key] = (before, after)
-            work.append(_FunctionPlan(function, record, versions, steps,
-                                      fingerprints, pair_keys, whole_key))
-        plans.append((result_module, report, global_map, work))
-
-    # Phase 2, round 1: validate the distinct work items (sharded when
-    # configured) and merge the outcomes back into the shared cache.
-    # Chain items return one settled verdict per adjacent pair (raw
-    # rejects beyond the consumed prefix are censored — see
-    # :func:`_settle_chain_results`); only verdicts for keys nobody
-    # stored yet are adopted, so identical pairs keep a single entry.
-    items: List[Tuple] = [("pair", before, after, config)
-                          for before, after in pending.values()]
-    items += [("chain", versions, config)
-              for versions, _ in pending_chains.values()]
-    outcomes, pooled_round1 = _run_validations(items, config)
-    fresh: set = set()
-    for key, result in zip(pending, outcomes[:len(pending)]):
-        cache.put(key, result)
-        fresh.add(key)
-    #: Keys whose verdict a chain item contributed (disjoint from
-    #: ``pending`` — those were stored just above, so the peek guard
-    #: skips them — and from round 2's ``pending_whole``, which only
-    #: admits keys still unanswered after this loop).  Tracked directly
-    #: rather than derived by subtraction, which miscounts when a chain
-    #: adopts a key another structure also covers.
-    chain_fresh: set = set()
-    chain_stats_by_signature: Dict[Tuple[CacheKey, ...], Dict[str, int]] = {}
-    for (chain_signature, (_, chain_whole_key)), item_result in zip(
-            pending_chains.items(), outcomes[len(pending):]):
-        settled, whole_result, chain_stats = item_result
-        chain_stats_by_signature[chain_signature] = chain_stats
-        for key, result in zip(chain_signature + (chain_whole_key,),
-                               settled + [whole_result]):
-            if result is None or cache.peek(key) is not None:
-                continue
-            cache.put(key, result)
-            fresh.add(key)
-            chain_fresh.add(key)
-
-    # Round 2 (stepwise only): functions whose adjacent-pair walk hits a
-    # rejection fall back to the whole (original, final) query — the serial
-    # strategy's superset guarantee.  Those queries only become known once
-    # round 1's verdicts are in, so fan them out as a second wave.
-    pending_whole: Dict[CacheKey, Tuple[Function, Function]] = {}
-    pooled_round2 = False
-    if strategy == "stepwise":
-        for _, _, _, work in plans:
-            for plan in work:
-                rejected = False
-                for key in plan.pair_keys:
-                    result = cache.peek(key)
-                    if result is not None and not result.is_success:
-                        rejected = True
-                        break
-                if rejected and cache.peek(plan.whole_key) is None \
-                        and plan.whole_key not in pending_whole:
-                    pending_whole[plan.whole_key] = (plan.versions[0], plan.versions[-1])
-        if pending_whole:
-            items = [("pair", before, after, config)
-                     for before, after in pending_whole.values()]
-            outcomes, pooled_round2 = _run_validations(items, config)
-            for key, result in zip(pending_whole, outcomes):
-                cache.put(key, result)
-                fresh.add(key)
-
-    # Phase 3: assemble result modules and reports from the cache through
-    # the same strategy runners the serial driver uses.  The first
-    # consumer of a freshly validated pair pays for it (a miss); every
-    # further consumption of the same key — within a module, across
-    # modules, or from an earlier batch / the disk backend — is a cache
-    # hit, so totals count each query exactly once.  Queries the rounds
-    # could not anticipate (bisect probes, chain verdicts censored beyond
-    # another function's consumed prefix) validate inline through a
-    # bounded analysis manager.
-    chain_pairs_fresh = len(chain_fresh)
-    consumed: set = set()
+    plan = build_plan(modules, passes, config, cache, labels=labels,
+                      strategy=strategy, function_names=function_names)
+    executor = create_executor(config)
+    try:
+        execution = executor.execute(plan, cache)
+    finally:
+        executor.close()
     manager = _driver_manager(config)
-    inline_validations = 0
-    # Every version the runners can hand the provider was fingerprinted in
-    # phase 1; the memo keeps assembly from re-printing/re-hashing per pair
-    # (ids stay unambiguous because the plans pin the versions alive).
-    fingerprint_memo: Dict[int, str] = {}
-    for _, _, _, work in plans:
-        for plan in work:
-            for version, fingerprint in zip(plan.versions, plan.fingerprints):
-                fingerprint_memo[id(version)] = fingerprint
+    results, inline_validations = settle_plan(plan, cache, execution, manager)
 
-    def _fingerprint(function: Function) -> str:
-        memoized = fingerprint_memo.get(id(function))
-        return memoized if memoized is not None else function_fingerprint(function)
-
-    def provider(before: Function, after: Function) -> Tuple[ValidationResult, bool]:
-        nonlocal inline_validations
-        key = cache.key_for(_fingerprint(before), _fingerprint(after), config)
-        stored = cache.peek(key)
-        if stored is None:
-            result = validate(before, after, config, manager=manager)
-            cache.put(key, result)
-            cache.misses += 1
-            inline_validations += 1
-            fresh.add(key)
-            consumed.add(key)
-            return result, False
-        if key in fresh and key not in consumed:
-            cache.misses += 1
-            hit = False
-        else:
-            cache.hits += 1
-            hit = True
-        consumed.add(key)
-        return replace(stored, function_name=before.name), hit
-
-    results: List[Tuple[Module, ValidationReport]] = []
-    for result_module, report, global_map, work in plans:
-        for plan in work:
-            chain_stats = chain_stats_by_signature.pop(tuple(plan.pair_keys), None)
-            if chain_stats is not None:
-                # Attached to the (first) function whose chain item
-                # actually ran — the same function whose lazy chain the
-                # serial path would have built.
-                plan.record.chain_stats = chain_stats
-            if strategy == "whole":
-                kept = _run_whole(plan.function, plan.versions[-1], provider, plan.record)
-            elif strategy == "stepwise":
-                kept = _run_stepwise(plan.function, plan.versions, plan.steps,
-                                     provider, plan.record)
-            else:
-                kept = _run_bisect(plan.function, plan.versions, plan.steps,
-                                   provider, plan.record)
-            if kept is plan.function:
-                result_module.add_function(
-                    clone_function(plan.function, value_map=global_map))
-            else:
-                _remap_globals(kept, global_map)
-                result_module.add_function(kept)
-        _remap_function_refs(result_module)
-        results.append((result_module, report))
-
-    pooled = pooled_round1 or pooled_round2
+    executor_stats = executor.stats()
+    pooled = executor_stats["pooled_items"] > 0
     shard_stats = {
-        "distinct_pairs": len(pending) + chain_pairs_fresh + len(pending_whole),
-        "pooled_pairs": ((len(pending) + chain_pairs_fresh) if pooled_round1 else 0)
-                        + (len(pending_whole) if pooled_round2 else 0),
-        "chain_items": len(pending_chains),
+        "executor": executor.name,
+        "distinct_pairs": execution.validated_queries,
+        "pooled_pairs": executor_stats["pooled_items"],
+        "chain_items": len(plan.pending_chains),
         "inline_validations": inline_validations,
         "workers": config.concurrency if pooled else 0,
+        "waves": executor_stats["waves"],
+        "waves_cancelled": executor_stats["waves_cancelled"],
+        "speculative_pairs_skipped": executor_stats["pairs_skipped"],
+        "pool_degraded": executor_stats["pool_degraded"],
     }
     cache.save_if_dirty()
     analysis_stats = manager.stats()

@@ -129,11 +129,18 @@ class ValidationReport:
     #: :class:`~repro.analysis.manager.AnalysisManager` (``None`` when the
     #: run did not use one).
     analysis_stats: Optional[Dict[str, int]] = None
-    #: Sharding counters of the batch driver (``None`` for serial runs):
-    #: ``distinct_pairs`` (deduplicated queries this batch validated),
-    #: ``pooled_pairs`` (how many of those ran on the process pool),
+    #: Scheduling counters of the batch driver (``None`` for serial
+    #: per-function runs): ``executor`` (the backend name — ``"serial"``,
+    #: ``"pool"`` or ``"wave"``), ``distinct_pairs`` (deduplicated queries
+    #: this batch validated), ``pooled_pairs`` (work items that ran on the
+    #: process pool), ``chain_items`` (packed chain work items),
     #: ``inline_validations`` (assembly-time queries, e.g. bisect probes),
-    #: ``workers`` (pool width, ``0`` when everything ran in-process).
+    #: ``workers`` (pool width, ``0`` when everything ran in-process),
+    #: ``waves`` / ``waves_cancelled`` / ``speculative_pairs_skipped``
+    #: (wave backend: wave batches run, function-wave slots cancelled
+    #: after a rejection, and planned pair queries never validated thanks
+    #: to cancellation) and ``pool_degraded`` (pool failures that degraded
+    #: execution to serial).
     shard_stats: Optional[Dict[str, int]] = None
 
     def add(self, record: FunctionRecord) -> None:

@@ -1,0 +1,81 @@
+"""The batch-validation scheduling subsystem: plan → execute → settle.
+
+Three layers with one-way dependencies, so each can evolve (or be
+replaced — e.g. by a multi-host work-stealing backend) independently:
+
+:mod:`~repro.validator.scheduler.plan`
+    *What to run.*  Pure, deterministic work-item generation: optimize,
+    dedup by content key, chain-vs-pair amortization, cache consultation
+    — producing a :class:`WorkPlan`.
+:mod:`~repro.validator.scheduler.executors`
+    *How to run it.*  The :class:`Executor` backends — serial,
+    process-pool, speculative pipeline-wave — plus the lazy providers
+    the per-function serial driver validates through.  Every backend
+    produces byte-identical record signatures.
+:mod:`~repro.validator.scheduler.settle`
+    *What it means.*  Strategy runners reassembling
+    :class:`~repro.validator.report.FunctionRecord`\\ s (verdicts, blame,
+    kept prefixes) from item outcomes, shared by every execution path.
+"""
+
+from .executors import (
+    ExecutionOutcome,
+    Executor,
+    PoolExecutor,
+    SerialExecutor,
+    WaveExecutor,
+    chain_provider,
+    create_executor,
+    serial_provider,
+    validate_pair_cached,
+)
+from .plan import (
+    ChainSignature,
+    FunctionPlan,
+    ModulePlan,
+    PairProvider,
+    WorkPlan,
+    build_plan,
+    chain_amortizes,
+    pending_whole_queries,
+    resolved_executor,
+)
+from .settle import (
+    merge_stats,
+    remap_function_refs,
+    remap_globals,
+    run_bisect,
+    run_stepwise,
+    run_whole,
+    settle_chain_results,
+    settle_plan,
+)
+
+__all__ = [
+    "PairProvider",
+    "ChainSignature",
+    "FunctionPlan",
+    "ModulePlan",
+    "WorkPlan",
+    "build_plan",
+    "pending_whole_queries",
+    "chain_amortizes",
+    "resolved_executor",
+    "Executor",
+    "ExecutionOutcome",
+    "SerialExecutor",
+    "PoolExecutor",
+    "WaveExecutor",
+    "create_executor",
+    "serial_provider",
+    "chain_provider",
+    "validate_pair_cached",
+    "merge_stats",
+    "run_whole",
+    "run_stepwise",
+    "run_bisect",
+    "settle_chain_results",
+    "settle_plan",
+    "remap_globals",
+    "remap_function_refs",
+]

@@ -1,0 +1,592 @@
+"""Execution backends: *how* a planned batch of validation work runs.
+
+The planning layer (:mod:`repro.validator.scheduler.plan`) produces a
+deduplicated, content-keyed :class:`~repro.validator.scheduler.plan.WorkPlan`;
+an :class:`Executor` turns it into verdicts in the shared
+:class:`~repro.validator.cache.ValidationCache`; the settlement layer
+(:mod:`repro.validator.scheduler.settle`) reassembles per-function
+records.  Because verdicts are content-addressed and settlement replays
+the same strategy runners regardless of backend, **every executor
+produces byte-identical record signatures** — backends may only change
+where and in what order queries run, never what they decide
+(``benchmarks/stepwise_guard.py --executor-parity`` enforces this on all
+twelve corpora).
+
+Three backends ship today:
+
+``SerialExecutor``
+    Runs every work item in-process.  Also the degradation target: any
+    pool-level failure lands here through the same interface.
+``PoolExecutor``
+    Fans batches out over a ``ProcessPoolExecutor``.  Worker crashes,
+    unpicklable payloads and platforms without process support degrade
+    to serial in-place — re-running items is always safe because
+    validation is deterministic and side-effect free, and verdicts are
+    only merged into the cache *after* a batch completes, so a retried
+    batch can neither lose nor double-count a cache query.
+``WaveExecutor``
+    Speculative pipeline-position scheduling for the stepwise strategy:
+    wave *i* validates the *current* adjacent pair of every still-live
+    function, then rejected functions are cancelled out of later waves
+    and settled from the whole-query fallback.  The eager backends
+    validate every planned pair up front — including the pairs after a
+    rejection that the stepwise walk never consumes — so on
+    high-rejection corpora the wave backend validates measurably fewer
+    pairs for identical records.  Wraps an inner backend (serial or
+    pool) for the actual batch execution.
+
+A future multi-host work-stealing backend drops in as a fourth
+``Executor`` subclass without touching planning or settlement.
+"""
+
+from __future__ import annotations
+
+import sys
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...analysis.manager import AnalysisManager, function_fingerprint
+from ...ir.module import Function
+from ..cache import CacheKey, ValidationCache
+from ..config import ValidatorConfig
+from ..report import FunctionRecord
+from ..validate import ChainOutcome, ValidationResult, validate, validate_chain
+from .plan import (
+    ChainSignature,
+    PairProvider,
+    WorkPlan,
+    chain_amortizes,
+    pending_whole_queries,
+    resolved_executor,
+)
+from .settle import settle_chain_results
+
+#: A sharded-chain worker's return value: one (possibly censored) verdict
+#: per adjacent pair, the (possibly censored) whole-pair verdict, and the
+#: chain graph's work telemetry.
+ChainItemResult = Tuple[List[Optional[ValidationResult]],
+                        Optional[ValidationResult], Dict[str, int]]
+
+
+def _validate_item(item: Tuple):
+    """Work-item entry point: validate one item (pair or whole chain).
+
+    Runs in pool worker processes (pickled by reference, so it must stay
+    a module-level function) and in-process for the serial backend.
+    """
+    if item[0] == "chain":
+        _, versions, config = item
+        outcome = validate_chain(versions, config)
+        settled, whole = settle_chain_results(outcome, versions, config)
+        return settled, whole, outcome.chain_stats
+    _, before, after, config = item
+    return validate(before, after, config)
+
+
+@dataclass
+class ExecutionOutcome:
+    """What one :meth:`Executor.execute` run put into the cache.
+
+    ``fresh`` holds every key this execution validated (settlement counts
+    the first consumption of each as a miss, further ones as hits);
+    ``chain_fresh`` the subset contributed by chain items.  The
+    settlement provider appends inline-validated keys to ``fresh`` as it
+    discovers them, so ``validated_queries`` snapshots the executor's own
+    contribution first.
+    """
+
+    fresh: Set[CacheKey] = field(default_factory=set)
+    chain_fresh: Set[CacheKey] = field(default_factory=set)
+    chain_stats_by_signature: Dict[ChainSignature, Dict[str, int]] = field(
+        default_factory=dict)
+    #: Distinct queries this execution answered (pairs + chain-contributed
+    #: pairs + settle-round wholes) — ``shard_stats["distinct_pairs"]``.
+    validated_queries: int = 0
+
+
+class Executor(ABC):
+    """A backend that executes a :class:`WorkPlan` against a cache.
+
+    The default :meth:`execute` is the eager two-round schedule: round 1
+    validates every planned pair/chain item at once (maximal batch
+    parallelism), the settle round fans out the whole-query fallbacks of
+    functions whose adjacent pair rejected.  Subclasses either implement
+    :meth:`run_batch` (how a batch of items runs) or override
+    :meth:`execute` for a different schedule (see :class:`WaveExecutor`).
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        #: Work items handed to this backend (including degraded ones).
+        self.items_run = 0
+        #: Work items that actually ran on a process pool.
+        self.pooled_items = 0
+        #: Batches executed (an eager run has <= 2, a wave run one per wave).
+        self.batches = 0
+        #: Wave batches executed (wave backend only).
+        self.waves = 0
+        #: Function-wave slots cancelled after a rejection (wave only).
+        self.waves_cancelled = 0
+        #: Pool failures that degraded execution to serial.
+        self.degraded = 0
+        #: Planned pair queries never validated (wave cancellation).
+        self.pairs_skipped = 0
+
+    # -- the backend-specific part ----------------------------------------
+    @abstractmethod
+    def run_batch(self, items: List[Tuple], config: ValidatorConfig) -> List:
+        """Run one batch of work items, returning outcomes in order."""
+
+    def close(self) -> None:
+        """Release backend resources (worker pools)."""
+
+    def stats(self) -> Dict[str, int]:
+        """Per-backend counters for ``report.shard_stats``."""
+        return {
+            "items_run": self.items_run,
+            "pooled_items": self.pooled_items,
+            "batches": self.batches,
+            "waves": self.waves,
+            "waves_cancelled": self.waves_cancelled,
+            "pool_degraded": self.degraded,
+            "pairs_skipped": self.pairs_skipped,
+        }
+
+    # -- the shared schedule ----------------------------------------------
+    def execute(self, plan: WorkPlan, cache: ValidationCache) -> ExecutionOutcome:
+        """Eagerly validate the whole plan, then run the settle round."""
+        outcome = ExecutionOutcome()
+        self._run_pairs_and_chains(plan, cache, outcome,
+                                   plan.pending, plan.pending_chains)
+        self._run_settle_round(plan, cache, outcome)
+        outcome.validated_queries = len(outcome.fresh)
+        return outcome
+
+    def _run_pairs_and_chains(self, plan: WorkPlan, cache: ValidationCache,
+                              outcome: ExecutionOutcome,
+                              pending: Dict[CacheKey, Tuple[Function, Function]],
+                              pending_chains: Dict[ChainSignature,
+                                                   Tuple[List[Function], CacheKey]],
+                              ) -> None:
+        """Round 1: validate pair + chain items, merge into the cache.
+
+        Chain items return one settled verdict per adjacent pair (raw
+        rejects beyond the consumed prefix are censored — see
+        :func:`~repro.validator.scheduler.settle.settle_chain_results`);
+        only verdicts for keys nobody stored yet are adopted, so
+        identical pairs keep a single entry.
+        """
+        if not pending and not pending_chains:
+            return
+        config = plan.config
+        items: List[Tuple] = [("pair", before, after, config)
+                              for before, after in pending.values()]
+        items += [("chain", versions, config)
+                  for versions, _ in pending_chains.values()]
+        results = self.run_batch(items, config)
+        for key, result in zip(pending, results[:len(pending)]):
+            cache.put(key, result)
+            outcome.fresh.add(key)
+        for (signature, (_, whole_key)), item_result in zip(
+                pending_chains.items(), results[len(pending):]):
+            settled, whole_result, chain_stats = item_result
+            outcome.chain_stats_by_signature[signature] = chain_stats
+            for key, result in zip(signature + (whole_key,),
+                                   settled + [whole_result]):
+                if result is None or cache.peek(key) is not None:
+                    continue
+                cache.put(key, result)
+                outcome.fresh.add(key)
+                outcome.chain_fresh.add(key)
+
+    def _run_settle_round(self, plan: WorkPlan, cache: ValidationCache,
+                          outcome: ExecutionOutcome) -> None:
+        """Stepwise settle round: whole fallbacks of rejected functions."""
+        pending_whole = pending_whole_queries(plan, cache)
+        if not pending_whole:
+            return
+        items = [("pair", before, after, plan.config)
+                 for before, after in pending_whole.values()]
+        results = self.run_batch(items, plan.config)
+        for key, result in zip(pending_whole, results):
+            cache.put(key, result)
+            outcome.fresh.add(key)
+
+
+class SerialExecutor(Executor):
+    """Run every work item in-process, in order."""
+
+    name = "serial"
+
+    def run_batch(self, items: List[Tuple], config: ValidatorConfig) -> List:
+        self.batches += 1
+        self.items_run += len(items)
+        return [_validate_item(item) for item in items]
+
+
+class PoolExecutor(Executor):
+    """Fan batches out over a ``ProcessPoolExecutor``; degrade to serial.
+
+    The pool is created lazily on the first multi-item batch and reused
+    across batches (wave schedules run many small batches; respawning
+    workers per wave would dominate).  *Any* failure — a platform that
+    cannot spawn processes, an unpicklable payload, a worker that raises
+    or dies mid-batch — marks the backend degraded and re-runs the whole
+    batch serially in-process: validation is deterministic and
+    side-effect free, results only merge into the cache after the batch
+    completes, so the retry can neither lose nor double-count a cache
+    query, and a genuine per-item error reproduces serially anyway.
+    """
+
+    name = "pool"
+
+    def __init__(self, workers: int) -> None:
+        super().__init__()
+        self.workers = workers
+        self._pool = None
+
+    def run_batch(self, items: List[Tuple], config: ValidatorConfig) -> List:
+        self.batches += 1
+        self.items_run += len(items)
+        if len(items) <= 1 or self.degraded:
+            return [_validate_item(item) for item in items]
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+        except ImportError:  # pragma: no cover - stdlib always has it
+            return [_validate_item(item) for item in items]
+        # Deep operand chains make pickling recursive; give the parent the
+        # same recursion headroom validation itself gets.
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, config.recursion_limit))
+        try:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            chunksize = max(1, len(items) // (self.workers * 4))
+            results = list(self._pool.map(_validate_item, items,
+                                          chunksize=chunksize))
+            self.pooled_items += len(items)
+            return results
+        except Exception:
+            # Platforms without working process spawning, unpicklable
+            # payloads, worker crashes and worker exceptions all degrade
+            # to serial execution through the same interface.
+            self.degraded += 1
+            self.close()
+            return [_validate_item(item) for item in items]
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - broken pools may throw
+                pass
+
+
+class WaveExecutor(Executor):
+    """Speculative pipeline-position scheduling over an inner backend.
+
+    For the stepwise strategy, a rejected adjacent pair makes every later
+    pair of that function unnecessary for its record: the settlement walk
+    stops at the first rejection and falls back to the whole query.  The
+    eager schedule still validates those doomed pairs (they were planned
+    before any verdict existed).  This backend instead keeps a cursor per
+    function and repeatedly validates one *wave*: the deduplicated batch
+    of every live function's current pair.  After each wave, functions
+    whose pair rejected are cancelled out of the remaining waves and
+    settled from the whole-query fallback, so a high-rejection corpus
+    stops paying for pairs no record will ever consume.  Pairs remain
+    deduplicated across functions and answered through the shared cache,
+    so records stay byte-identical to the eager backends'.
+
+    Non-stepwise strategies have one query per function — waves cannot
+    cancel anything — and fall through to the eager schedule.
+    """
+
+    name = "wave"
+
+    def __init__(self, inner: Executor) -> None:
+        super().__init__()
+        self.inner = inner
+
+    def run_batch(self, items: List[Tuple], config: ValidatorConfig) -> List:
+        return self.inner.run_batch(items, config)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def stats(self) -> Dict[str, int]:
+        counters = self.inner.stats()
+        counters["waves"] = self.waves
+        counters["waves_cancelled"] = self.waves_cancelled
+        counters["pairs_skipped"] = self.pairs_skipped
+        return counters
+
+    @property
+    def pooled_items(self) -> int:
+        return self.inner.pooled_items
+
+    @pooled_items.setter
+    def pooled_items(self, value: int) -> None:
+        # The base-class __init__ assigns 0; pooling is tracked by the
+        # inner backend, so the write is accepted and ignored.
+        pass
+
+    @property
+    def degraded(self) -> int:
+        return self.inner.degraded
+
+    @degraded.setter
+    def degraded(self, value: int) -> None:
+        pass
+
+    def execute(self, plan: WorkPlan, cache: ValidationCache) -> ExecutionOutcome:
+        if plan.strategy != "stepwise":
+            return super().execute(plan, cache)
+        outcome = ExecutionOutcome()
+        # The planner does not pack chains for the wave backend, but an
+        # explicitly handed plan may hold some: run them up front so the
+        # cursor walk below consumes their verdicts from the cache.
+        if plan.pending_chains:
+            self._run_pairs_and_chains(plan, cache, outcome, {},
+                                       plan.pending_chains)
+
+        cursors: Dict[int, int] = {}
+        live = [function_plan for function_plan in plan.function_plans()
+                if function_plan.pair_keys]
+        while live:
+            batch: Dict[CacheKey, Tuple[Function, Function]] = {}
+            next_live = []
+            for function_plan in live:
+                cursor = cursors.get(id(function_plan), 0)
+                demands = False
+                rejected = False
+                while cursor < len(function_plan.pair_keys):
+                    result = cache.peek(function_plan.pair_keys[cursor])
+                    if result is None:
+                        demands = True
+                        break
+                    if not result.is_success:
+                        rejected = True
+                        break
+                    cursor += 1
+                cursors[id(function_plan)] = cursor
+                if rejected:
+                    # Cancel this function's remaining waves; its record
+                    # settles from the whole-query fallback below.
+                    self.waves_cancelled += (len(function_plan.pair_keys)
+                                             - cursor - 1)
+                    continue
+                if not demands:
+                    continue  # every pair accepted: the walk is complete
+                key = function_plan.pair_keys[cursor]
+                if key not in batch:
+                    batch[key] = (function_plan.versions[cursor],
+                                  function_plan.versions[cursor + 1])
+                next_live.append(function_plan)
+            live = next_live
+            if not batch:
+                break
+            self.waves += 1
+            results = self.run_batch(
+                [("pair", before, after, plan.config)
+                 for before, after in batch.values()], plan.config)
+            for key, result in zip(batch, results):
+                cache.put(key, result)
+                outcome.fresh.add(key)
+
+        self._run_settle_round(plan, cache, outcome)
+        self.pairs_skipped = sum(1 for key in plan.pending
+                                 if key not in outcome.fresh)
+        outcome.validated_queries = len(outcome.fresh)
+        return outcome
+
+
+def create_executor(config: ValidatorConfig) -> Executor:
+    """Build the backend ``config.executor`` / ``config.concurrency`` select.
+
+    ``"auto"`` resolves to pool when ``concurrency > 1`` and serial
+    otherwise; ``"wave"`` wraps whichever of the two the concurrency
+    setting implies.  Invalid combinations were rejected when the config
+    was constructed.
+    """
+    name = resolved_executor(config)
+    pooled = bool(config.concurrency and config.concurrency > 1)
+    if name == "serial":
+        return SerialExecutor()
+    if name == "pool":
+        return PoolExecutor(config.concurrency)
+    if name == "wave":
+        inner = PoolExecutor(config.concurrency) if pooled else SerialExecutor()
+        return WaveExecutor(inner)
+    raise ValueError(f"unknown executor {name!r}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Lazy serial providers — the per-function execution path.
+# ---------------------------------------------------------------------------
+
+def validate_pair_cached(
+    before: Function,
+    after: Function,
+    config: ValidatorConfig,
+    cache: Optional[ValidationCache],
+    manager: Optional[AnalysisManager],
+) -> Tuple[ValidationResult, bool]:
+    """Validate one pair through the optional cache; returns (result, hit)."""
+    if cache is None:
+        return validate(before, after, config, manager=manager), False
+    key = cache.key(before, after, config)
+    cached = cache.get(key, before.name)
+    if cached is not None:
+        return cached, True
+    result = validate(before, after, config, manager=manager)
+    cache.put(key, result)
+    return result, False
+
+
+def serial_provider(config: ValidatorConfig, cache: Optional[ValidationCache],
+                    manager: Optional[AnalysisManager]) -> PairProvider:
+    """The lazy provider: validate on demand through the optional cache."""
+
+    def provider(before: Function, after: Function) -> Tuple[ValidationResult, bool]:
+        return validate_pair_cached(before, after, config, cache, manager)
+
+    return provider
+
+
+def chain_provider(versions: List[Function], config: ValidatorConfig,
+                   cache: Optional[ValidationCache],
+                   manager: Optional[AnalysisManager],
+                   record: FunctionRecord) -> PairProvider:
+    """Answer adjacent-pair queries from ONE chain-shared value graph.
+
+    The chain graph is built (and normalized, once) lazily — on the first
+    adjacent-pair query the cache cannot answer — so fully cached
+    functions never pay for it, exactly as the per-pair path never
+    validates on a hit; and only when enough pairs are uncached to
+    amortize translating all k versions (:func:`chain_amortizes`), so a
+    warm cache with one modified pipeline pass revalidates the straggler
+    pairs in isolation instead of re-paying near-cold cost.  Raw chain
+    *accepts* are consumed directly; raw chain *rejects* are consumed
+    only when the outcome marks them authoritative (``rejects_trusted``)
+    and otherwise re-checked with an isolated per-pair
+    :func:`~repro.validator.validate.validate` before being trusted or
+    cached, which keeps every consumed verdict identical to the per-pair
+    strategy's (an iteration-capped normalization, or a reject that may
+    merely reflect the union-scoped observability approximations, is
+    never authoritative).  The whole-query fallback ``(original,
+    final)`` is answered from the same graph on the same terms; anything
+    else falls through to the per-pair path untouched.
+    """
+    state: Dict[str, ChainOutcome] = {}
+    decision: Dict[str, bool] = {}
+    fingerprints: Dict[int, str] = {}
+    positions = {(id(before), id(after)): index
+                 for index, (before, after) in enumerate(zip(versions, versions[1:]))}
+    whole_pair = (id(versions[0]), id(versions[-1]))
+    fallthrough = serial_provider(config, cache, manager)
+
+    def fingerprint(function: Function) -> str:
+        # Interior versions serve two pairs (and the worthwhile check
+        # peeks every pair), so memoize the full-IR print + hash by
+        # identity — the versions list pins the objects alive.
+        memoized = fingerprints.get(id(function))
+        if memoized is None:
+            memoized = function_fingerprint(function)
+            fingerprints[id(function)] = memoized
+        return memoized
+
+    def pair_key(before: Function, after: Function) -> CacheKey:
+        return cache.key_for(fingerprint(before), fingerprint(after), config)
+
+    def outcome() -> ChainOutcome:
+        if "outcome" not in state:
+            # Lazy fallback: on a chain build/normalize failure the
+            # outcome comes back empty and every query below validates
+            # per-pair on demand — pairs past the stepwise walk's first
+            # rejection are then never paid for.
+            state["outcome"] = validate_chain(versions, config, manager,
+                                              eager_fallback=False)
+            record.chain_stats = state["outcome"].chain_stats
+        return state["outcome"]
+
+    def chain_worthwhile() -> bool:
+        """Is building the chain cheaper than validating the misses alone?
+
+        With a warm cache and only a straggler or two missing (one
+        pipeline pass changed since the last sweep), per-pair wins — the
+        chain would re-pay near-cold cost for the whole function.
+        Without a cache every pair is missing and the chain always wins.
+        """
+        if cache is None:
+            return True
+        if "build" not in decision:
+            missing = sum(
+                1 for left, right in zip(versions, versions[1:])
+                if cache.peek(pair_key(left, right)) is None)
+            decision["build"] = chain_amortizes(missing, len(versions))
+        return decision["build"]
+
+    def provider(before: Function, after: Function) -> Tuple[ValidationResult, bool]:
+        position = positions.get((id(before), id(after)))
+        is_whole = position is None and (id(before), id(after)) == whole_pair
+        if position is None and not is_whole:
+            return fallthrough(before, after)
+        if is_whole and "outcome" not in state:
+            # Every adjacent pair was answered from the cache (or the
+            # stragglers validated per-pair), so no chain was built;
+            # deciding the whole query per-pair mirrors the batch
+            # driver's settle round exactly.
+            return fallthrough(before, after)
+        key: Optional[CacheKey] = None
+        if cache is not None:
+            key = pair_key(before, after)
+            cached = cache.get(key, before.name)
+            if cached is not None:
+                return cached, True
+        result: Optional[ValidationResult]
+        if "outcome" not in state and not chain_worthwhile():
+            # Too few uncached pairs to amortize a chain build: answer
+            # this straggler in isolation below.
+            result = None
+        else:
+            chain = outcome()
+            if chain.fallback:
+                result = None  # lazy fallback: validate this query in isolation
+            elif is_whole:
+                result = chain.whole_result
+            else:
+                result = chain.pair_results[position]
+            if result is not None and not result.is_success and not chain.rejects_trusted:
+                # The chain's normalization was cut off by the iteration
+                # bound, or a rejecting pair holds a store only its
+                # isolated pair graph can prune (root-scoped
+                # observability), so this rejection is not authoritative
+                # yet.
+                result = None
+        if result is None:
+            result = validate(before, after, config, manager=manager)
+        if cache is not None and key is not None:
+            cache.put(key, result)
+        return result, False
+
+    return provider
+
+
+__all__ = [
+    "ChainItemResult",
+    "ExecutionOutcome",
+    "Executor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "WaveExecutor",
+    "create_executor",
+    "serial_provider",
+    "chain_provider",
+    "validate_pair_cached",
+]

@@ -1,0 +1,348 @@
+"""Settlement: reassemble per-function records from work-item outcomes.
+
+The settlement layer answers *what the outcomes mean*: it replays every
+:class:`~repro.validator.scheduler.plan.FunctionPlan` through the same
+strategy runners the lazy serial driver uses (:func:`run_whole`,
+:func:`run_stepwise`, :func:`run_bisect`), reading verdicts back out of
+the shared :class:`~repro.validator.cache.ValidationCache` the executor
+filled, and rebuilds the result modules.  Because the runners are shared,
+every backend — serial, pool, wave — produces byte-identical
+:meth:`~repro.validator.report.FunctionRecord.signature`\\ s by
+construction; the executors only decide *which* queries were validated
+where (and the provider validates any stragglers the rounds could not
+anticipate — bisect probes, chain verdicts censored beyond another
+function's consumed prefix — inline).
+
+:func:`settle_chain_results` also lives here: turning a chain item's raw
+read-off verdicts into cache-safe ones (censoring unconfirmed rejects
+beyond the consumed prefix) is settlement policy, shared by the pool
+workers and any future remote backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...analysis.manager import AnalysisManager, function_fingerprint
+from ...ir.cloning import clone_function
+from ...ir.module import Function, Module
+from ...transforms.pass_manager import PassSnapshot
+from ..cache import ValidationCache
+from ..config import ValidatorConfig
+from ..report import FunctionRecord, ValidationReport
+from ..validate import ChainOutcome, ValidationResult, validate
+from .plan import PairProvider, WorkPlan
+
+
+def merge_stats(results: Sequence[ValidationResult]) -> Dict[str, int]:
+    """Sum the integer normalization counters of several results."""
+    totals: Dict[str, int] = {}
+    for result in results:
+        for key, value in result.stats.items():
+            totals[key] = totals.get(key, 0) + int(value)
+    return totals
+
+
+def run_whole(
+    function: Function,
+    optimized: Function,
+    provider: PairProvider,
+    record: FunctionRecord,
+) -> Function:
+    """The paper's strategy: one query over the composed pipeline."""
+    record.result, record.from_cache = provider(function, optimized)
+    if record.result.is_success:
+        record.kept_prefix = record.changed_steps
+        return optimized
+    return function
+
+
+def run_stepwise(
+    function: Function,
+    versions: List[Function],
+    steps: List[PassSnapshot],
+    provider: PairProvider,
+    record: FunctionRecord,
+) -> Function:
+    """Validate adjacent checkpoint pairs; keep the longest proved prefix."""
+    results: List[ValidationResult] = []
+    hits: List[bool] = []
+    failed_index: Optional[int] = None
+    for index, step in enumerate(steps):
+        result, hit = provider(versions[index], versions[index + 1])
+        record.pass_verdicts[step.pass_name] = result
+        results.append(result)
+        hits.append(hit)
+        if not result.is_success:
+            failed_index = index
+            break
+
+    elapsed = sum(result.elapsed for result in results)
+    if failed_index is None:
+        record.kept_prefix = len(steps)
+        record.from_cache = all(hits)
+        record.result = ValidationResult(
+            function.name, True, "stepwise-equal", elapsed=elapsed,
+            graph_nodes=max(result.graph_nodes for result in results),
+            stats=merge_stats(results),
+        )
+        return versions[-1]
+
+    # A checkpoint pair was rejected.  That does not prove the composition
+    # invalid (pass i+1 may undo pass i, making the pair *harder* than the
+    # whole), so try the whole query before settling for the prefix —
+    # this is what makes stepwise accept a superset of whole.  With a
+    # single changed step the failing pair *is* the whole pair: reuse its
+    # verdict instead of validating the identical query a second time.
+    if len(steps) == 1:
+        whole_result, whole_hit = results[failed_index], hits[failed_index]
+    else:
+        whole_result, whole_hit = provider(versions[0], versions[-1])
+    if whole_result.is_success:
+        record.whole_fallback = True
+        record.kept_prefix = len(steps)
+        record.from_cache = whole_hit
+        record.result = replace(whole_result, elapsed=elapsed + whole_result.elapsed)
+        return versions[-1]
+
+    failing = results[failed_index]
+    record.blamed_pass = steps[failed_index].pass_name
+    record.kept_prefix = failed_index
+    record.from_cache = all(hits) and whole_hit
+    record.result = ValidationResult(
+        function.name, False, failing.reason,
+        elapsed=elapsed + whole_result.elapsed,
+        graph_nodes=failing.graph_nodes,
+        stats=merge_stats(results + [whole_result]),
+        detail=(f"pass '{record.blamed_pass}' "
+                f"(changed step {failed_index + 1}/{len(steps)}) rejected; "
+                f"kept the {failed_index}-step validated prefix\n{failing.detail}"),
+    )
+    return versions[failed_index]
+
+
+def run_bisect(
+    function: Function,
+    versions: List[Function],
+    steps: List[PassSnapshot],
+    provider: PairProvider,
+    record: FunctionRecord,
+) -> Function:
+    """Whole query first; on rejection, bisect the checkpoints for blame."""
+    whole_result, whole_hit = provider(versions[0], versions[-1])
+    record.from_cache = whole_hit
+    record.pass_verdicts[steps[-1].pass_name] = whole_result
+    if whole_result.is_success:
+        record.kept_prefix = len(steps)
+        record.result = whole_result
+        return versions[-1]
+
+    # versions[0] vs itself trivially validates, versions[-1] was just
+    # rejected: binary-search for the first checkpoint whose composed
+    # effect no longer validates against the original and blame the pass
+    # that produced it.  (Like any bisection this assumes prefix verdicts
+    # are monotone — true for a persistent miscompilation.)
+    probes: List[ValidationResult] = [whole_result]
+    lo, hi = 0, len(steps)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        result, _ = provider(versions[0], versions[mid])
+        probes.append(result)
+        record.pass_verdicts[steps[mid - 1].pass_name] = result
+        if result.is_success:
+            lo = mid
+        else:
+            hi = mid
+
+    record.blamed_pass = steps[hi - 1].pass_name
+    record.kept_prefix = lo
+    record.result = ValidationResult(
+        function.name, False, whole_result.reason,
+        elapsed=sum(result.elapsed for result in probes),
+        graph_nodes=whole_result.graph_nodes,
+        stats=merge_stats(probes),
+        detail=(f"bisected the rejection to pass '{record.blamed_pass}' "
+                f"(changed step {hi}/{len(steps)}); "
+                f"kept the {lo}-step validated prefix\n{whole_result.detail}"),
+    )
+    return versions[lo]
+
+
+def settle_chain_results(outcome: ChainOutcome, versions: Sequence[Function],
+                         config: ValidatorConfig,
+                         ) -> Tuple[List[Optional[ValidationResult]],
+                                    Optional[ValidationResult]]:
+    """Turn raw chain verdicts into cache-safe verdicts.
+
+    Raw accepts are exact and kept, and when the chain's rejections are
+    authoritative too (``rejects_trusted``: a natural normalization
+    fixpoint, and no rejecting pair holds a store only its isolated pair
+    graph could prune) everything is cacheable as-is.  Otherwise —
+    normalization cut off by the iteration bound, or the union-scoped
+    store pruning missing a prune an isolated pair graph performs — the
+    rejects on the *consumed prefix* (up to and including the first pair
+    the stepwise walk would stop at) are re-checked with an isolated
+    per-pair validation — the verdict the per-pair strategy would
+    produce — and rejects beyond the consumed prefix are censored to
+    ``None``: the walk never consumes them for this function, and caching
+    an unconfirmed reject could poison another function whose walk *does*
+    consume that content pair.  The whole (original, final) verdict gets
+    the same treatment.
+
+    Returns ``(pair_verdicts, whole_verdict)``.
+    """
+    if outcome.fallback:
+        # Every pair result already is an isolated per-pair verdict; the
+        # whole query is left to the executor's settle round.
+        return list(outcome.pair_results), None
+    if outcome.rejects_trusted:
+        return list(outcome.pair_results), outcome.whole_result
+    settled: List[Optional[ValidationResult]] = []
+    failed = False
+    for index, result in enumerate(outcome.pair_results):
+        if result.is_success:
+            settled.append(result)
+            continue
+        if failed:
+            settled.append(None)
+            continue
+        rechecked = validate(versions[index], versions[index + 1], config)
+        settled.append(rechecked)
+        if not rechecked.is_success:
+            failed = True
+    whole = outcome.whole_result
+    if whole is not None and not whole.is_success:
+        whole = validate(versions[0], versions[-1], config) if failed else None
+    return settled, whole
+
+
+def remap_globals(function: Function, global_map: Dict) -> None:
+    """Re-point a kept optimized body at the result module's global clones."""
+    if not global_map:
+        return
+    for inst in function.instructions():
+        for index, operand in enumerate(inst.operands):
+            replacement = global_map.get(operand)
+            if replacement is not None:
+                inst.operands[index] = replacement
+
+
+def remap_function_refs(result_module: Module) -> None:
+    """Re-point call operands at the result module's own function objects.
+
+    Cloned bodies initially share callee :class:`Function` references with
+    the input module; rebinding them by name completes the driver's
+    no-shared-mutable-structure guarantee (mutating the input module's
+    functions can never change the result module's behavior).
+    """
+    by_name = result_module.functions
+    for function in result_module.functions.values():
+        for inst in function.instructions():
+            for index, operand in enumerate(inst.operands):
+                if isinstance(operand, Function):
+                    replacement = by_name.get(operand.name)
+                    if replacement is not None and replacement is not operand:
+                        inst.operands[index] = replacement
+
+
+def settle_plan(plan: WorkPlan, cache: ValidationCache, execution,
+                manager: AnalysisManager,
+                ) -> Tuple[List[Tuple[Module, ValidationReport]], int]:
+    """Assemble result modules and reports from the executed plan.
+
+    Replays every function plan through the strategy runners against a
+    cache-backed provider.  The first consumer of a freshly validated
+    pair pays for it (a miss); every further consumption of the same key
+    — within a module, across modules, or from an earlier batch / the
+    disk backend — is a cache hit, so totals count each query exactly
+    once.  Queries the executor could not anticipate (bisect probes,
+    chain verdicts censored beyond another function's consumed prefix,
+    pairs a wave backend cancelled but another strategy path still asks
+    for) validate inline through the bounded analysis ``manager``.
+
+    Returns ``(results, inline_validations)`` with ``results`` in input
+    module order.
+    """
+    config = plan.config
+    fresh = execution.fresh
+    consumed: set = set()
+    inline_validations = 0
+    # Every version the runners can hand the provider was fingerprinted at
+    # planning time; the memo keeps assembly from re-printing/re-hashing
+    # per pair (ids stay unambiguous because the plans pin the versions
+    # alive).
+    fingerprint_memo: Dict[int, str] = {}
+    for function_plan in plan.function_plans():
+        for version, fingerprint in zip(function_plan.versions,
+                                        function_plan.fingerprints):
+            fingerprint_memo[id(version)] = fingerprint
+
+    def _fingerprint(function: Function) -> str:
+        memoized = fingerprint_memo.get(id(function))
+        return memoized if memoized is not None else function_fingerprint(function)
+
+    def provider(before: Function, after: Function) -> Tuple[ValidationResult, bool]:
+        nonlocal inline_validations
+        key = cache.key_for(_fingerprint(before), _fingerprint(after), config)
+        stored = cache.peek(key)
+        if stored is None:
+            result = validate(before, after, config, manager=manager)
+            cache.put(key, result)
+            cache.misses += 1
+            inline_validations += 1
+            fresh.add(key)
+            consumed.add(key)
+            return result, False
+        if key in fresh and key not in consumed:
+            cache.misses += 1
+            hit = False
+        else:
+            cache.hits += 1
+            hit = True
+        consumed.add(key)
+        return replace(stored, function_name=before.name), hit
+
+    results: List[Tuple[Module, ValidationReport]] = []
+    for module_plan in plan.modules:
+        for function_plan in module_plan.work:
+            chain_stats = execution.chain_stats_by_signature.pop(
+                function_plan.chain_signature, None)
+            if chain_stats is not None:
+                # Attached to the (first) function whose chain item
+                # actually ran — the same function whose lazy chain the
+                # serial path would have built.
+                function_plan.record.chain_stats = chain_stats
+            if plan.strategy == "whole":
+                kept = run_whole(function_plan.function, function_plan.versions[-1],
+                                 provider, function_plan.record)
+            elif plan.strategy == "stepwise":
+                kept = run_stepwise(function_plan.function, function_plan.versions,
+                                    function_plan.steps, provider,
+                                    function_plan.record)
+            else:
+                kept = run_bisect(function_plan.function, function_plan.versions,
+                                  function_plan.steps, provider,
+                                  function_plan.record)
+            if kept is function_plan.function:
+                module_plan.result_module.add_function(
+                    clone_function(function_plan.function,
+                                   value_map=module_plan.global_map))
+            else:
+                remap_globals(kept, module_plan.global_map)
+                module_plan.result_module.add_function(kept)
+        remap_function_refs(module_plan.result_module)
+        results.append((module_plan.result_module, module_plan.report))
+    return results, inline_validations
+
+
+__all__ = [
+    "merge_stats",
+    "run_whole",
+    "run_stepwise",
+    "run_bisect",
+    "settle_chain_results",
+    "settle_plan",
+    "remap_globals",
+    "remap_function_refs",
+]

@@ -155,13 +155,27 @@ class TestChainComparisonExperiment:
 
 
 class TestPerfGuardAndTriageCLIs:
-    def test_perf_guard_flatten_and_gate(self, tmp_path):
-        import json
+    @staticmethod
+    def _guard_runner(artifact_path, baseline_path):
         import pathlib
         import subprocess
         import sys
 
         root = pathlib.Path(__file__).resolve().parent.parent
+
+        def run(*extra):
+            return subprocess.run(
+                [sys.executable, str(root / "benchmarks" / "perf_guard.py"),
+                 "--artifact", str(artifact_path), "--baseline", str(baseline_path),
+                 *extra],
+                capture_output=True, text=True,
+                env={"PYTHONPATH": str(root / "src"), "PATH": "/usr/bin:/bin"})
+
+        return run
+
+    def test_perf_guard_flatten_and_gate_single_scale(self, tmp_path):
+        import json
+
         artifact = {
             "schema": 1, "scale": 0.2,
             "totals": {"chain": {"nodes_built": 100, "nodes_created": 120,
@@ -172,14 +186,7 @@ class TestPerfGuardAndTriageCLIs:
         artifact_path = tmp_path / "chain_graphs.json"
         artifact_path.write_text(json.dumps(artifact))
         baseline_path = tmp_path / "baseline.json"
-
-        def run(*extra):
-            return subprocess.run(
-                [sys.executable, str(root / "benchmarks" / "perf_guard.py"),
-                 "--artifact", str(artifact_path), "--baseline", str(baseline_path),
-                 *extra],
-                capture_output=True, text=True,
-                env={"PYTHONPATH": str(root / "src"), "PATH": "/usr/bin:/bin"})
+        run = self._guard_runner(artifact_path, baseline_path)
 
         assert run("--update-baseline").returncode == 0
         assert run().returncode == 0  # identical counters pass
@@ -191,6 +198,61 @@ class TestPerfGuardAndTriageCLIs:
         artifact["totals"]["chain"]["rule_invocations"] = 400  # improvement
         artifact_path.write_text(json.dumps(artifact))
         assert run().returncode == 0
+
+    def test_perf_guard_trendline_gates_super_linear_growth(self, tmp_path):
+        import json
+
+        def totals(factor):
+            return {"chain": {"nodes_built": 100 * factor,
+                              "nodes_created": 120 * factor,
+                              "rule_invocations": 500 * factor,
+                              "normalize_runs": 5 * factor},
+                    "per_pair": {"nodes_built": 200 * factor,
+                                 "nodes_created": 240 * factor,
+                                 "rule_invocations": 900 * factor,
+                                 "normalize_runs": 11 * factor}}
+
+        artifact = {
+            "schema": 2, "scale": 0.2, "scales": ["0.1", "0.2"],
+            "totals": totals(2),
+            "runs": {"0.1": {"totals": totals(1)},
+                     "0.2": {"totals": totals(2)}},
+        }
+        artifact_path = tmp_path / "chain_graphs.json"
+        artifact_path.write_text(json.dumps(artifact))
+        baseline_path = tmp_path / "baseline.json"
+        run = self._guard_runner(artifact_path, baseline_path)
+
+        assert run("--update-baseline").returncode == 0
+        baseline = json.loads(baseline_path.read_text())
+        assert baseline["schema"] == 2
+        assert baseline["growth"]["chain.rule_invocations"] == 2.0
+        assert run().returncode == 0  # identical counters and growth pass
+
+        # Super-linear growth regression: both absolutes stay within the
+        # 10% tolerance (-5% and +9%) but the growth ratio climbs from
+        # 2.0x to ~2.29x (+15%) — only the trendline gate catches it.
+        artifact["runs"]["0.1"]["totals"]["chain"]["rule_invocations"] = 475
+        artifact["runs"]["0.2"]["totals"]["chain"]["rule_invocations"] = 1090
+        artifact["totals"]["chain"]["rule_invocations"] = 1090
+        artifact_path.write_text(json.dumps(artifact))
+        regression = run()
+        assert regression.returncode == 1
+        assert "super-linear" in regression.stderr
+
+        # Sub-linear improvement never fails.
+        artifact["runs"]["0.2"]["totals"]["chain"]["rule_invocations"] = 900
+        artifact["totals"]["chain"]["rule_invocations"] = 900
+        artifact_path.write_text(json.dumps(artifact))
+        assert run().returncode == 0
+
+        # Scale-set mismatch is an error, not silently ungated.
+        artifact["runs"] = {"0.1": {"totals": totals(1)}}
+        artifact["scales"] = ["0.1"]
+        artifact_path.write_text(json.dumps(artifact))
+        mismatch = run()
+        assert mismatch.returncode == 1
+        assert "scales" in mismatch.stderr
 
     def test_blame_triage_harvests_artifacts(self, tmp_path):
         import importlib.util

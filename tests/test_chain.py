@@ -196,9 +196,9 @@ class TestValidateChain:
         # enabled configuration, natural fixpoint or not.
         assert not outcome.pair_results[0].is_success
         assert not outcome.rejects_trusted
-        from repro.validator.driver import _settle_chain_results
+        from repro.validator.scheduler import settle_chain_results
 
-        settled, _ = _settle_chain_results(outcome, versions, DEFAULT_CONFIG)
+        settled, _ = settle_chain_results(outcome, versions, DEFAULT_CONFIG)
         assert settled[0] is not None and settled[0].is_success
         assert settled[0].reason == isolated.reason
 

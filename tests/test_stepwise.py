@@ -8,7 +8,12 @@ from dataclasses import replace
 import pytest
 
 from repro.analysis import AnalysisManager, function_fingerprint
-from repro.bench import sharded_comparison, small_test_corpus, stepwise_comparison
+from repro.bench import (
+    executor_comparison,
+    sharded_comparison,
+    small_test_corpus,
+    stepwise_comparison,
+)
 from repro.errors import IrreducibleCFGError
 from repro.ir import Interpreter, clone_function, parse_function
 from repro.transforms import PAPER_PIPELINE, PassManager, checkpoint_chain
@@ -492,6 +497,202 @@ class TestPoolPayloadPickleSafety:
         _, serial = llvm_md(mini_corpus, PAPER_PIPELINE, strategy="stepwise")
         assert [r.signature() for r in serial.records] == \
                [r.signature() for r in report.records]
+
+
+class TestExecutorBackends:
+    """``config.executor`` picks a scheduling backend; backends may change
+    where and in what order queries run, never what they decide."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("executor,concurrency", [
+        ("serial", 0), ("pool", 2), ("wave", 0), ("wave", 2),
+    ])
+    def test_backend_records_identical(self, mini_corpus, strategy, executor,
+                                       concurrency):
+        _, serial = llvm_md(mini_corpus, PAPER_PIPELINE, strategy=strategy)
+        config = replace(DEFAULT_CONFIG, executor=executor, concurrency=concurrency)
+        (_, report), = validate_module_batch(
+            [mini_corpus], config=config, strategy=strategy)
+        assert [r.signature() for r in serial.records] == \
+               [r.signature() for r in report.records]
+        assert report.shard_stats["executor"] == executor
+
+    def test_wave_cancels_doomed_pairs_on_high_rejection(self, mini_corpus):
+        # The point of the wave backend: with a rejecting pipeline, the
+        # pairs after a function's first rejection are never validated —
+        # the eager schedule pays for all of them.
+        _, serial = llvm_md(mini_corpus, BUGGY_PIPELINE, strategy="stepwise")
+        eager_config = replace(DEFAULT_CONFIG, executor="serial",
+                               chain_graphs=False)
+        (_, eager), = validate_module_batch(
+            [mini_corpus], BUGGY_PIPELINE, config=eager_config, strategy="stepwise")
+        wave_config = replace(DEFAULT_CONFIG, executor="wave")
+        (_, wave), = validate_module_batch(
+            [mini_corpus], BUGGY_PIPELINE, config=wave_config, strategy="stepwise")
+        assert [r.signature() for r in serial.records] == \
+               [r.signature() for r in wave.records] == \
+               [r.signature() for r in eager.records]
+        assert wave.shard_stats["waves"] > 0
+        assert wave.shard_stats["waves_cancelled"] > 0
+        assert wave.shard_stats["speculative_pairs_skipped"] > 0
+        # Fewer distinct queries answered than the eager per-pair schedule.
+        assert wave.shard_stats["distinct_pairs"] < eager.shard_stats["distinct_pairs"]
+
+    def test_wave_on_accepting_pipeline_cancels_nothing(self, mini_corpus):
+        config = replace(DEFAULT_CONFIG, executor="wave")
+        (_, report), = validate_module_batch(
+            [mini_corpus], PAPER_PIPELINE, config=config, strategy="stepwise")
+        rejected = [r for r in report.records if r.transformed and not r.validated]
+        if not rejected:
+            assert report.shard_stats["waves_cancelled"] == 0
+            assert report.shard_stats["speculative_pairs_skipped"] == 0
+        # Waves ran as deep as the longest accepting chain.
+        longest = max((r.changed_steps for r in report.records if r.transformed),
+                      default=0)
+        assert report.shard_stats["waves"] >= min(longest, 1)
+
+    def test_llvm_md_delegates_on_wave_executor(self, mini_corpus):
+        config = replace(DEFAULT_CONFIG, executor="wave")
+        _, report = llvm_md(mini_corpus, PAPER_PIPELINE, config, strategy="stepwise")
+        assert report.shard_stats is not None
+        assert report.shard_stats["executor"] == "wave"
+        _, serial = llvm_md(mini_corpus, PAPER_PIPELINE, strategy="stepwise")
+        assert [r.signature() for r in serial.records] == \
+               [r.signature() for r in report.records]
+
+    def test_invalid_executor_combinations_rejected_at_config_time(self):
+        with pytest.raises(ValueError, match="pool"):
+            replace(DEFAULT_CONFIG, executor="pool", concurrency=1)
+        with pytest.raises(ValueError, match="pool"):
+            replace(DEFAULT_CONFIG, executor="pool")
+        with pytest.raises(ValueError, match="serial"):
+            replace(DEFAULT_CONFIG, executor="serial", concurrency=4)
+        with pytest.raises(ValueError, match="unknown executor"):
+            replace(DEFAULT_CONFIG, executor="bogus")
+        # Valid combinations construct fine.
+        replace(DEFAULT_CONFIG, executor="wave")
+        replace(DEFAULT_CONFIG, executor="wave", concurrency=4)
+        replace(DEFAULT_CONFIG, executor="pool", concurrency=2)
+        replace(DEFAULT_CONFIG, executor="serial", concurrency=1)
+
+    def test_executor_comparison_experiment(self):
+        rows = executor_comparison(scale=0.2, benchmarks=["sqlite", "mcf"],
+                                   concurrency=2)
+        assert [row["benchmark"] for row in rows] == ["sqlite", "mcf"]
+        for row in rows:
+            assert row["identical"], row["mismatches"]
+            assert row["serial_pairs"] > 0
+            assert row["wave_pairs"] <= row["serial_pairs"]
+            assert row["wave_pairs_saved"] == row["serial_pairs"] - row["wave_pairs"]
+
+
+class TestFaultInjection:
+    """Workers that die or raise mid-batch degrade to serial losslessly:
+    records stay identical and no cache query is lost or double-counted."""
+
+    @staticmethod
+    def _flaky_pool_class(error: BaseException, yield_before_failure: int = 1):
+        """A fake ProcessPoolExecutor whose map dies after a few results."""
+
+        class FlakyPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def map(self, fn, items, chunksize=1):
+                items = list(items)
+
+                def generate():
+                    for index, item in enumerate(items):
+                        if index >= yield_before_failure:
+                            raise error
+                        yield fn(item)
+
+                return generate()
+
+            def shutdown(self, *args, **kwargs):
+                pass
+
+        return FlakyPool
+
+    @pytest.mark.parametrize("executor", ["pool", "wave"])
+    def test_worker_death_mid_batch_degrades_losslessly(self, mini_corpus,
+                                                        monkeypatch, executor):
+        import concurrent.futures
+        from concurrent.futures.process import BrokenProcessPool
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor",
+            self._flaky_pool_class(BrokenProcessPool("worker died mid-wave")))
+        clean_cache = ValidationCache()
+        (_, clean), = validate_module_batch(
+            [mini_corpus], BUGGY_PIPELINE,
+            config=replace(DEFAULT_CONFIG, executor="serial"),
+            cache=clean_cache, strategy="stepwise")
+        flaky_cache = ValidationCache()
+        config = replace(DEFAULT_CONFIG, executor=executor, concurrency=2)
+        (_, report), = validate_module_batch(
+            [mini_corpus], BUGGY_PIPELINE, config=config,
+            cache=flaky_cache, strategy="stepwise")
+        assert [r.signature() for r in clean.records] == \
+               [r.signature() for r in report.records]
+        assert report.shard_stats["pool_degraded"] >= 1
+        assert report.shard_stats["workers"] == 0  # nothing ran pooled
+        # No lost or double-counted cache queries: the degraded run's
+        # consumed-query ledger is identical to the clean serial run's.
+        # (``entries`` may differ — the wave backend legitimately stores
+        # fewer verdicts than the eager schedule.)
+        assert flaky_cache.hits == clean_cache.hits
+        assert flaky_cache.misses == clean_cache.misses
+        assert flaky_cache.misses <= len(flaky_cache)
+
+    def test_worker_exception_mid_batch_degrades_losslessly(self, mini_corpus,
+                                                            monkeypatch):
+        import concurrent.futures
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor",
+            self._flaky_pool_class(RuntimeError("worker raised mid-batch")))
+        clean_cache = ValidationCache()
+        (_, clean), = validate_module_batch(
+            [mini_corpus], PAPER_PIPELINE,
+            config=replace(DEFAULT_CONFIG, executor="serial"),
+            cache=clean_cache, strategy="stepwise")
+        flaky_cache = ValidationCache()
+        config = replace(DEFAULT_CONFIG, executor="pool", concurrency=2)
+        (_, report), = validate_module_batch(
+            [mini_corpus], PAPER_PIPELINE, config=config,
+            cache=flaky_cache, strategy="stepwise")
+        assert [r.signature() for r in clean.records] == \
+               [r.signature() for r in report.records]
+        assert report.shard_stats["pool_degraded"] >= 1
+        assert flaky_cache.stats() == clean_cache.stats()
+
+    def test_degraded_run_consumes_every_query_once(self, mini_corpus,
+                                                    monkeypatch):
+        # Each transformed function's consumed queries are counted exactly
+        # once as hit or miss even after a mid-batch degradation: misses
+        # equal the distinct entries actually stored, and every consumed
+        # key was counted.
+        import concurrent.futures
+        from concurrent.futures.process import BrokenProcessPool
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor",
+            self._flaky_pool_class(BrokenProcessPool("boom"), 2))
+        cache = ValidationCache()
+        config = replace(DEFAULT_CONFIG, executor="wave", concurrency=2)
+        (_, report), = validate_module_batch(
+            [mini_corpus], BUGGY_PIPELINE, config=config,
+            cache=cache, strategy="stepwise")
+        assert cache.misses <= len(cache)
+        assert cache.misses > 0
+        # A second identical sweep answers everything from the cache.
+        (_, second), = validate_module_batch(
+            [mini_corpus], BUGGY_PIPELINE, config=config,
+            cache=cache, strategy="stepwise")
+        assert [r.signature() for r in report.records] == \
+               [r.signature() for r in second.records]
+        assert all(r.from_cache for r in second.records if r.transformed)
 
 
 class TestAnalysisEviction:
