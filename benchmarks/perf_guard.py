@@ -23,6 +23,14 @@ with ``--update-baseline`` after an intentional perf change and commit
 it.  Single-scale (schema 1) artifacts/baselines are still accepted —
 they simply have no trendline to gate.
 
+When a ``benchmarks/artifacts/proof_store.json`` artifact is present
+(produced by ``bench_proof_store.py``), the guard additionally checks
+the proof-store I/O comparison it carries: the warm ``sqlite`` run's
+total store I/O bytes must be below the warm ``json`` run's, and its
+lazily faulted entry count must be strictly below the store's entry
+count.  A missing artifact skips this gate with a note — the counter
+baseline gate runs either way.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_chain_graphs.py --scales 0.1 0.2 0.3
@@ -93,11 +101,44 @@ def _growth(per_scale: dict) -> dict:
     return growth
 
 
+def _check_proof_store(path: pathlib.Path) -> list:
+    """Gate the proof-store artifact's warm-run I/O comparison, if present.
+
+    Returns failure strings; an absent artifact is a skip (with a note),
+    not a failure — the proof-store benchmark is optional in local runs.
+    """
+    if not path.exists():
+        print(f"proof-store gate skipped: no artifact at {path} "
+              f"(run bench_proof_store.py to produce one)")
+        return []
+    summary = json.loads(path.read_text()).get("summary", {})
+    sqlite_io = int(summary.get("warm_sqlite_io_bytes", 0))
+    json_io = int(summary.get("warm_json_io_bytes", 0))
+    lazy = int(summary.get("warm_sqlite_lazy_loads", 0))
+    entries = int(summary.get("warm_sqlite_entries", 0))
+    print(f"proof store: warm sqlite I/O {sqlite_io} bytes vs json {json_io} "
+          f"bytes; {lazy}/{entries} entries faulted")
+    failures = []
+    if sqlite_io >= json_io:
+        failures.append(
+            f"proof store: warm sqlite store I/O ({sqlite_io} bytes) is not "
+            f"below warm json ({json_io} bytes) — lazy faulting regressed")
+    if entries and lazy >= entries:
+        failures.append(
+            f"proof store: warm sqlite run faulted {lazy} of {entries} stored "
+            f"entries — the warm sweep should touch strictly fewer")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--artifact", type=pathlib.Path,
                         default=pathlib.Path("benchmarks/artifacts/chain_graphs.json"),
                         help="chain_graphs artifact to check")
+    parser.add_argument("--proof-store-artifact", type=pathlib.Path,
+                        default=pathlib.Path("benchmarks/artifacts/proof_store.json"),
+                        help="proof-store artifact to gate when present "
+                             "(see bench_proof_store.py)")
     parser.add_argument("--baseline", type=pathlib.Path,
                         default=pathlib.Path("benchmarks/perf_baseline.json"),
                         help="committed counter baseline")
@@ -196,6 +237,8 @@ def main() -> int:
                     f"growth {name}: x{actual:.3f} vs baseline x{expected:.3f} "
                     f"({delta:+.1%} > {args.growth_tolerance:.0%} tolerance) — "
                     f"super-linear scaling regression")
+
+    failures += _check_proof_store(args.proof_store_artifact)
 
     if failures:
         print("\nPERF REGRESSION:", file=sys.stderr)

@@ -26,12 +26,13 @@ decides.
 With ``--executor-parity`` (the default; ``--no-executor-parity``
 disables) it additionally runs the
 :func:`repro.bench.executor_comparison` experiment over all twelve
-corpora and fails unless the ``serial``, ``pool`` and ``wave``
-scheduling backends produced identical per-function record signatures —
-a backend may change where and in what order queries run, never what
-they decide.  The table also reports the wave backend's speculative
-savings (validated pairs avoided by cancelling the doomed later waves of
-rejected functions).
+corpora and fails unless the ``serial``, ``pool``, ``wave`` and
+``steal`` scheduling backends produced identical per-function record
+signatures — a backend may change where and in what order queries run,
+never what they decide.  The table also reports the wave backend's
+speculative savings (validated pairs avoided by cancelling the doomed
+later waves of rejected functions) and the steal backend's deque
+traffic (``items_stolen`` / ``steal_attempts``).
 
 Run with::
 
@@ -68,8 +69,8 @@ def main() -> int:
                         help="skip the chain-parity check")
     parser.add_argument("--executor-parity", dest="executor_parity",
                         action="store_true", default=True,
-                        help="check serial/pool/wave backend record parity "
-                             "(the default)")
+                        help="check serial/pool/wave/steal backend record "
+                             "parity (the default)")
     parser.add_argument("--no-executor-parity", dest="executor_parity",
                         action="store_false",
                         help="skip the executor-parity check")
@@ -91,7 +92,7 @@ def main() -> int:
         executor_rows = executor_comparison(
             scale=args.scale, concurrency=max(2, args.shard_concurrency))
     args.out.parent.mkdir(parents=True, exist_ok=True)
-    payload = {"schema": 4, "scale": args.scale, "rows": rows,
+    payload = {"schema": 5, "scale": args.scale, "rows": rows,
                "shard_concurrency": args.shard_concurrency,
                "shard_rows": shard_rows,
                "chain_parity": args.chain_parity,
@@ -151,16 +152,20 @@ def main() -> int:
     if executor_rows:
         executor_columns = ("benchmark", "transformed", "identical",
                             "serial_pairs", "wave_pairs", "wave_pairs_saved",
-                            "waves", "waves_cancelled", "serial_time_s",
-                            "wave_time_s")
+                            "waves", "waves_cancelled", "steal_pairs",
+                            "items_stolen", "steal_attempts", "serial_time_s",
+                            "wave_time_s", "steal_time_s")
         print()
         print(format_table([{k: row[k] for k in executor_columns}
                             for row in executor_rows],
-                           title="Serial vs pool vs wave scheduling backends"))
+                           title="Serial vs pool vs wave vs steal scheduling backends"))
         saved = sum(row["wave_pairs_saved"] for row in executor_rows)
         total = sum(row["serial_pairs"] for row in executor_rows)
+        stolen = sum(row["items_stolen"] for row in executor_rows)
+        attempts = sum(row["steal_attempts"] for row in executor_rows)
         print(f"wave backend answered {saved} fewer queries than the eager "
-              f"schedule ({total} -> {total - saved})")
+              f"schedule ({total} -> {total - saved}); steal backend moved "
+              f"{stolen} items across deques in {attempts} steal attempts")
         for row in executor_rows:
             if not row["identical"]:
                 failures.append(
@@ -178,7 +183,8 @@ def main() -> int:
     if chain_rows:
         message += "; chain-graph records matched the per-pair oracle on every corpus"
     if executor_rows:
-        message += "; serial/pool/wave backends produced identical records on every corpus"
+        message += ("; serial/pool/wave/steal backends produced identical "
+                    "records on every corpus")
     print(f"\n{message}")
     return 0
 

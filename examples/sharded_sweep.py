@@ -15,12 +15,20 @@ paper's per-function validator:
   anything;
 * **backend selection** — ``config.executor`` picks the scheduling
   backend: ``"serial"``, ``"pool"`` (the process-pool default when
-  ``concurrency > 1``) or ``"wave"`` (speculative pipeline-position
-  waves).  The final section sweeps a *high-rejection* pipeline (one
-  pass deliberately miscompiles) through the eager pool schedule and
-  through waves: the wave backend cancels the later pairs of every
-  function whose pair already rejected, so it answers measurably fewer
-  queries for byte-identical per-function records.
+  ``concurrency > 1``), ``"wave"`` (speculative pipeline-position
+  waves) or ``"steal"`` (persistent work-stealing pool).  One section
+  sweeps a *high-rejection* pipeline (one pass deliberately
+  miscompiles) through the eager pool schedule and through waves: the
+  wave backend cancels the later pairs of every function whose pair
+  already rejected, so it answers measurably fewer queries for
+  byte-identical per-function records;
+* **work stealing + the sqlite proof store** — the final section runs
+  the same cold/warm cycle with ``executor="steal"`` and
+  ``cache_backend="sqlite"``: idle workers steal queued items from the
+  most-loaded peer (``items_stolen`` / ``steal_attempts``), the store
+  flushes proved pairs incrementally instead of rewriting one JSON
+  blob (``store_flushes``), and the warm run faults only the rows it
+  actually consults (``store_lazy_loads``).
 
 Run with::
 
@@ -67,9 +75,20 @@ def sweep(modules, labels, config, title, passes=None):
               f"{shard.get('waves_cancelled', 0)} function-wave slots "
               f"cancelled, {shard.get('speculative_pairs_skipped', 0)} "
               f"planned pairs never validated")
+    if shard.get("executor") == "steal":
+        print(f"  stealing           : {shard.get('items_stolen', 0)} items "
+              f"stolen in {shard.get('steal_attempts', 0)} attempts, "
+              f"{shard.get('speculative_pairs_skipped', 0)} doomed pairs "
+              f"cancelled off the queue")
     print(f"  cache              : {cache.get('hits', 0)} hits / "
           f"{cache.get('misses', 0)} misses "
           f"({cache.get('disk_loaded', 0)} loaded from disk)")
+    if "store_flushes" in cache:
+        print(f"  proof store        : "
+              f"{cache.get('store_flushes', 0)} flushes, "
+              f"{cache.get('store_lazy_loads', 0)} entries lazily faulted, "
+              f"{cache.get('store_bytes_written', 0)} B written / "
+              f"{cache.get('store_bytes_read', 0)} B read")
     print()
     return results
 
@@ -124,7 +143,29 @@ def main() -> None:
         [r.signature() for _, rep in wave for r in rep.records])
     print(f"wave vs eager: {wave_pairs} vs {eager_pairs} queries answered "
           f"({eager_pairs - wave_pairs} saved by cancelling doomed pairs); "
-          f"records identical: {identical}")
+          f"records identical: {identical}\n")
+
+    # Work stealing over the sqlite proof store: the same cold/warm cycle
+    # as the first section, but idle workers steal queued items from the
+    # most-loaded peer and the cache persists through incremental sqlite
+    # upserts instead of whole-file JSON rewrites — so the warm run
+    # faults in only the rows it actually consults.
+    with tempfile.TemporaryDirectory(prefix="repro-sqlite-") as cache_dir:
+        steal_config = replace(DEFAULT_CONFIG, concurrency=workers,
+                               executor="steal", cache_dir=cache_dir,
+                               cache_backend="sqlite")
+        modules = [build_corpus(BENCHMARKS_BY_NAME[name], scale) for name in labels]
+        sweep(modules, labels, steal_config,
+              "Cold sweep, work-stealing backend + sqlite proof store")
+        modules = [build_corpus(BENCHMARKS_BY_NAME[name], scale) for name in labels]
+        results = sweep(modules, labels, steal_config,
+                        "Warm sweep, work-stealing backend + sqlite proof store")
+
+        cache = results[-1][1].cache_stats or {}
+        loaded = cache.get("disk_loaded", 0)
+        lazy = cache.get("store_lazy_loads", 0)
+        print(f"warm sqlite run: faulted {lazy} of {loaded} stored entries "
+              f"lazily — {loaded - lazy} proofs never left the database")
 
 
 if __name__ == "__main__":

@@ -493,14 +493,14 @@ def executor_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] 
                         config: Optional[ValidatorConfig] = None,
                         concurrency: int = 2,
                         strategy: str = "stepwise") -> List[Dict[str, object]]:
-    """Serial vs pool vs wave scheduling backends on identical inputs.
+    """Serial vs pool vs wave vs steal scheduling backends on identical inputs.
 
     For every corpus, validates the module through
     ``validate_module_batch`` once per backend (``config.executor`` set
-    to ``"serial"``, ``"pool"`` and ``"wave"``) and compares the
-    per-function *record signatures* — a backend may only change where
-    and in what order queries run, never what they decide, so
-    ``identical`` must be true on every row (the CI executor-parity
+    to ``"serial"``, ``"pool"``, ``"wave"`` and ``"steal"``) and
+    compares the per-function *record signatures* — a backend may only
+    change where and in what order queries run, never what they decide,
+    so ``identical`` must be true on every row (the CI executor-parity
     guard enforces exactly that over all twelve corpora).
 
     Each row also carries the scheduling telemetry that makes the wave
@@ -510,7 +510,11 @@ def executor_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] 
     ``wave_pairs_saved`` — how many fewer queries the wave backend
     answered than the eager serial schedule.  On a high-rejection corpus
     the saving is the point of the backend; on an all-accepting corpus
-    it is legitimately zero (no wave is ever cancelled).
+    it is legitimately zero (no wave is ever cancelled).  The steal
+    backend reports its own discipline: ``items_stolen`` /
+    ``steal_attempts`` (how often idle workers raided a sibling's deque)
+    and ``steal_pairs_skipped`` (pairs its streaming cancellation never
+    ran).
     """
     base = config or DEFAULT_CONFIG
     workers = max(2, concurrency)
@@ -518,6 +522,7 @@ def executor_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] 
         "serial": _dc_replace(base, executor="serial", concurrency=0),
         "pool": _dc_replace(base, executor="pool", concurrency=workers),
         "wave": _dc_replace(base, executor="wave", concurrency=workers),
+        "steal": _dc_replace(base, executor="steal", concurrency=workers),
     }
     rows: List[Dict[str, object]] = []
     for spec in _selected_specs(benchmarks):
@@ -537,11 +542,13 @@ def executor_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] 
                 "waves": shard.get("waves", 0),
                 "waves_cancelled": shard.get("waves_cancelled", 0),
                 "pairs_skipped": shard.get("speculative_pairs_skipped", 0),
+                "items_stolen": shard.get("items_stolen", 0),
+                "steal_attempts": shard.get("steal_attempts", 0),
                 "transformed": report.transformed_functions,
                 "time_s": round(elapsed, 3),
             }
         mismatches = []
-        for name in ("pool", "wave"):
+        for name in ("pool", "wave", "steal"):
             mismatches += [f"{signature['name']} ({name})"
                            for signature, other in zip(signatures["serial"],
                                                        signatures[name])
@@ -562,9 +569,14 @@ def executor_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] 
             "waves": per_backend["wave"]["waves"],
             "waves_cancelled": per_backend["wave"]["waves_cancelled"],
             "pairs_skipped": per_backend["wave"]["pairs_skipped"],
+            "steal_pairs": per_backend["steal"]["distinct_pairs"],
+            "items_stolen": per_backend["steal"]["items_stolen"],
+            "steal_attempts": per_backend["steal"]["steal_attempts"],
+            "steal_pairs_skipped": per_backend["steal"]["pairs_skipped"],
             "serial_time_s": per_backend["serial"]["time_s"],
             "pool_time_s": per_backend["pool"]["time_s"],
             "wave_time_s": per_backend["wave"]["time_s"],
+            "steal_time_s": per_backend["steal"]["time_s"],
         })
     return rows
 
@@ -652,7 +664,8 @@ def cache_persistence(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = 
                       config: Optional[ValidatorConfig] = None,
                       cache_dir: Optional[str] = None,
                       strategy: str = "stepwise",
-                      runs: Sequence[str] = ("cold", "warm")) -> List[Dict[str, object]]:
+                      runs: Sequence[str] = ("cold", "warm"),
+                      cache_backend: str = "auto") -> List[Dict[str, object]]:
     """Cold vs warm corpus sweeps through one persistent validation cache.
 
     Each requested run sweeps *all* selected corpora through a single
@@ -664,7 +677,11 @@ def cache_persistence(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = 
     the disk backend, so ``checks`` collapses toward zero — the
     acceptance criterion is a ≥95% reduction, reported per row as
     ``hit_rate``.  ``cache_dir`` is required (callers pass a temp dir or
-    CI's artifact directory).
+    CI's artifact directory).  ``cache_backend`` selects the proof-store
+    backend (``"json"`` eagerly loads the whole file; ``"sqlite"``
+    faults entries lazily, so a warm row additionally shows
+    ``store_lazy_loads`` strictly below the entry count and far fewer
+    ``store_bytes_read`` than the JSON file).
     """
     if cache_dir is None:
         raise ValueError("cache_persistence needs a cache_dir to persist into")
@@ -674,7 +691,7 @@ def cache_persistence(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = 
     rows: List[Dict[str, object]] = []
     for run in runs:
         modules = [build_corpus(spec, scale) for spec in specs]
-        cache = ValidationCache(cache_dir)
+        cache = ValidationCache(cache_dir, backend=cache_backend)
         start = time.perf_counter()
         reports = validate_module_batch(
             modules, passes, run_config, labels=[spec.name for spec in specs],
@@ -683,8 +700,10 @@ def cache_persistence(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = 
         shard_stats = reports[-1][1].shard_stats or {}
         checks = shard_stats.get("distinct_pairs", 0) + shard_stats.get("inline_validations", 0)
         lookups = cache.hits + cache.misses
+        store_counters = cache.stats()
         rows.append({
             "run": run,
+            "backend": cache.backend,
             "benchmarks": len(specs),
             "functions": sum(report.total_functions for _, report in reports),
             "transformed": sum(report.transformed_functions for _, report in reports),
@@ -695,6 +714,10 @@ def cache_persistence(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = 
             "hit_rate": round(cache.hits / lookups, 4) if lookups else 1.0,
             "disk_loaded": cache.loaded,
             "entries": len(cache),
+            "store_lazy_loads": store_counters.get("store_lazy_loads", 0),
+            "store_flushes": store_counters.get("store_flushes", 0),
+            "store_bytes_read": store_counters.get("store_bytes_read", 0),
+            "store_bytes_written": store_counters.get("store_bytes_written", 0),
             "time_s": round(elapsed, 3),
         })
     return rows

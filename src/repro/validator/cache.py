@@ -1,4 +1,4 @@
-"""The content-addressed validation cache and its on-disk backend.
+"""The content-addressed validation cache and its on-disk proof stores.
 
 :class:`ValidationCache` memoizes validation verdicts by function-pair
 *content*: the key is ``(original-hash, optimized-hash, rule-groups,
@@ -9,59 +9,110 @@ pays for the distinct pairs; stepwise validation feeds each adjacent
 checkpoint pair through the same keying, so repeated single-pass effects
 are also validated once.
 
-On top of the in-memory map this module adds a *persistent* backend: a
-cache constructed with a ``path`` loads previously proved pairs from a
-versioned JSON file and :meth:`ValidationCache.save` writes them back
-(atomically, merging with whatever another process stored in the
-meantime).  Because keys are content hashes, a cache file survives across
-processes, machines and repository checkouts: CI's warm run and repeated
-corpus sweeps skip every previously proved pair.  The loader is tolerant
-by design — a corrupted file, an unknown schema version or a malformed
-entry is *ignored* (the cache starts cold), never an error: losing a cache
-can only cost time, trusting a broken one could cost correctness.
+On top of the in-memory map this module adds *persistent* proof stores
+behind a pluggable backend seam:
+
+``json`` (:class:`JsonStore`)
+    The historical whole-file format: every entry is loaded eagerly at
+    construction and :meth:`ValidationCache.save` rewrites the file
+    atomically (temp file + rename, under an exclusive ``flock`` so
+    concurrent savers merge instead of clobbering each other).
+
+``sqlite`` (:class:`SqliteStore`)
+    An incremental store for caches too large to (de)serialize per run:
+    WAL-mode SQLite, entries faulted in **lazily** as :meth:`get` /
+    :meth:`peek` ask for them, verdicts upserted in small batches as they
+    arrive, and the ``max_bytes`` budget enforced by a least-recently-hit
+    ``DELETE`` executed inside the database.  A one-shot migration from
+    the JSON format is provided by :func:`migrate_json_to_sqlite` (also
+    ``python -m repro.validator.cache migrate <dir>``).
+
+Because keys are content hashes, a store survives across processes,
+machines and repository checkouts: CI's warm run and repeated corpus
+sweeps skip every previously proved pair.  Both loaders are tolerant by
+design — a corrupted file, an unknown schema version or a malformed entry
+is *ignored* (the cache starts cold), and any store fault mid-run degrades
+to the in-memory tier: losing a cache can only cost time, trusting a
+broken one could cost correctness.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sqlite3
 import tempfile
 from dataclasses import asdict, replace
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+try:  # POSIX only; on platforms without flock JSON saves stay unlocked.
+    import fcntl
+except ImportError:  # pragma: no cover - exercised only off-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 from ..analysis.manager import function_fingerprint
 from ..ir.module import Function
-from .config import ValidatorConfig
+from .config import CACHE_BACKENDS, ValidatorConfig
 from .validate import ValidationResult
 
 #: Cache key: content hashes of both functions plus everything about the
 #: configuration that can change a verdict.
 CacheKey = Tuple[str, str, Tuple[str, ...], str, str, int, int]
 
-#: On-disk schema version.  Bump whenever the key derivation or the stored
-#: result format changes meaning; files with any other version are ignored.
+#: On-disk schema version of the JSON format.  Bump whenever the key
+#: derivation or the stored result format changes meaning; files with any
+#: other version are ignored.
 CACHE_SCHEMA = 1
 
-#: File name used when a cache is given a directory instead of a file.
+#: SQLite schema version, kept in ``PRAGMA user_version``.  A mismatching
+#: store is dropped and recreated cold, mirroring the JSON loader.
+SQLITE_SCHEMA = 1
+
+#: File name used when a JSON cache is given a directory instead of a file.
 CACHE_FILE_NAME = "validation_cache.json"
+
+#: File name used when a SQLite cache is given a directory.
+SQLITE_FILE_NAME = "validation_cache.sqlite"
+
+_SQLITE_SUFFIXES = (".sqlite", ".db")
+
+#: Dirty entries buffered before the SQLite store flushes them in one
+#: incremental upsert batch (verdicts stream to disk as they arrive
+#: instead of in a single end-of-run rewrite).
+_SQLITE_FLUSH_INTERVAL = 64
 
 #: The :class:`ValidationResult` fields a cache entry round-trips.
 _RESULT_FIELDS = ("function_name", "is_success", "reason", "elapsed",
                   "graph_nodes", "stats", "detail")
 
 
-def _resolve_cache_path(path: Union[str, os.PathLike]) -> Path:
-    """Resolve a user-supplied cache location to a concrete file path.
+def _resolve_cache_path(path: Union[str, os.PathLike],
+                        backend: str = "auto") -> Tuple[Path, str]:
+    """Resolve a user-supplied cache location to ``(file path, backend)``.
 
-    A path with a ``.json`` suffix is used as-is; anything else is treated
-    as a *cache directory* (created on save) holding the default file name,
-    which is what the drivers' ``config.cache_dir`` passes.
+    Explicit file suffixes select their format — a ``.json`` path is a
+    JSON store, a ``.sqlite`` / ``.db`` path a SQLite one — regardless of
+    ``backend``.  Anything else is treated as a *cache directory* (created
+    on first write) holding the chosen backend's default file name; under
+    ``"auto"`` an existing SQLite store (e.g. one produced by
+    :func:`migrate_json_to_sqlite`) is preferred and the historical JSON
+    file is the fallback, so seeds and existing workflows keep their
+    behavior until a store is explicitly migrated.
     """
     resolved = Path(path)
     if resolved.suffix == ".json":
-        return resolved
-    return resolved / CACHE_FILE_NAME
+        return resolved, "json"
+    if resolved.suffix in _SQLITE_SUFFIXES:
+        return resolved, "sqlite"
+    if backend == "json":
+        return resolved / CACHE_FILE_NAME, "json"
+    if backend == "sqlite":
+        return resolved / SQLITE_FILE_NAME, "sqlite"
+    sqlite_path = resolved / SQLITE_FILE_NAME
+    if sqlite_path.exists():
+        return sqlite_path, "sqlite"
+    return resolved / CACHE_FILE_NAME, "json"
 
 
 def _encode_key(key: CacheKey) -> str:
@@ -83,6 +134,13 @@ def _decode_key(text: str) -> CacheKey:
             matcher, engine, int(max_iter), int(rec_limit))
 
 
+def _encode_result(result: ValidationResult) -> str:
+    """Serialize the round-tripped fields of one result to JSON."""
+    payload = {name: value for name, value in asdict(result).items()
+               if name in _RESULT_FIELDS}
+    return json.dumps(payload, sort_keys=True)
+
+
 def _decode_result(payload: Dict[str, object]) -> ValidationResult:
     """Rebuild a :class:`ValidationResult` from its JSON dict; raises if bad."""
     kwargs = {name: payload[name] for name in _RESULT_FIELDS}
@@ -98,53 +156,406 @@ def _decode_result(payload: Dict[str, object]) -> ValidationResult:
     return result
 
 
+class JsonStore:
+    """The whole-file JSON proof store (the historical backend).
+
+    Eager: every entry is parsed at :meth:`load` time and :meth:`save`
+    rewrites the complete file.  The save sequence — read the file back,
+    merge our entries over it, evict to budget, write a temp file, rename
+    it into place — runs under an exclusive ``flock`` on a sibling
+    ``.lock`` file, so two processes saving the same path serialize their
+    merges instead of silently dropping each other's entries.  (The
+    rename alone made a save atomic; the lock makes concurrent saves
+    *lossless*.)  On platforms without :mod:`fcntl` the lock degrades to
+    the historical unlocked behavior.
+    """
+
+    backend = "json"
+    #: Eager stores materialize everything at open; the cache never
+    #: faults entries from them lazily.
+    eager = True
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        #: Entries decoded on demand (always 0 for the eager backend).
+        self.lazy_loads = 0
+        #: Completed file writes.
+        self.flushes = 0
+        #: Store faults survived by degrading (always 0: JSON load/save
+        #: tolerance predates the backend seam and reports nothing).
+        self.errors = 0
+        #: Serialized bytes read from / written to the file.
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def load(self) -> Dict[CacheKey, ValidationResult]:
+        """Read every entry, tolerating all the ways the file can be bad."""
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return {}
+        self.bytes_read += len(text)
+        return _parse_cache_text(text)
+
+    def fetch(self, key: CacheKey) -> Optional[ValidationResult]:
+        """Eager backend: everything was loaded up front, nothing to fault."""
+        return None
+
+    def save(self, entries: Dict[CacheKey, ValidationResult],
+             hit_stamp: Dict[CacheKey, int], max_bytes: int,
+             ) -> Tuple[Dict[CacheKey, ValidationResult], int, int]:
+        """Locked merge-and-rewrite; returns ``(merged, stored, evicted)``."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        lock = self._acquire_lock()
+        try:
+            merged = self.load()
+            merged.update(entries)
+            evicted = 0
+            if max_bytes:
+                evicted = _evict_to_budget(merged, hit_stamp, max_bytes)
+            payload = {
+                "schema": CACHE_SCHEMA,
+                "entries": {_encode_key(key): {name: value
+                                               for name, value in asdict(result).items()
+                                               if name in _RESULT_FIELDS}
+                            for key, result in merged.items()},
+            }
+            text = json.dumps(payload, sort_keys=True) + "\n"
+            fd, temp_name = tempfile.mkstemp(dir=str(self.path.parent),
+                                             prefix=self.path.name, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                os.replace(temp_name, self.path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+            self.flushes += 1
+            self.bytes_written += len(text)
+            return merged, len(merged), evicted
+        finally:
+            self._release_lock(lock)
+
+    def close(self) -> None:
+        pass
+
+    # The lock file sits beside the cache file and is never deleted:
+    # unlinking a lock file another process may be about to open would
+    # reintroduce exactly the race the lock exists to close.
+    def _acquire_lock(self):
+        if fcntl is None:
+            return None
+        try:
+            handle = open(self.path.with_name(self.path.name + ".lock"), "a+")
+        except OSError:
+            return None
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        except OSError:
+            handle.close()
+            return None
+        return handle
+
+    def _release_lock(self, handle) -> None:
+        if handle is None:
+            return
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
+
+class SqliteStore:
+    """Incremental WAL-mode SQLite proof store.
+
+    Lazy: opening the store reads *nothing* but a row count; entries are
+    faulted in one at a time as the cache asks for them, and dirty
+    verdicts are upserted in small batches as they arrive.  WAL mode
+    keeps concurrent readers unblocked while one writer commits, and a
+    busy timeout serializes concurrent writers, so several sweeps can
+    share one store.  The ``max_bytes`` budget is enforced *inside* the
+    database: a windowed ``DELETE`` keeps the most-recently-hit entries
+    whose cumulative logical size fits (the same per-entry footprint
+    measure as the JSON budget, without the file envelope).
+
+    Every fault — corruption discovered mid-run, a locked database that
+    outlives the busy timeout, a full disk — permanently degrades the
+    store to a no-op (``errors`` counts them) and the cache continues on
+    its in-memory tier with identical verdicts and an unchanged hit/miss
+    ledger.  A store that is *already* corrupt at open is discarded and
+    recreated cold instead, mirroring the JSON loader's tolerance.
+    """
+
+    backend = "sqlite"
+    eager = False
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.lazy_loads = 0
+        self.flushes = 0
+        self.errors = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self._conn: Optional[sqlite3.Connection] = None
+        self._broken = False
+
+    # -- connection management --------------------------------------------
+    def _connection(self) -> Optional[sqlite3.Connection]:
+        if self._broken:
+            return None
+        if self._conn is None:
+            try:
+                self._conn = self._open()
+            except (sqlite3.Error, OSError, ValueError):
+                # Pre-existing corruption: discard and start cold, like
+                # the JSON loader.  If even a fresh store cannot be
+                # opened, degrade to the in-memory tier.
+                try:
+                    self._discard_files()
+                    self._conn = self._open()
+                except (sqlite3.Error, OSError, ValueError):
+                    self._give_up()
+        return self._conn
+
+    def _open(self) -> sqlite3.Connection:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(str(self.path), timeout=10.0)
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            version = conn.execute("PRAGMA user_version").fetchone()[0]
+            if version != SQLITE_SCHEMA:
+                if version != 0:
+                    conn.execute("DROP TABLE IF EXISTS entries")
+                conn.execute(
+                    "CREATE TABLE IF NOT EXISTS entries ("
+                    " key TEXT PRIMARY KEY,"
+                    " payload TEXT NOT NULL,"
+                    " size INTEGER NOT NULL,"
+                    " last_hit INTEGER NOT NULL DEFAULT 0)")
+                conn.execute("PRAGMA user_version = %d" % SQLITE_SCHEMA)
+                conn.commit()
+        except BaseException:
+            conn.close()
+            raise
+        return conn
+
+    def _discard_files(self) -> None:
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(str(self.path) + suffix)
+            except OSError:
+                pass
+
+    def _give_up(self) -> None:
+        """Degrade permanently to the in-memory tier (never an error)."""
+        self._broken = True
+        self.errors += 1
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+
+    # -- store operations --------------------------------------------------
+    def entry_count(self) -> int:
+        conn = self._connection()
+        if conn is None:
+            return 0
+        try:
+            return int(conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0])
+        except (sqlite3.Error, OSError):
+            self._give_up()
+            return 0
+
+    def max_stamp(self) -> int:
+        """Largest recency stamp on disk — new stamps continue above it."""
+        conn = self._connection()
+        if conn is None:
+            return 0
+        try:
+            return int(conn.execute(
+                "SELECT COALESCE(MAX(last_hit), 0) FROM entries").fetchone()[0])
+        except (sqlite3.Error, OSError):
+            self._give_up()
+            return 0
+
+    def fetch(self, key: CacheKey) -> Optional[ValidationResult]:
+        """Fault one entry in from disk, or ``None`` (miss / degraded)."""
+        conn = self._connection()
+        if conn is None:
+            return None
+        try:
+            row = conn.execute("SELECT payload FROM entries WHERE key = ?",
+                               (_encode_key(key),)).fetchone()
+        except (sqlite3.Error, OSError):
+            self._give_up()
+            return None
+        if row is None:
+            return None
+        self.bytes_read += len(row[0])
+        try:
+            result = _decode_result(json.loads(row[0]))
+        except (KeyError, TypeError, ValueError):
+            return None  # one malformed entry never poisons the store
+        self.lazy_loads += 1
+        return result
+
+    def upsert(self, items: Iterable[Tuple[CacheKey, ValidationResult]],
+               hit_stamp: Dict[CacheKey, int]) -> int:
+        """Incrementally write a batch of entries; returns entries written."""
+        conn = self._connection()
+        if conn is None:
+            return 0
+        rows = [(_encode_key(key), _encode_result(result),
+                 _entry_size(key, result), hit_stamp.get(key, 0))
+                for key, result in items]
+        if not rows:
+            return 0
+        try:
+            conn.executemany(
+                "INSERT OR REPLACE INTO entries (key, payload, size, last_hit)"
+                " VALUES (?, ?, ?, ?)", rows)
+            conn.commit()
+        except (sqlite3.Error, OSError):
+            self._give_up()
+            return 0
+        self.flushes += 1
+        self.bytes_written += sum(len(row[1]) for row in rows)
+        return len(rows)
+
+    def touch(self, hit_stamp: Dict[CacheKey, int]) -> None:
+        """Refresh on-disk recency for entries this process consumed."""
+        conn = self._connection()
+        if conn is None or not hit_stamp:
+            return
+        rows = [(stamp, _encode_key(key), stamp)
+                for key, stamp in hit_stamp.items()]
+        try:
+            conn.executemany(
+                "UPDATE entries SET last_hit = ? WHERE key = ? AND last_hit < ?",
+                rows)
+            conn.commit()
+        except (sqlite3.Error, OSError):
+            self._give_up()
+
+    def evict_to_budget(self, max_bytes: int) -> int:
+        """Least-recently-hit eviction executed inside the database.
+
+        Keeps the most-recently-hit entries whose cumulative logical
+        footprint fits ``max_bytes`` (ties broken by serialized key, so
+        eviction is deterministic) and deletes the rest in one windowed
+        ``DELETE``.  Returns the number of entries dropped.
+        """
+        conn = self._connection()
+        if conn is None:
+            return 0
+        try:
+            total = int(conn.execute(
+                "SELECT COALESCE(SUM(size), 0) FROM entries").fetchone()[0])
+            if total <= max_bytes:
+                return 0
+            cursor = conn.execute(
+                "DELETE FROM entries WHERE key IN ("
+                " SELECT key FROM ("
+                "  SELECT key, SUM(size) OVER ("
+                "   ORDER BY last_hit DESC, key DESC"
+                "   ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) AS running"
+                "  FROM entries)"
+                " WHERE running > ?)", (max(0, max_bytes),))
+            conn.commit()
+            return cursor.rowcount
+        except (sqlite3.Error, OSError):
+            self._give_up()
+            return 0
+
+
 class ValidationCache:
     """Memoizes validation results by function-pair content.
 
     Parameters
     ----------
     path:
-        Optional persistence location — a directory (gets
-        ``validation_cache.json`` inside it) or a ``.json`` file path.
-        When given, previously stored entries are loaded immediately and
-        :meth:`save` writes the current contents back.  Loading is fully
-        tolerant: corruption, schema mismatches and malformed entries are
-        silently discarded.
+        Optional persistence location — a directory, a ``.json`` file or
+        a ``.sqlite`` / ``.db`` file.  When given, a proof store opens
+        behind the in-memory map: the JSON backend loads everything
+        immediately, the SQLite backend faults entries in lazily as
+        :meth:`get` / :meth:`peek` ask for them.  Loading is fully
+        tolerant: corruption, schema mismatches, malformed entries and
+        mid-run store faults are absorbed (the affected entries simply
+        cost a re-validation), never raised.
     max_bytes:
-        Size budget for the serialized file (``0`` = unbounded, the
-        historical behavior).  When the budget is exceeded at save time,
-        entries are evicted **least-recently-hit first** — recency is
-        tracked per process across :meth:`get` hits and :meth:`put`
-        stores; entries merely loaded from disk (or merged in from a
-        concurrent writer) and never consumed rank oldest, in
-        deterministic key order.  Eviction can only cost re-validation
-        time, never correctness.
+        Size budget for the serialized store (``0`` = unbounded, the
+        historical behavior).  When exceeded at save time, entries are
+        evicted **least-recently-hit first** — recency is tracked across
+        :meth:`get` hits and :meth:`put` stores; entries never consumed
+        rank oldest, tie-broken deterministically by serialized key.
+        Eviction can only cost re-validation time, never correctness.
+    backend:
+        ``"auto"`` (default), ``"json"`` or ``"sqlite"``.  Explicit file
+        suffixes in ``path`` win; for a cache directory, ``"auto"``
+        prefers an existing SQLite store and falls back to JSON.  The
+        backend is a persistence knob like ``path`` itself: it is *not*
+        part of the cache key, and both backends store byte-identical
+        verdicts.
     """
 
     def __init__(self, path: Optional[Union[str, os.PathLike]] = None,
-                 max_bytes: int = 0) -> None:
+                 max_bytes: int = 0, backend: str = "auto") -> None:
+        if backend not in CACHE_BACKENDS:
+            raise ValueError(
+                f"unknown cache backend {backend!r}; expected one of {CACHE_BACKENDS}")
         self._results: Dict[CacheKey, ValidationResult] = {}
         #: Number of lookups answered from the cache.
         self.hits = 0
         #: Number of lookups that had to validate.
         self.misses = 0
-        #: Entries read from disk at construction time.
+        #: Entries available from the store at construction time.
         self.loaded = 0
-        #: Entries written by the most recent :meth:`save`.
+        #: Entries held by the store after the most recent :meth:`save`.
         self.stored = 0
         #: Entries dropped by the ``max_bytes`` budget across all saves.
         self.evicted = 0
-        #: Size budget for the serialized file (0 = unbounded).
+        #: Size budget for the serialized store (0 = unbounded).
         self.max_bytes = max_bytes
         #: Resolved persistence file, or ``None`` for an in-memory cache.
-        self.path: Optional[Path] = _resolve_cache_path(path) if path is not None else None
+        self.path: Optional[Path] = None
+        #: Resolved backend name: ``"memory"``, ``"json"`` or ``"sqlite"``.
+        self.backend = "memory"
+        self._store: Optional[Union[JsonStore, SqliteStore]] = None
         self._dirty = False
+        #: Dirty keys awaiting an incremental flush (lazy backends only),
+        #: in insertion order.
+        self._pending: Dict[CacheKey, None] = {}
         #: Monotonic recency stamps: key -> last hit/store tick.
         self._hit_stamp: Dict[CacheKey, int] = {}
         self._tick = 0
-        if self.path is not None:
-            self._results.update(_read_cache_file(self.path))
-            self.loaded = len(self._results)
+        if path is not None:
+            file_path, resolved = _resolve_cache_path(path, backend)
+            self.path = file_path
+            self.backend = resolved
+            self._store = (JsonStore(file_path) if resolved == "json"
+                           else SqliteStore(file_path))
+            if self._store.eager:
+                self._results.update(self._store.load())
+                self.loaded = len(self._results)
+            else:
+                self.loaded = self._store.entry_count()
+                # Continue recency above what is already on disk so this
+                # run's hits outrank every earlier run's at eviction time.
+                self._tick = self._store.max_stamp()
 
     def __len__(self) -> int:
         return len(self._results)
@@ -180,12 +591,21 @@ class ValidationCache:
         )
 
     def peek(self, key: CacheKey) -> Optional[ValidationResult]:
-        """The stored result for ``key`` (no hit/miss accounting)."""
-        return self._results.get(key)
+        """The stored result for ``key`` (no hit/miss accounting).
+
+        Lazy backends fault the entry in from disk on first sight; once
+        faulted it lives in the in-memory tier like any other entry.
+        """
+        result = self._results.get(key)
+        if result is None and self._store is not None and not self._store.eager:
+            result = self._store.fetch(key)
+            if result is not None:
+                self._results[key] = result
+        return result
 
     def get(self, key: CacheKey, function_name: str) -> Optional[ValidationResult]:
         """A cached result renamed for ``function_name``, or ``None``."""
-        cached = self._results.get(key)
+        cached = self.peek(key)
         if cached is None:
             self.misses += 1
             return None
@@ -198,10 +618,21 @@ class ValidationCache:
         self._results[key] = result
         self._touch(key)
         self._dirty = True
+        if self._store is not None and not self._store.eager:
+            self._pending[key] = None
+            if len(self._pending) >= _SQLITE_FLUSH_INTERVAL:
+                self._flush_pending()
 
     def _touch(self, key: CacheKey) -> None:
         self._tick += 1
         self._hit_stamp[key] = self._tick
+
+    def _flush_pending(self) -> None:
+        if not self._pending or self._store is None:
+            return
+        self._store.upsert(((key, self._results[key]) for key in self._pending),
+                           self._hit_stamp)
+        self._pending.clear()
 
     def merge(self, other: "ValidationCache") -> int:
         """Adopt every entry of ``other`` this cache does not hold yet.
@@ -214,6 +645,8 @@ class ValidationCache:
         for key, result in other._results.items():
             if key not in self._results:
                 self._results[key] = result
+                if self._store is not None and not self._store.eager:
+                    self._pending[key] = None
                 added += 1
         if added:
             self._dirty = True
@@ -221,46 +654,56 @@ class ValidationCache:
 
     # -- persistence -------------------------------------------------------
     def save(self, path: Optional[Union[str, os.PathLike]] = None) -> int:
-        """Write the cache to disk; returns the number of entries written.
+        """Persist the cache; returns the store's entry count afterwards.
 
-        The write is atomic (temp file + rename) and *merging*: entries
-        another process stored since we loaded are re-read and kept, so
-        concurrent corpus sweeps sharing one cache directory can only grow
-        it.  With no ``path`` and no construction-time path this is a
-        no-op returning ``0``.
+        JSON saves are atomic (temp file + rename), *merging* (entries
+        another process stored since we loaded are re-read and kept) and
+        serialized against concurrent savers by an exclusive lock.
+        SQLite saves flush the remaining dirty entries incrementally,
+        refresh recency stamps and enforce the byte budget in SQL.  An
+        explicit ``path`` writes a one-shot copy to that location (its
+        suffix selects the format) without rebinding the cache.  With no
+        ``path`` and no construction-time store this is a no-op
+        returning ``0``.
         """
-        target = _resolve_cache_path(path) if path is not None else self.path
-        if target is None:
+        if path is not None:
+            target, resolved = _resolve_cache_path(path, "auto")
+            if target != self.path:
+                return self._save_one_shot(target, resolved)
+        if self._store is None:
             return 0
-        merged = _read_cache_file(target)
-        merged.update(self._results)
-        if self.max_bytes:
-            self.evicted += _evict_to_budget(merged, self._hit_stamp, self.max_bytes)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "schema": CACHE_SCHEMA,
-            "entries": {_encode_key(key): {name: value
-                                           for name, value in asdict(result).items()
-                                           if name in _RESULT_FIELDS}
-                        for key, result in merged.items()},
-        }
-        fd, temp_name = tempfile.mkstemp(dir=str(target.parent),
-                                         prefix=target.name, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True)
-                handle.write("\n")
-            os.replace(temp_name, target)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
-        self._results = merged
-        self.stored = len(merged)
+        if self._store.eager:
+            merged, stored, evicted = self._store.save(
+                self._results, self._hit_stamp, self.max_bytes)
+            self._results = merged
+            self.evicted += evicted
+            self.stored = stored
+        else:
+            self._flush_pending()
+            self._store.touch(self._hit_stamp)
+            if self.max_bytes:
+                self.evicted += self._store.evict_to_budget(self.max_bytes)
+            self.stored = self._store.entry_count()
         self._dirty = False
         return self.stored
+
+    def _save_one_shot(self, target: Path, backend: str) -> int:
+        store = JsonStore(target) if backend == "json" else SqliteStore(target)
+        try:
+            if isinstance(store, JsonStore):
+                merged, stored, evicted = store.save(
+                    dict(self._results), self._hit_stamp, self.max_bytes)
+            else:
+                store.upsert(self._results.items(), self._hit_stamp)
+                evicted = (store.evict_to_budget(self.max_bytes)
+                           if self.max_bytes else 0)
+                stored = store.entry_count()
+        finally:
+            store.close()
+        self.evicted += evicted
+        self.stored = stored
+        self._dirty = False
+        return stored
 
     def save_if_dirty(self) -> int:
         """Persist only when persistent and changed since load/last save."""
@@ -268,26 +711,41 @@ class ValidationCache:
             return self.save()
         return 0
 
+    def close(self) -> None:
+        """Release the store's resources (idempotent; in-memory: no-op)."""
+        if self._store is not None:
+            self._store.close()
+
     def stats(self) -> Dict[str, int]:
         """Hit/miss/size counters as a plain dict (for reports).
 
-        Persistent caches additionally report how many entries the disk
-        backend contributed (``disk_loaded``), how many the last save
-        wrote back (``disk_stored``) and how many the ``max_bytes``
-        budget evicted across saves (``disk_evicted``).
+        Persistent caches additionally report how many entries the proof
+        store held at open (``disk_loaded``), how many it held after the
+        last save (``disk_stored``), how many the ``max_bytes`` budget
+        evicted across saves (``disk_evicted``), and the per-backend
+        plumbing: entries faulted in lazily (``store_lazy_loads``),
+        completed incremental/whole-file writes (``store_flushes``),
+        faults absorbed by degrading to the in-memory tier
+        (``store_errors``) and serialized payload traffic
+        (``store_bytes_read`` / ``store_bytes_written``).
         """
         counters = {"hits": self.hits, "misses": self.misses,
                     "entries": len(self._results)}
-        if self.path is not None:
+        if self._store is not None:
             counters["disk_loaded"] = self.loaded
             counters["disk_stored"] = self.stored
             counters["disk_evicted"] = self.evicted
+            counters["store_lazy_loads"] = self._store.lazy_loads
+            counters["store_flushes"] = self._store.flushes
+            counters["store_errors"] = self._store.errors
+            counters["store_bytes_read"] = self._store.bytes_read
+            counters["store_bytes_written"] = self._store.bytes_written
         return counters
 
 
-#: Fixed JSON envelope :meth:`ValidationCache.save` writes around the
-#: entries map — ``{"entries": {`` … ``}, "schema": N}`` plus the trailing
-#: newline — charged against the byte budget so the *file* fits it.
+#: Fixed JSON envelope :meth:`JsonStore.save` writes around the entries
+#: map — ``{"entries": {`` … ``}, "schema": N}`` plus the trailing newline
+#: — charged against the byte budget so the *file* fits it.
 _FILE_ENVELOPE = 32
 
 
@@ -298,12 +756,12 @@ def _entry_size(key: CacheKey, result: ValidationResult) -> int:
     string — its many embedded quotes escape to two bytes each — so it
     is sized through ``json.dumps``, not ``len`` of the raw string; the
     ``+ 4`` covers the ``": "`` joining key and payload and the ``", "``
-    chaining entries.
+    chaining entries.  Both backends charge this same logical measure
+    against ``max_bytes``, so a budget means the same thing whichever
+    store enforces it.
     """
-    payload = {name: value for name, value in asdict(result).items()
-               if name in _RESULT_FIELDS}
     return (len(json.dumps(_encode_key(key)))
-            + len(json.dumps(payload, sort_keys=True)) + 4)
+            + len(_encode_result(result)) + 4)
 
 
 def _evict_to_budget(entries: Dict[CacheKey, ValidationResult],
@@ -332,17 +790,13 @@ def _evict_to_budget(entries: Dict[CacheKey, ValidationResult],
     return dropped
 
 
-def _read_cache_file(path: Path) -> Dict[CacheKey, ValidationResult]:
-    """Load entries from ``path``, tolerating every way the file can be bad.
+def _parse_cache_text(text: str) -> Dict[CacheKey, ValidationResult]:
+    """Decode a JSON cache file body, tolerating every malformation.
 
-    Missing file, unreadable file, invalid JSON, wrong top-level shape or a
-    schema-version mismatch all yield an empty dict; individually malformed
-    entries are skipped without poisoning their neighbours.
+    Invalid JSON, wrong top-level shape or a schema-version mismatch all
+    yield an empty dict; individually malformed entries are skipped
+    without poisoning their neighbours.
     """
-    try:
-        text = path.read_text(encoding="utf-8")
-    except OSError:
-        return {}
     try:
         payload = json.loads(text)
     except ValueError:
@@ -361,4 +815,68 @@ def _read_cache_file(path: Path) -> Dict[CacheKey, ValidationResult]:
     return results
 
 
-__all__ = ["CacheKey", "CACHE_SCHEMA", "CACHE_FILE_NAME", "ValidationCache"]
+def _read_cache_file(path: Path) -> Dict[CacheKey, ValidationResult]:
+    """Load entries from ``path``, tolerating every way the file can be bad."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return {}
+    return _parse_cache_text(text)
+
+
+def migrate_json_to_sqlite(path: Union[str, os.PathLike]) -> Tuple[int, Path]:
+    """One-shot JSON → SQLite proof-store migration.
+
+    Reads the JSON cache at ``path`` (a cache directory or a ``.json``
+    file) and upserts every entry into the SQLite store beside it; the
+    JSON file is left untouched, so the migration is safely retryable
+    and reversible by deletion.  Once the SQLite file exists,
+    ``backend="auto"`` prefers it.  Returns ``(entries migrated, sqlite
+    path)``; an empty or unreadable source migrates 0 entries but still
+    creates the (empty) store.
+    """
+    source, _ = _resolve_cache_path(path, "json")
+    entries = _read_cache_file(source)
+    target = source.with_suffix(".sqlite")
+    store = SqliteStore(target)
+    try:
+        migrated = store.upsert(entries.items(), {}) if entries else 0
+        if not entries:
+            store.entry_count()  # force creation of the empty store
+    finally:
+        store.close()
+    return migrated, target
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.validator.cache",
+        description="Proof-store maintenance for the validation cache.")
+    commands = parser.add_subparsers(dest="command", required=True)
+    migrate = commands.add_parser(
+        "migrate", help="one-shot JSON -> SQLite migration of a cache path")
+    migrate.add_argument("path", help="cache directory or .json cache file")
+    args = parser.parse_args(argv)
+    migrated, target = migrate_json_to_sqlite(args.path)
+    print(f"migrated {migrated} entries to {target}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(_main())
+
+
+__all__ = [
+    "CacheKey",
+    "CACHE_SCHEMA",
+    "SQLITE_SCHEMA",
+    "CACHE_FILE_NAME",
+    "SQLITE_FILE_NAME",
+    "CACHE_BACKENDS",
+    "JsonStore",
+    "SqliteStore",
+    "ValidationCache",
+    "migrate_json_to_sqlite",
+]

@@ -17,7 +17,12 @@ from ..vgraph.rules import ALL_RULE_GROUPS
 #: Scheduling backends the batch driver can execute a work plan on
 #: (``"auto"`` resolves to ``"pool"`` when ``concurrency > 1``, else
 #: ``"serial"``).  See :mod:`repro.validator.scheduler.executors`.
-EXECUTORS = ("auto", "serial", "pool", "wave")
+EXECUTORS = ("auto", "serial", "pool", "wave", "steal")
+
+#: Persistent proof-store backends the validation cache can open
+#: (``"auto"`` prefers an existing SQLite store, else the historical
+#: JSON file).  See :mod:`repro.validator.cache`.
+CACHE_BACKENDS = ("auto", "json", "sqlite")
 
 #: Cumulative rule sets used for the GVN ablation (paper Figure 6).
 GVN_ABLATION_STEPS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
@@ -72,11 +77,16 @@ class ValidatorConfig:
     executor:
         Scheduling backend the batch driver executes its work plan on:
         ``"serial"`` (in-process), ``"pool"`` (process-pool sharding;
-        requires ``concurrency > 1``) or ``"wave"`` (speculative
+        requires ``concurrency > 1``), ``"wave"`` (speculative
         pipeline-position waves: validate wave *i* of every function's
         adjacent pairs, cancel the later waves of functions whose pair
         rejected and settle them from the whole-query fallback — pooled
-        when ``concurrency > 1``, in-process otherwise).  The default
+        when ``concurrency > 1``, in-process otherwise) or ``"steal"``
+        (a persistent pool of workers pulling content-keyed items from
+        per-worker deques with LIFO-local/FIFO-steal semantics, so long
+        chain items stop straggling behind an idle pool; the wave
+        backend's doomed-pair cancellation rides on the shared queue —
+        pooled when ``concurrency > 1``, in-process otherwise).  The default
         ``"auto"`` resolves to ``"pool"`` when ``concurrency > 1`` and
         ``"serial"`` otherwise (the historical behavior).  Contradictory
         combinations (``"pool"`` without workers, ``"serial"`` with
@@ -119,6 +129,16 @@ class ValidatorConfig:
         budget (the ``disk_evicted`` counter reports how many).  Like
         ``cache_dir`` it can never affect a verdict, so it is not part of
         the cache key.
+    cache_backend:
+        Persistent proof-store backend for ``cache_dir``: ``"json"``
+        (the historical whole-file format), ``"sqlite"`` (incremental
+        WAL-mode store that faults entries in lazily — the choice for
+        caches too large to (de)serialize per run) or ``"auto"`` (the
+        default: prefer an existing SQLite store in the directory, else
+        JSON).  Both backends store byte-identical content-addressed
+        verdicts — ``python -m repro.validator.cache migrate`` converts
+        JSON to SQLite one-shot — so like ``cache_dir`` the knob is a
+        persistence detail and *not* part of the cache key.
     """
 
     rule_groups: Tuple[str, ...] = tuple(ALL_RULE_GROUPS)
@@ -132,12 +152,17 @@ class ValidatorConfig:
     analysis_cache_size: int = 0
     chain_graphs: bool = True
     cache_max_bytes: int = 0
+    cache_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             raise ValueError(f"unknown engine {self.engine!r} (known: {ENGINES})")
         if self.executor not in EXECUTORS:
             raise ValueError(f"unknown executor {self.executor!r} (known: {EXECUTORS})")
+        if self.cache_backend not in CACHE_BACKENDS:
+            raise ValueError(
+                f"unknown cache backend {self.cache_backend!r} "
+                f"(known: {CACHE_BACKENDS})")
         if self.executor == "pool" and self.concurrency <= 1:
             raise ValueError(
                 f"executor='pool' needs concurrency > 1 worker processes "
@@ -179,6 +204,7 @@ __all__ = [
     "ValidatorConfig",
     "DEFAULT_CONFIG",
     "EXECUTORS",
+    "CACHE_BACKENDS",
     "GVN_ABLATION_STEPS",
     "SCCP_ABLATION_STEPS",
     "LICM_ABLATION_STEPS",

@@ -228,7 +228,8 @@ def llvm_md(
         return result_module, report
 
     if cache is None and config.cache_dir is not None:
-        cache = ValidationCache(config.cache_dir, max_bytes=config.cache_max_bytes)
+        cache = ValidationCache(config.cache_dir, max_bytes=config.cache_max_bytes,
+                                backend=config.cache_backend)
     if manager is None and strategy != "whole":
         manager = _driver_manager(config)
     report = ValidationReport(label=label or module.name)
@@ -289,10 +290,13 @@ def validate_module_batch(
       distinct items: ``"serial"`` in-process, ``"pool"`` sharded over a
       ``ProcessPoolExecutor`` with ``config.concurrency`` workers
       (degrading to serial if the platform cannot spawn processes, a
-      payload cannot be pickled, or a worker raises/dies), or ``"wave"``
+      payload cannot be pickled, or a worker raises/dies), ``"wave"``
       in speculative pipeline-position waves that cancel the later pairs
-      of functions whose pair rejected; under stepwise, a settle round
-      fans out the whole-query fallbacks of rejected functions;
+      of functions whose pair rejected, or ``"steal"`` over a persistent
+      pool of single-item workers stealing from each other's deques
+      (same degradation and cancellation guarantees, streaming); under
+      stepwise, a settle round fans out the whole-query fallbacks of
+      rejected functions;
     * **settle** — worker results are merged into the shared cache and
       per-module reports are assembled from it — records identical to
       what serial per-module :func:`llvm_md` calls would have produced
@@ -316,7 +320,8 @@ def validate_module_batch(
     if function_names is not None and len(function_names) != len(modules):
         raise ValueError("function_names must match modules one to one")
     if cache is None:
-        cache = ValidationCache(config.cache_dir, max_bytes=config.cache_max_bytes)
+        cache = ValidationCache(config.cache_dir, max_bytes=config.cache_max_bytes,
+                                backend=config.cache_backend)
 
     plan = build_plan(modules, passes, config, cache, labels=labels,
                       strategy=strategy, function_names=function_names)
@@ -341,8 +346,15 @@ def validate_module_batch(
         "waves_cancelled": executor_stats["waves_cancelled"],
         "speculative_pairs_skipped": executor_stats["pairs_skipped"],
         "pool_degraded": executor_stats["pool_degraded"],
+        "items_stolen": executor_stats.get("items_stolen", 0),
+        "steal_attempts": executor_stats.get("steal_attempts", 0),
     }
     cache.save_if_dirty()
+    # Proof-store plumbing counters, read after the final save so the
+    # closing flush is included.
+    cache_counters = cache.stats()
+    shard_stats["store_flushes"] = cache_counters.get("store_flushes", 0)
+    shard_stats["store_lazy_loads"] = cache_counters.get("store_lazy_loads", 0)
     analysis_stats = manager.stats()
     for _, report in results:
         report.shard_stats = dict(shard_stats)

@@ -1,7 +1,8 @@
 """The batch-validation scheduling subsystem: plan → execute → settle.
 
 Three layers with one-way dependencies, so each can evolve (or be
-replaced — e.g. by a multi-host work-stealing backend) independently:
+replaced — e.g. by a cross-host transport behind the work-stealing
+backend) independently:
 
 :mod:`~repro.validator.scheduler.plan`
     *What to run.*  Pure, deterministic work-item generation: optimize,
@@ -9,9 +10,10 @@ replaced — e.g. by a multi-host work-stealing backend) independently:
     — producing a :class:`WorkPlan`.
 :mod:`~repro.validator.scheduler.executors`
     *How to run it.*  The :class:`Executor` backends — serial,
-    process-pool, speculative pipeline-wave — plus the lazy providers
-    the per-function serial driver validates through.  Every backend
-    produces byte-identical record signatures.
+    process-pool, speculative pipeline-wave, work-stealing (fed by the
+    process plumbing in :mod:`~repro.validator.scheduler.steal`) — plus
+    the lazy providers the per-function serial driver validates through.
+    Every backend produces byte-identical record signatures.
 :mod:`~repro.validator.scheduler.settle`
     *What it means.*  Strategy runners reassembling
     :class:`~repro.validator.report.FunctionRecord`\\ s (verdicts, blame,
@@ -23,6 +25,7 @@ from .executors import (
     Executor,
     PoolExecutor,
     SerialExecutor,
+    StealExecutor,
     WaveExecutor,
     chain_provider,
     create_executor,
@@ -66,6 +69,7 @@ __all__ = [
     "SerialExecutor",
     "PoolExecutor",
     "WaveExecutor",
+    "StealExecutor",
     "create_executor",
     "serial_provider",
     "chain_provider",

@@ -34,17 +34,33 @@ Three backends ship today:
     high-rejection corpora the wave backend validates measurably fewer
     pairs for identical records.  Wraps an inner backend (serial or
     pool) for the actual batch execution.
+``StealExecutor``
+    Work stealing over a persistent pool of single-item workers
+    (:mod:`repro.validator.scheduler.steal`): the priority-ordered item
+    list is dealt into per-worker deques; a worker pops its own deque
+    LIFO (its next planned item) and, when empty, steals FIFO from the
+    most loaded sibling (that worker's farthest-future item), so a long
+    chain item occupies one worker while the others drain the queue
+    instead of idling behind a fixed shard boundary.  The wave backend's
+    doomed-pair cancellation rides on the shared queue: a rejection
+    streams back, releases the rejecting functions' later pairs, and
+    undispatched items whose every demander is doomed are dropped from
+    the deques.  Any pool failure degrades the *unfinished remainder* to
+    serial — completed verdicts are content-addressed and kept.
 
-A future multi-host work-stealing backend drops in as a fourth
-``Executor`` subclass without touching planning or settlement.
+The cross-host half of the ROADMAP's multi-host item (a transport
+shipping these same content-keyed items to remote machines) drops in
+behind the same ``Executor`` seam without touching planning or
+settlement.
 """
 
 from __future__ import annotations
 
+import collections
 import sys
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ...analysis.manager import AnalysisManager, function_fingerprint
 from ...ir.module import Function
@@ -61,6 +77,7 @@ from .plan import (
     resolved_executor,
 )
 from .settle import settle_chain_results
+from . import steal
 
 #: A sharded-chain worker's return value: one (possibly censored) verdict
 #: per adjacent pair, the (possibly censored) whole-pair verdict, and the
@@ -406,13 +423,265 @@ class WaveExecutor(Executor):
         return outcome
 
 
+class StealExecutor(Executor):
+    """Work stealing over a persistent pool of single-item workers.
+
+    Items are dealt into per-worker deques as contiguous runs of the
+    priority order (stepwise: chain items first, then pairs by earliest
+    pipeline position — the pairs whose verdicts can cancel the most
+    later work).  Each worker is fed one item at a time: on completion
+    it pops the next item off its own deque's top (**LIFO-local** — the
+    next item in its planned run), and an empty worker steals from the
+    *bottom* of the most loaded sibling's deque (**FIFO-steal** — the
+    victim's farthest-future item, the classic stealing discipline that
+    minimizes contention on what the owner touches next).  A long chain
+    item therefore occupies exactly one worker while every other item
+    migrates to idle workers, instead of stalling a fixed shard.
+
+    For the stepwise strategy the shared queue also carries the wave
+    trick: results stream back one at a time, a rejection releases the
+    demand its doomed functions placed on their later pairs, and an
+    undispatched pair whose every demanding function is doomed is
+    dropped from the deques (``pairs_skipped``).  Because pairs are
+    content-deduplicated across functions, an item is only cancelled
+    when *no* live function can still consume it, and the settle round
+    plus :func:`~repro.validator.scheduler.settle.settle_plan` reassemble
+    records byte-identical to serial — the skipped pairs are exactly the
+    ones no record's walk ever reads.
+
+    *Any* pool failure — spawn failure, unpicklable payload, a worker
+    dying mid-item — degrades the backend and runs every **unfinished**
+    item serially in-process.  Completed verdicts are kept: validation
+    is deterministic and side-effect free and each verdict merged into
+    the cache exactly once as it arrived, so the serial remainder can
+    neither lose nor double-count a cache query.  With ``concurrency``
+    of 0 or 1 no processes are spawned at all: the scheduling loop runs
+    in-process in priority order (still cancelling doomed pairs), which
+    is also the deterministic single-worker parity baseline.
+    """
+
+    name = "steal"
+
+    def __init__(self, workers: int) -> None:
+        super().__init__()
+        self.workers = max(1, workers or 0)
+        self._pool = None
+        #: Items a worker took from a sibling's deque.
+        self.items_stolen = 0
+        #: Times an idle worker looked for work beyond its own deque
+        #: (successful or not).
+        self.steal_attempts = 0
+
+    def stats(self) -> Dict[str, int]:
+        counters = super().stats()
+        counters["items_stolen"] = self.items_stolen
+        counters["steal_attempts"] = self.steal_attempts
+        return counters
+
+    def close(self) -> None:
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            try:
+                pool.close()
+            except Exception:  # pragma: no cover - broken pools may throw
+                pass
+
+    def run_batch(self, items: List[Tuple], config: ValidatorConfig) -> List:
+        results: List = [None] * len(items)
+
+        def collect(tag: int, result) -> None:
+            results[tag] = result
+
+        self._run_stealing(list(enumerate(items)), config, collect)
+        return results
+
+    def _run_stealing(self, tagged_items: List[Tuple[int, Tuple]],
+                      config: ValidatorConfig,
+                      on_result: Callable[[int, object], None],
+                      is_cancelled: Optional[Callable[[int], bool]] = None,
+                      ) -> None:
+        """Schedule priority-ordered ``(tag, item)`` work, streaming results.
+
+        ``on_result`` fires once per completed item, in completion order;
+        ``is_cancelled`` is consulted at every dispatch so items doomed
+        by earlier results are dropped without running.
+        """
+        self.batches += 1
+        if self.workers <= 1 or self.degraded or len(tagged_items) <= 1:
+            for tag, item in tagged_items:
+                if is_cancelled is not None and is_cancelled(tag):
+                    continue
+                self.items_run += 1
+                on_result(tag, _validate_item(item))
+            return
+        done: Set[int] = set()
+        # Deep operand chains make pickling recursive; give the parent the
+        # same recursion headroom validation itself gets.
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, config.recursion_limit))
+        try:
+            if self._pool is None:
+                self._pool = steal.StealPool(self.workers)
+            pool = self._pool
+            # Contiguous runs of the priority order, reversed so the
+            # deque's right end (the owner's LIFO "top") holds the run's
+            # first item and its left end (the steal side) the last.
+            chunk_size = -(-len(tagged_items) // self.workers)
+            deques = [collections.deque(reversed(tagged_items[start:start + chunk_size]))
+                      for start in range(0, len(tagged_items), chunk_size)]
+            deques += [collections.deque()
+                       for _ in range(self.workers - len(deques))]
+
+            def next_item(worker_id: int) -> Optional[Tuple[int, Tuple]]:
+                while True:
+                    if deques[worker_id]:
+                        tag, item = deques[worker_id].pop()
+                    else:
+                        self.steal_attempts += 1
+                        victim = max(range(self.workers),
+                                     key=lambda v: len(deques[v]))
+                        if not deques[victim]:
+                            return None  # nothing left anywhere: go idle
+                        tag, item = deques[victim].popleft()
+                        self.items_stolen += 1
+                    if is_cancelled is not None and is_cancelled(tag):
+                        continue
+                    return tag, item
+
+            outstanding: Dict[int, Tuple[int, Tuple]] = {}
+            for worker_id in range(self.workers):
+                dispatch = next_item(worker_id)
+                if dispatch is None:
+                    continue
+                pool.send(worker_id, dispatch[0], dispatch[1])
+                outstanding[worker_id] = dispatch
+            while outstanding:
+                worker_id, tag, ok, payload = pool.receive(outstanding)
+                if not ok:
+                    raise steal.BrokenStealPool(
+                        f"steal worker {worker_id} failed: {payload}")
+                outstanding.pop(worker_id, None)
+                done.add(tag)
+                self.items_run += 1
+                self.pooled_items += 1
+                on_result(tag, payload)
+                dispatch = next_item(worker_id)
+                if dispatch is not None:
+                    pool.send(worker_id, dispatch[0], dispatch[1])
+                    outstanding[worker_id] = dispatch
+        except Exception:
+            # Spawn failures, unpicklable payloads and dead workers all
+            # land here: keep every streamed-back verdict and run the
+            # unfinished remainder serially in priority order.
+            self.degraded += 1
+            self.close()
+            for tag, item in tagged_items:
+                if tag in done:
+                    continue
+                if is_cancelled is not None and is_cancelled(tag):
+                    continue
+                self.items_run += 1
+                on_result(tag, _validate_item(item))
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    def execute(self, plan: WorkPlan, cache: ValidationCache) -> ExecutionOutcome:
+        if plan.strategy != "stepwise":
+            return super().execute(plan, cache)
+        outcome = ExecutionOutcome()
+        config = plan.config
+
+        # Demand bookkeeping for streaming cancellation: which functions
+        # demand each key, at which pipeline positions, and per function
+        # the cutoff position past which its walk can no longer reach
+        # (the stepwise walk stops at its first rejection, so a rejection
+        # at position p releases every demand at positions > p whatever
+        # the earlier pairs decide).
+        key_positions: Dict[CacheKey, List[Tuple[int, int]]] = {}
+        released: List[int] = []
+        for function_index, function_plan in enumerate(plan.function_plans()):
+            cutoff = len(function_plan.pair_keys)
+            for position, key in enumerate(function_plan.pair_keys):
+                key_positions.setdefault(key, []).append(
+                    (function_index, position))
+                if cutoff == len(function_plan.pair_keys):
+                    result = cache.peek(key)
+                    if result is not None and not result.is_success:
+                        cutoff = position + 1
+            released.append(cutoff)
+
+        def release(key: CacheKey) -> None:
+            for function_index, position in key_positions.get(key, ()):
+                if position + 1 < released[function_index]:
+                    released[function_index] = position + 1
+
+        def doomed(key: CacheKey) -> bool:
+            demanders = key_positions.get(key)
+            if not demanders:
+                return False
+            return all(position >= released[function_index]
+                       for function_index, position in demanders)
+
+        # One shared queue: chain items first (they cover whole
+        # functions and are the longest), then pairs ordered by the
+        # earliest pipeline position demanding them — the verdicts most
+        # able to cancel later work arrive first.
+        tagged: List[Tuple[int, Tuple]] = []
+        kinds: List[Tuple] = []
+        for signature, (versions, whole_key) in plan.pending_chains.items():
+            kinds.append(("chain", signature, whole_key))
+            tagged.append((len(tagged), ("chain", versions, config)))
+        pair_order = sorted(
+            plan.pending,
+            key=lambda key: min(position for _, position in key_positions[key]))
+        for key in pair_order:
+            before, after = plan.pending[key]
+            kinds.append(("pair", key))
+            tagged.append((len(tagged), ("pair", before, after, config)))
+
+        def handle(tag: int, result) -> None:
+            kind = kinds[tag]
+            if kind[0] == "chain":
+                _, signature, whole_key = kind
+                settled, whole_result, chain_stats = result
+                outcome.chain_stats_by_signature[signature] = chain_stats
+                for key, settled_result in zip(signature + (whole_key,),
+                                               settled + [whole_result]):
+                    if settled_result is None or cache.peek(key) is not None:
+                        continue
+                    cache.put(key, settled_result)
+                    outcome.fresh.add(key)
+                    outcome.chain_fresh.add(key)
+                    if not settled_result.is_success:
+                        release(key)
+            else:
+                key = kind[1]
+                cache.put(key, result)
+                outcome.fresh.add(key)
+                if not result.is_success:
+                    release(key)
+
+        def is_cancelled(tag: int) -> bool:
+            kind = kinds[tag]
+            return kind[0] == "pair" and doomed(kind[1])
+
+        if tagged:
+            self._run_stealing(tagged, config, handle, is_cancelled)
+        self._run_settle_round(plan, cache, outcome)
+        self.pairs_skipped += sum(1 for key in plan.pending
+                                  if key not in outcome.fresh)
+        outcome.validated_queries = len(outcome.fresh)
+        return outcome
+
+
 def create_executor(config: ValidatorConfig) -> Executor:
     """Build the backend ``config.executor`` / ``config.concurrency`` select.
 
     ``"auto"`` resolves to pool when ``concurrency > 1`` and serial
     otherwise; ``"wave"`` wraps whichever of the two the concurrency
-    setting implies.  Invalid combinations were rejected when the config
-    was constructed.
+    setting implies; ``"steal"`` spawns ``concurrency`` single-item
+    workers (or runs its scheduling loop in-process for 0/1).  Invalid
+    combinations were rejected when the config was constructed.
     """
     name = resolved_executor(config)
     pooled = bool(config.concurrency and config.concurrency > 1)
@@ -423,6 +692,8 @@ def create_executor(config: ValidatorConfig) -> Executor:
     if name == "wave":
         inner = PoolExecutor(config.concurrency) if pooled else SerialExecutor()
         return WaveExecutor(inner)
+    if name == "steal":
+        return StealExecutor(config.concurrency)
     raise ValueError(f"unknown executor {name!r}")  # pragma: no cover
 
 
@@ -585,6 +856,7 @@ __all__ = [
     "SerialExecutor",
     "PoolExecutor",
     "WaveExecutor",
+    "StealExecutor",
     "create_executor",
     "serial_provider",
     "chain_provider",

@@ -14,8 +14,8 @@ serial driver's lazy chain provider applies).
 Planning performs **no validation**: everything here is a deterministic
 function of the input modules, the configuration and the cache contents,
 so any :mod:`executor backend <repro.validator.scheduler.executors>` —
-serial, process-pool, or speculative wave scheduling — can execute the
-same plan and the settlement layer (:mod:`repro.validator.scheduler.settle`)
+serial, process-pool, speculative wave scheduling, or work stealing —
+can execute the same plan and the settlement layer (:mod:`repro.validator.scheduler.settle`)
 reassembles byte-identical :class:`~repro.validator.report.FunctionRecord`
 signatures from the outcomes.
 """
@@ -130,7 +130,8 @@ class WorkPlan:
 
     strategy: str
     config: ValidatorConfig
-    #: Resolved backend name (``"serial"`` | ``"pool"`` | ``"wave"``).
+    #: Resolved backend name
+    #: (``"serial"`` | ``"pool"`` | ``"wave"`` | ``"steal"``).
     executor: str
     modules: List[ModulePlan]
     #: Deduplicated uncached pair queries: key -> (before, after).
@@ -163,8 +164,13 @@ def build_plan(
     ``"wave"`` backend chain packing is skipped: waves exist to *cancel*
     the doomed later pairs of rejecting functions, which a monolithic
     chain item cannot do (the chain-vs-per-pair parity guard proves the
-    verdicts identical either way).  Fingerprints are computed once per
-    version and shared by all keys derived from them.
+    verdicts identical either way).  The ``"steal"`` backend keeps chain
+    packing — its shared queue carries chain and pair items side by side,
+    and its streaming cancellation applies to the pair items — which is
+    exactly the straggler scenario stealing exists for: one worker rides
+    the long chain item while the rest drain the pairs.  Fingerprints
+    are computed once per version and shared by all keys derived from
+    them.
     """
     config = config or DEFAULT_CONFIG
     if cache is None:

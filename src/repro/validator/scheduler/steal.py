@@ -1,0 +1,127 @@
+"""Process plumbing for the work-stealing executor backend.
+
+:class:`StealPool` owns a persistent set of worker processes, each fed
+**one item at a time**: the parent keeps per-worker deques of pending
+work (see :class:`~repro.validator.scheduler.executors.StealExecutor`)
+and dispatches the next item the moment a worker reports a result, so a
+long chain item occupies exactly one worker while the others drain the
+rest of the queue — unlike fixed ``Pool.map`` sharding, where the chunk
+behind a straggler sits idle.  Single-item dispatch is also what lets
+doomed items be *cancelled*: an undispached item is just a deque entry
+the parent can drop.
+
+Work items are pickled in the parent inside :meth:`StealPool.send`, so
+an unpicklable payload raises synchronously where the executor can catch
+it and degrade to serial (a queue's background feeder thread would
+otherwise swallow the error and hang the run).  :meth:`StealPool.receive`
+polls worker liveness while waiting, so a worker that dies mid-item
+raises :class:`BrokenStealPool` instead of blocking forever; the
+executor treats that exactly like a broken process pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue
+from typing import Dict, Tuple
+
+
+class BrokenStealPool(RuntimeError):
+    """A steal worker died or misbehaved; the executor degrades to serial."""
+
+
+def _steal_worker_main(worker_id: int, inbox, outbox) -> None:
+    """Worker loop: unpickle one item, validate it, ship the outcome back.
+
+    Runs in a child process.  A ``None`` payload is the shutdown
+    sentinel.  Item-level exceptions are reported back as failures (the
+    parent degrades and reproduces them serially) rather than killing
+    the worker.
+    """
+    from .executors import _validate_item  # deferred: executors imports us
+
+    while True:
+        payload = inbox.get()
+        if payload is None:
+            break
+        tag, item = pickle.loads(payload)
+        try:
+            message = (worker_id, tag, True, _validate_item(item))
+        except Exception as error:
+            message = (worker_id, tag, False, f"{type(error).__name__}: {error}")
+        outbox.put(message)
+
+
+class StealPool:
+    """A persistent pool of single-item workers for work stealing.
+
+    The pool only moves items and results; *which* item a worker gets
+    next — its own deque, or one stolen from a loaded sibling — is the
+    executor's scheduling policy.  Tests monkeypatch this class to
+    inject worker deaths without spawning processes.
+    """
+
+    def __init__(self, workers: int) -> None:
+        context = multiprocessing.get_context()
+        self._outbox = context.Queue()
+        self._inboxes = []
+        self._processes = []
+        try:
+            for worker_id in range(workers):
+                inbox = context.Queue()
+                process = context.Process(
+                    target=_steal_worker_main,
+                    args=(worker_id, inbox, self._outbox),
+                    daemon=True, name=f"steal-worker-{worker_id}")
+                process.start()
+                self._inboxes.append(inbox)
+                self._processes.append(process)
+        except BaseException:
+            self.close()
+            raise
+
+    def send(self, worker_id: int, tag: int, item: Tuple) -> None:
+        """Dispatch one item to ``worker_id`` (pickles here, in the parent)."""
+        self._inboxes[worker_id].put(pickle.dumps((tag, item)))
+
+    def receive(self, outstanding: Dict[int, Tuple]) -> Tuple[int, int, bool, object]:
+        """The next completed item: ``(worker id, tag, ok, payload)``.
+
+        Blocks until a result arrives, checking the liveness of every
+        worker in ``outstanding`` (worker id -> dispatched item) while
+        waiting; a dead worker holding an item raises
+        :class:`BrokenStealPool`.  Results already queued by a worker
+        that died afterwards are still delivered first.
+        """
+        while True:
+            try:
+                return self._outbox.get(timeout=0.1)
+            except queue.Empty:
+                for worker_id in outstanding:
+                    if not self._processes[worker_id].is_alive():
+                        raise BrokenStealPool(
+                            f"steal worker {worker_id} died mid-item")
+
+    def close(self) -> None:
+        """Shut the workers down; terminate any that ignore the sentinel."""
+        for inbox in self._inboxes:
+            try:
+                inbox.put(None)
+            except Exception:
+                pass
+        for process in self._processes:
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.terminate()
+        for channel in self._inboxes + [self._outbox]:
+            try:
+                channel.close()
+                channel.cancel_join_thread()
+            except Exception:
+                pass
+        self._inboxes = []
+        self._processes = []
+
+
+__all__ = ["BrokenStealPool", "StealPool"]

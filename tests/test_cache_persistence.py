@@ -116,6 +116,7 @@ class TestInvalidation:
         # change a verdict.
         for same in (replace(DEFAULT_CONFIG, concurrency=4),
                      replace(DEFAULT_CONFIG, cache_dir="/elsewhere"),
+                     replace(DEFAULT_CONFIG, cache_backend="sqlite"),
                      replace(DEFAULT_CONFIG, analysis_cache_size=2)):
             assert reloaded.peek(reloaded.key(before, after, same)) is not None
 

@@ -506,6 +506,7 @@ class TestExecutorBackends:
     @pytest.mark.parametrize("strategy", STRATEGIES)
     @pytest.mark.parametrize("executor,concurrency", [
         ("serial", 0), ("pool", 2), ("wave", 0), ("wave", 2),
+        ("steal", 0), ("steal", 2),
     ])
     def test_backend_records_identical(self, mini_corpus, strategy, executor,
                                        concurrency):
@@ -584,6 +585,134 @@ class TestExecutorBackends:
             assert row["serial_pairs"] > 0
             assert row["wave_pairs"] <= row["serial_pairs"]
             assert row["wave_pairs_saved"] == row["serial_pairs"] - row["wave_pairs"]
+            assert row["steal_pairs"] > 0
+            assert row["steal_attempts"] >= row["items_stolen"]
+
+
+class TestStealExecutor:
+    """The work-stealing backend: single-worker parity, the mixed
+    chain+pair queue, streaming cancellation and counter plumbing."""
+
+    def test_single_worker_matches_serial(self, mini_corpus):
+        # concurrency 0 spawns no processes: the scheduling loop runs
+        # in-process in priority order — the deterministic parity
+        # baseline for the stealing discipline.
+        _, serial = llvm_md(mini_corpus, PAPER_PIPELINE, strategy="stepwise")
+        config = replace(DEFAULT_CONFIG, executor="steal", concurrency=0)
+        (_, report), = validate_module_batch(
+            [mini_corpus], config=config, strategy="stepwise")
+        assert [r.signature() for r in serial.records] == \
+               [r.signature() for r in report.records]
+        assert report.shard_stats["executor"] == "steal"
+        assert report.shard_stats["workers"] == 0
+        assert report.shard_stats["items_stolen"] == 0
+
+    def test_mixed_chain_and_pair_queue(self):
+        # Both kinds of work item side by side on the shared queue: a
+        # partially warmed cache leaves some functions one missing pair
+        # (shipped as plain pair items — the chain no longer amortizes)
+        # while untouched functions still pack whole chain items.
+        from repro.validator import build_plan
+
+        module = small_test_corpus(functions=6, seed=11)
+        config = replace(DEFAULT_CONFIG, executor="steal", concurrency=2)
+        cache = ValidationCache()
+        probe = build_plan([module], config=config, strategy="stepwise")
+        for index, function_plan in enumerate(probe.function_plans()):
+            if index % 2 or len(function_plan.pair_keys) < 2:
+                continue
+            pairs = list(zip(function_plan.versions, function_plan.versions[1:]))
+            for key, (before, after) in list(zip(function_plan.pair_keys,
+                                                 pairs))[1:]:
+                cache.put(key, validate(before, after, config))
+        plan = build_plan([module], config=config, cache=cache,
+                          strategy="stepwise")
+        assert plan.pending, "expected straggler pair items"
+        assert plan.pending_chains, "expected packed chain items"
+        _, serial = llvm_md(module, PAPER_PIPELINE, strategy="stepwise")
+        (_, report), = validate_module_batch(
+            [module], config=config, cache=cache, strategy="stepwise")
+        assert [r.signature() for r in serial.records] == \
+               [r.signature() for r in report.records]
+        assert report.shard_stats["chain_items"] > 0
+        # More items ran through the pool than the chains alone: the
+        # straggler pairs shared the queue.
+        assert report.shard_stats["pooled_pairs"] > \
+            report.shard_stats["chain_items"]
+
+    def test_steal_cancellation_on_buggy_pipeline(self, mini_corpus):
+        # With chain packing off, every adjacent pair rides the queue
+        # individually and the stream of rejections cancels the doomed
+        # later pairs — deterministically so with concurrency 0.
+        _, serial = llvm_md(mini_corpus, BUGGY_PIPELINE, strategy="stepwise")
+        config = replace(DEFAULT_CONFIG, executor="steal", concurrency=0,
+                         chain_graphs=False)
+        (_, report), = validate_module_batch(
+            [mini_corpus], BUGGY_PIPELINE, config=config, strategy="stepwise")
+        assert [r.signature() for r in serial.records] == \
+               [r.signature() for r in report.records]
+        assert report.shard_stats["speculative_pairs_skipped"] > 0
+
+    def test_worker_death_mid_steal_degrades_losslessly(self, mini_corpus,
+                                                        monkeypatch):
+        # The pool dies after streaming two verdicts back: those verdicts
+        # are kept, the unfinished remainder reruns serially, and the
+        # consumed-query ledger matches a clean serial run exactly.
+        from repro.validator.scheduler import steal
+        from repro.validator.scheduler.executors import _validate_item
+
+        class FlakyStealPool:
+            def __init__(self, workers):
+                self.pending = {}
+                self.completed = 0
+
+            def send(self, worker_id, tag, item):
+                pickle.dumps((tag, item))  # the real pool's payload contract
+                self.pending[worker_id] = (tag, item)
+
+            def receive(self, outstanding):
+                if self.completed >= 2:
+                    raise steal.BrokenStealPool("worker died mid-steal")
+                worker_id, (tag, item) = next(iter(self.pending.items()))
+                del self.pending[worker_id]
+                self.completed += 1
+                return worker_id, tag, True, _validate_item(item)
+
+            def close(self):
+                self.pending.clear()
+
+        monkeypatch.setattr(steal, "StealPool", FlakyStealPool)
+        clean_cache = ValidationCache()
+        (_, clean), = validate_module_batch(
+            [mini_corpus], BUGGY_PIPELINE,
+            config=replace(DEFAULT_CONFIG, executor="serial"),
+            cache=clean_cache, strategy="stepwise")
+        flaky_cache = ValidationCache()
+        config = replace(DEFAULT_CONFIG, executor="steal", concurrency=2)
+        (_, report), = validate_module_batch(
+            [mini_corpus], BUGGY_PIPELINE, config=config,
+            cache=flaky_cache, strategy="stepwise")
+        assert [r.signature() for r in clean.records] == \
+               [r.signature() for r in report.records]
+        assert report.shard_stats["pool_degraded"] >= 1
+        # The two streamed verdicts were kept (not re-run serially) and
+        # no cache query was lost or double-counted.
+        assert flaky_cache.hits == clean_cache.hits
+        assert flaky_cache.misses == clean_cache.misses
+        assert flaky_cache.misses <= len(flaky_cache)
+
+    def test_steal_counters_reach_shard_stats(self):
+        # Enough items across few-enough workers that at least the
+        # steal path's bookkeeping is exercised and reported.
+        module = small_test_corpus(functions=14, seed=11)
+        config = replace(DEFAULT_CONFIG, executor="steal", concurrency=2)
+        (_, report), = validate_module_batch(
+            [module], config=config, strategy="stepwise")
+        stats = report.shard_stats
+        assert stats["executor"] == "steal"
+        assert stats["items_stolen"] >= 0
+        assert stats["steal_attempts"] >= stats["items_stolen"]
+        assert "store_flushes" in stats and "store_lazy_loads" in stats
 
 
 class TestFaultInjection:
