@@ -130,6 +130,51 @@ def _check_proof_store(path: pathlib.Path) -> list:
     return failures
 
 
+def _check_incremental(path: pathlib.Path, expected_seed,
+                       min_saved_pct: float = 70.0) -> list:
+    """Gate the incremental-revalidation artifact, if present.
+
+    Incremental revalidation after the canonical suffix tweak must do at
+    least ``min_saved_pct`` percent fewer rule invocations AND fewer
+    node builds than a cold re-run (summed over all corpora), with
+    records signature-identical to cold.  Returns failure strings; an
+    absent artifact is a skip (with a note), not a failure — the
+    incremental benchmark is optional in local runs.
+    """
+    if not path.exists():
+        print(f"incremental gate skipped: no artifact at {path} "
+              f"(run bench_incremental.py to produce one)")
+        return []
+    artifact = json.loads(path.read_text())
+    failures = []
+    if expected_seed is not None and artifact.get("hash_seed") != expected_seed:
+        failures.append(
+            f"incremental: artifact hash_seed {artifact.get('hash_seed')!r} "
+            f"does not match chain baseline hash_seed {expected_seed!r}")
+        return failures
+    savings = artifact.get("savings", {})
+    reuse = artifact.get("reuse", {})
+    rules_saved = float(savings.get("rule_invocations_saved_pct", 0.0))
+    nodes_saved = float(savings.get("nodes_built_saved_pct", 0.0))
+    print(f"incremental: rule invocations saved {rules_saved}%, node builds "
+          f"saved {nodes_saved}% (floor {min_saved_pct:g}%); "
+          f"{reuse.get('pairs_skipped_unchanged', 0)} pairs adopted, "
+          f"{reuse.get('subgraph_nodes_reused', 0)} nodes reused")
+    if not artifact.get("identical", False):
+        failures.append(
+            "incremental: records are NOT signature-identical to the cold "
+            "re-run (see the artifact's per-row mismatches)")
+    if rules_saved < min_saved_pct:
+        failures.append(
+            f"incremental: rule invocations saved {rules_saved}% "
+            f"< {min_saved_pct:g}% floor — dirty-suffix reuse regressed")
+    if nodes_saved < min_saved_pct:
+        failures.append(
+            f"incremental: node builds saved {nodes_saved}% "
+            f"< {min_saved_pct:g}% floor — retained-graph reuse regressed")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--artifact", type=pathlib.Path,
@@ -139,6 +184,14 @@ def main() -> int:
                         default=pathlib.Path("benchmarks/artifacts/proof_store.json"),
                         help="proof-store artifact to gate when present "
                              "(see bench_proof_store.py)")
+    parser.add_argument("--incremental-artifact", type=pathlib.Path,
+                        default=pathlib.Path("benchmarks/artifacts/incremental.json"),
+                        help="incremental-revalidation artifact to gate when "
+                             "present (see bench_incremental.py)")
+    parser.add_argument("--incremental-min-saved", type=float, default=70.0,
+                        help="minimum percent of rule invocations AND node "
+                             "builds incremental revalidation must save vs "
+                             "cold (default 70)")
     parser.add_argument("--baseline", type=pathlib.Path,
                         default=pathlib.Path("benchmarks/perf_baseline.json"),
                         help="committed counter baseline")
@@ -239,6 +292,9 @@ def main() -> int:
                     f"super-linear scaling regression")
 
     failures += _check_proof_store(args.proof_store_artifact)
+    failures += _check_incremental(args.incremental_artifact,
+                                   baseline.get("hash_seed"),
+                                   args.incremental_min_saved)
 
     if failures:
         print("\nPERF REGRESSION:", file=sys.stderr)

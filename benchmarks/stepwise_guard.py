@@ -23,6 +23,14 @@ signatures identical to the per-pair oracle with ``chain_graphs=False``
 — chain graphs must change how fast validation runs, never what it
 decides.
 
+With ``--incremental-parity`` (the default; ``--no-incremental-parity``
+disables) it also runs the :func:`repro.bench.incremental_comparison`
+experiment over all twelve corpora and fails unless a warm
+:class:`~repro.validator.watch.Revalidator` re-run after the canonical
+pipeline suffix tweak produced record signatures identical to a cold
+sweep of the tweaked pipeline — incremental revalidation must change how
+much work re-validation does, never what it decides.
+
 With ``--executor-parity`` (the default; ``--no-executor-parity``
 disables) it additionally runs the
 :func:`repro.bench.executor_comparison` experiment over all twelve
@@ -48,6 +56,7 @@ from repro.bench import (
     chain_comparison,
     executor_comparison,
     format_table,
+    incremental_comparison,
     sharded_comparison,
     stepwise_comparison,
 )
@@ -67,6 +76,13 @@ def main() -> int:
     parser.add_argument("--no-chain-parity", dest="chain_parity",
                         action="store_false",
                         help="skip the chain-parity check")
+    parser.add_argument("--incremental-parity", dest="incremental_parity",
+                        action="store_true", default=True,
+                        help="check warm-revalidation vs cold record parity "
+                             "(the default)")
+    parser.add_argument("--no-incremental-parity", dest="incremental_parity",
+                        action="store_false",
+                        help="skip the incremental-parity check")
     parser.add_argument("--executor-parity", dest="executor_parity",
                         action="store_true", default=True,
                         help="check serial/pool/wave/steal backend record "
@@ -87,16 +103,21 @@ def main() -> int:
     chain_rows = []
     if args.chain_parity:
         chain_rows = chain_comparison(scale=args.scale)
+    incremental_rows = []
+    if args.incremental_parity:
+        incremental_rows = incremental_comparison(scale=args.scale)
     executor_rows = []
     if args.executor_parity:
         executor_rows = executor_comparison(
             scale=args.scale, concurrency=max(2, args.shard_concurrency))
     args.out.parent.mkdir(parents=True, exist_ok=True)
-    payload = {"schema": 5, "scale": args.scale, "rows": rows,
+    payload = {"schema": 6, "scale": args.scale, "rows": rows,
                "shard_concurrency": args.shard_concurrency,
                "shard_rows": shard_rows,
                "chain_parity": args.chain_parity,
                "chain_rows": chain_rows,
+               "incremental_parity": args.incremental_parity,
+               "incremental_rows": incremental_rows,
                "executor_parity": args.executor_parity,
                "executor_rows": executor_rows}
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -149,6 +170,23 @@ def main() -> int:
                     f"{row['benchmark']}: chain-graph records diverged from "
                     f"per-pair for: {', '.join(row['mismatches'])}"
                 )
+    if incremental_rows:
+        incremental_columns = ("benchmark", "transformed", "identical",
+                               "pairs_skipped_unchanged",
+                               "subgraph_nodes_reused", "chain_fallbacks",
+                               "rule_invocations_saved_pct",
+                               "nodes_built_saved_pct", "cold_time_s",
+                               "incremental_time_s")
+        print()
+        print(format_table([{k: row[k] for k in incremental_columns}
+                            for row in incremental_rows],
+                           title="Warm incremental revalidation vs cold re-run"))
+        for row in incremental_rows:
+            if not row["identical"]:
+                failures.append(
+                    f"{row['benchmark']}: incremental records diverged from "
+                    f"cold for: {', '.join(row['mismatches'])}"
+                )
     if executor_rows:
         executor_columns = ("benchmark", "transformed", "identical",
                             "serial_pairs", "wave_pairs", "wave_pairs_saved",
@@ -182,6 +220,9 @@ def main() -> int:
         message += "; sharded records matched serial on every corpus"
     if chain_rows:
         message += "; chain-graph records matched the per-pair oracle on every corpus"
+    if incremental_rows:
+        message += ("; warm incremental revalidation matched cold records "
+                    "on every corpus")
     if executor_rows:
         message += ("; serial/pool/wave/steal backends produced identical "
                     "records on every corpus")

@@ -20,6 +20,7 @@ a recycled ``id()``.
 from __future__ import annotations
 
 import hashlib
+import weakref
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -31,6 +32,60 @@ from ..ir.printer import print_function
 def function_fingerprint(function: Function) -> str:
     """A content hash of a function's printed IR (stable across clones)."""
     return hashlib.sha256(print_function(function).encode("utf-8")).hexdigest()
+
+
+class FingerprintTable:
+    """One fingerprint memo shared by every checkpoint-fingerprint consumer.
+
+    The planner (:func:`repro.validator.scheduler.plan.build_plan`), the
+    chain-graph provider, the settle-phase fallback and the incremental
+    differ all fingerprint the *same* checkpoint function objects;
+    historically each kept its own per-run memo, so one pipeline's
+    checkpoints were re-hashed once per consumer.  This table is the
+    single shared memo: entries are keyed weakly by function identity, so
+    a retired version's entry dies with the version and a recycled
+    ``id()`` can never alias a stale hash.
+
+    Only *known-immutable* versions may be remembered globally — the
+    changed-pass checkpoints of
+    :meth:`~repro.transforms.pass_manager.PassManager.run_with_snapshots`
+    are private clones nothing mutates afterwards, whereas an unchanged
+    step's snapshot aliases the caller's own function object, which the
+    caller may mutate between runs.  Callers holding a maybe-mutable
+    function use :meth:`fingerprint` (memo lookup, compute on miss,
+    **no** store); callers holding an immutable version use
+    :meth:`remember`.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self) -> None:
+        self._table: "weakref.WeakKeyDictionary[Function, str]" = \
+            weakref.WeakKeyDictionary()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def get(self, function: Function) -> Optional[str]:
+        """The memoized fingerprint for ``function``, or ``None``."""
+        return self._table.get(function)
+
+    def remember(self, function: Function) -> str:
+        """Memoize and return ``function``'s fingerprint (immutable callers only)."""
+        cached = self._table.get(function)
+        if cached is None:
+            cached = function_fingerprint(function)
+            self._table[function] = cached
+        return cached
+
+    def fingerprint(self, function: Function) -> str:
+        """``function``'s fingerprint via the memo, computed (not stored) on miss."""
+        cached = self._table.get(function)
+        return cached if cached is not None else function_fingerprint(function)
+
+
+#: The process-wide checkpoint fingerprint table (see :class:`FingerprintTable`).
+CHECKPOINT_FINGERPRINTS = FingerprintTable()
 
 
 class FunctionAnalyses:
@@ -160,6 +215,8 @@ class AnalysisManager:
 
 __all__ = [
     "AnalysisManager",
+    "CHECKPOINT_FINGERPRINTS",
+    "FingerprintTable",
     "FunctionAnalyses",
     "compute_function_analyses",
     "function_fingerprint",

@@ -659,6 +659,100 @@ def chain_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = N
     return rows
 
 
+#: The canonical "one-option suffix tweak": the paper pipeline with its
+#: last two passes swapped, the revalidation workload the incremental
+#: benchmarks and guards measure.
+TWEAKED_PIPELINE = PAPER_PIPELINE[:-2] + (PAPER_PIPELINE[-1],
+                                          PAPER_PIPELINE[-2])
+
+
+def incremental_comparison(scale: float = 1.0,
+                           benchmarks: Optional[Sequence[str]] = None,
+                           passes: Sequence[str] = PAPER_PIPELINE,
+                           tweaked: Sequence[str] = TWEAKED_PIPELINE,
+                           config: Optional[ValidatorConfig] = None
+                           ) -> List[Dict[str, object]]:
+    """Incremental revalidation vs a cold re-run after a pipeline tweak.
+
+    For every corpus, measures the cost of revalidating after changing
+    ``passes`` into ``tweaked`` two ways on identical inputs:
+
+    * **cold** — a fresh stepwise ``llvm_md`` sweep of the tweaked
+      pipeline, no cache, no retained state: the full price every
+      edit-revalidate cycle pays without incrementality;
+    * **incremental** — one :class:`~repro.validator.watch.Revalidator`
+      primed with a ``passes`` run, then asked to revalidate the same
+      module under ``tweaked``: unchanged-prefix pairs are adopted from
+      the previous plan's cache keys and only the dirty suffix is
+      rebuilt into the retained chain graph.
+
+    Each row reports both runs' deterministic work counters with
+    ``{key}_saved_pct`` reductions, the reuse telemetry
+    (``pairs_skipped_unchanged``, ``subgraph_nodes_reused``,
+    ``chain_extensions``/``chain_fallbacks``) and the ``identical`` /
+    ``mismatches`` record-signature comparison — incremental records
+    must be byte-identical to cold records (``stepwise_guard.py
+    --incremental-parity`` enforces this on all twelve corpora).
+    """
+    base = config or DEFAULT_CONFIG
+    counter_keys = ("nodes_built", "nodes_created", "rule_invocations",
+                    "normalize_runs")
+    rows: List[Dict[str, object]] = []
+    for spec in _selected_specs(benchmarks):
+        cold_module = build_corpus(spec, scale)
+        start = time.perf_counter()
+        _, cold_report = llvm_md(cold_module, tweaked, base, label=spec.name,
+                                 strategy="stepwise")
+        cold_time = time.perf_counter() - start
+        cold_totals = cold_report.engine_totals()
+        cold_signatures = [record.signature()
+                           for record in cold_report.records]
+
+        from ..validator.watch import Revalidator
+        revalidator = Revalidator(_dc_replace(base, incremental=True))
+        warm_module = build_corpus(spec, scale)
+        revalidator.revalidate(warm_module, passes, label=spec.name)
+        start = time.perf_counter()
+        _, warm_report = revalidator.revalidate(warm_module, tweaked,
+                                                label=spec.name)
+        warm_time = time.perf_counter() - start
+        revalidator.close()
+        warm_totals = warm_report.engine_totals()
+        warm_signatures = [record.signature()
+                           for record in warm_report.records]
+
+        mismatches = [cold["name"]
+                      for cold, warm in zip(cold_signatures, warm_signatures)
+                      if cold != warm]
+        if len(cold_signatures) != len(warm_signatures):  # pragma: no cover
+            mismatches.append("<record-count-mismatch>")
+        shard = warm_report.shard_stats or {}
+        row: Dict[str, object] = {
+            "benchmark": spec.name,
+            "transformed": cold_report.transformed_functions,
+            "validated": cold_report.validated_functions,
+            "identical": not mismatches,
+            "mismatches": mismatches,
+            "pairs_skipped_unchanged": shard.get("pairs_skipped_unchanged", 0),
+            "subgraph_nodes_reused": shard.get("subgraph_nodes_reused", 0),
+            "chain_extensions": shard.get("chain_extensions", 0),
+            "chain_fallbacks": shard.get("chain_fallbacks", 0),
+            "functions_fully_cached": shard.get("functions_fully_cached", 0),
+            "cold_time_s": round(cold_time, 3),
+            "incremental_time_s": round(warm_time, 3),
+        }
+        for key in counter_keys:
+            cold_value = int(cold_totals.get(key, 0))
+            warm_value = int(warm_totals.get(key, 0))
+            row[f"cold_{key}"] = cold_value
+            row[f"incremental_{key}"] = warm_value
+            row[f"{key}_saved_pct"] = round(
+                100.0 * (1.0 - warm_value / cold_value), 1) \
+                if cold_value else 0.0
+        rows.append(row)
+    return rows
+
+
 def cache_persistence(scale: float = 1.0, benchmarks: Optional[Sequence[str]] = None,
                       passes: Sequence[str] = PAPER_PIPELINE,
                       config: Optional[ValidatorConfig] = None,

@@ -114,7 +114,10 @@ class Function(Value):
         meaningful to the optimizer and the alias analysis.
     """
 
-    __slots__ = ("function_type", "args", "blocks", "attributes", "parent")
+    # ``__weakref__`` lets caches key weakly by function identity (the
+    # checkpoint fingerprint table) without pinning retired versions.
+    __slots__ = ("function_type", "args", "blocks", "attributes", "parent",
+                 "__weakref__")
 
     def __init__(
         self,

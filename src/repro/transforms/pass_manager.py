@@ -91,11 +91,24 @@ class PassSnapshot:
         Checkpoints are immutable by contract, so the hash can be cached;
         the batch driver derives every adjacent-pair cache key from these
         instead of re-printing each function once per pair it appears in.
+
+        Changed-pass checkpoints are private clones, so their hash also
+        enters the process-wide
+        :data:`~repro.analysis.manager.CHECKPOINT_FINGERPRINTS` table —
+        the planner, chain provider and incremental differ all consult it
+        instead of re-hashing per consumer.  Unchanged snapshots alias
+        the caller's original function object (which the caller may later
+        mutate in place), so those stay out of the global memo and only
+        use this snapshot-local cache.
         """
         if self._fingerprint is None:
-            from ..analysis.manager import function_fingerprint
+            from ..analysis.manager import (CHECKPOINT_FINGERPRINTS,
+                                            function_fingerprint)
 
-            self._fingerprint = function_fingerprint(self.function)
+            if self.changed:
+                self._fingerprint = CHECKPOINT_FINGERPRINTS.remember(self.function)
+            else:
+                self._fingerprint = function_fingerprint(self.function)
         return self._fingerprint
 
 

@@ -29,6 +29,7 @@ from .driver import (
 )
 from .scheduler import (
     Executor,
+    PipelineDiff,
     PoolExecutor,
     SerialExecutor,
     StealExecutor,
@@ -36,6 +37,7 @@ from .scheduler import (
     WorkPlan,
     build_plan,
     create_executor,
+    diff_plan,
     resolved_executor,
     settle_plan,
 )
@@ -45,8 +47,21 @@ from .validate import (
     ValidationResult,
     validate,
     validate_chain,
+    validate_chain_delta,
     validate_or_raise,
 )
+# The watch-mode driver is exported lazily (PEP 562): importing it here
+# eagerly would make ``python -m repro.validator.watch`` re-execute the
+# module runpy already found in sys.modules.
+_WATCH_EXPORTS = ("Revalidator", "shared_revalidator",
+                  "reset_shared_revalidators")
+
+
+def __getattr__(name):
+    if name in _WATCH_EXPORTS:
+        from . import watch
+        return getattr(watch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "validate",
@@ -68,10 +83,16 @@ __all__ = [
     "WaveExecutor",
     "StealExecutor",
     "WorkPlan",
+    "PipelineDiff",
     "build_plan",
+    "diff_plan",
     "create_executor",
     "resolved_executor",
     "settle_plan",
+    "Revalidator",
+    "shared_revalidator",
+    "reset_shared_revalidators",
+    "validate_chain_delta",
     "llvm_md",
     "validate_function_pipeline",
     "validate_module_batch",

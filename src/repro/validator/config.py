@@ -139,6 +139,23 @@ class ValidatorConfig:
         verdicts — ``python -m repro.validator.cache migrate`` converts
         JSON to SQLite one-shot — so like ``cache_dir`` the knob is a
         persistence detail and *not* part of the cache key.
+    incremental:
+        Route ``llvm_md``/``validate_module_batch`` through the
+        incremental revalidation layer (:mod:`repro.validator.watch`):
+        pipeline checkpoints are fingerprint-diffed against the previous
+        run of the same driver-held :class:`~repro.validator.watch.Revalidator`
+        state, unchanged-prefix pairs are adopted from the previous plan
+        and cache without re-keying, and only dirtied versions are
+        rebuilt into the retained chain graph.  Off by default (every
+        run is cold).  Incremental records are
+        :meth:`~repro.validator.report.FunctionRecord.signature`-identical
+        to cold records (``benchmarks/stepwise_guard.py
+        --incremental-parity`` enforces it on every corpus), so like the
+        execution knobs above the flag is *not* part of the cache key.
+        Contradicts ``executor="wave"`` — the speculative wave schedule
+        cancels later pairs of doomed functions, but those are exactly
+        the pairs the incremental diff already skipped or adopted, so
+        the combination is rejected at construction time.
     """
 
     rule_groups: Tuple[str, ...] = tuple(ALL_RULE_GROUPS)
@@ -153,6 +170,7 @@ class ValidatorConfig:
     chain_graphs: bool = True
     cache_max_bytes: int = 0
     cache_backend: str = "auto"
+    incremental: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -172,6 +190,12 @@ class ValidatorConfig:
             raise ValueError(
                 f"executor='serial' contradicts concurrency={self.concurrency} "
                 f"(workers would never be used); drop one of the two settings")
+        if self.incremental and self.executor == "wave":
+            raise ValueError(
+                f"incremental=True contradicts executor='wave' (speculative "
+                f"waves cancel the later pairs of doomed functions, but those "
+                f"are the pairs the incremental diff already skipped); pick "
+                f"executor='serial'/'pool'/'steal' or drop incremental")
         if self.analysis_cache_size < 0:
             raise ValueError("analysis_cache_size must be >= 0 (0 = unbounded)")
         if self.cache_max_bytes < 0:

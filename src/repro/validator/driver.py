@@ -215,10 +215,30 @@ def llvm_md(
     construction; ``manager`` is only consulted on the serial path.  With
     ``config.cache_dir`` set and no explicit ``cache``, a persistent
     cache is opened there and saved back after the run.
+
+    With ``config.incremental`` (stepwise only) the call routes through
+    the process-shared :class:`~repro.validator.watch.Revalidator` for
+    its config: repeated calls retain each function's checkpoint
+    fingerprints and chain graph, so a re-run after a pipeline tweak
+    skips the unchanged-prefix pairs outright and rebuilds only the
+    dirtied suffix — with records signature-identical to a cold run.
     """
     config = config or DEFAULT_CONFIG
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r} (known: {STRATEGIES})")
+    if config.incremental:
+        # Route through the process-shared incremental revalidator: the
+        # second llvm_md call with the same config pays only for what
+        # changed.  Records are signature-identical to this serial path's.
+        if strategy != "stepwise":
+            raise ValueError(
+                f"incremental revalidation requires strategy='stepwise' "
+                f"(got {strategy!r}: only the checkpoint chain has a "
+                f"dirty suffix to diff)")
+        from .watch import shared_revalidator
+        return shared_revalidator(config).revalidate(
+            module, passes, label=label or module.name,
+            function_names=function_names, cache=cache)
     if (config.concurrency and config.concurrency > 1) \
             or resolved_executor(config) != "serial":
         selections = [list(function_names)] if function_names is not None else None
@@ -319,6 +339,21 @@ def validate_module_batch(
         raise ValueError("labels must match modules one to one")
     if function_names is not None and len(function_names) != len(modules):
         raise ValueError("function_names must match modules one to one")
+    if config.incremental:
+        if strategy != "stepwise":
+            raise ValueError(
+                f"incremental revalidation requires strategy='stepwise' "
+                f"(got {strategy!r}: only the checkpoint chain has a "
+                f"dirty suffix to diff)")
+        from .watch import shared_revalidator
+        revalidator = shared_revalidator(config)
+        return [revalidator.revalidate(
+                    module, passes,
+                    label=labels[index] if labels is not None else module.name,
+                    function_names=(function_names[index]
+                                    if function_names is not None else None),
+                    cache=cache)
+                for index, module in enumerate(modules)]
     if cache is None:
         cache = ValidationCache(config.cache_dir, max_bytes=config.cache_max_bytes,
                                 backend=config.cache_backend)

@@ -140,7 +140,12 @@ class ValidationReport:
     #: (wave backend: wave batches run, function-wave slots cancelled
     #: after a rejection, and planned pair queries never validated thanks
     #: to cancellation) and ``pool_degraded`` (pool failures that degraded
-    #: execution to serial).
+    #: execution to serial).  Incremental revalidation runs
+    #: (:mod:`repro.validator.watch`) add ``pairs_skipped_unchanged``
+    #: (adjacent pairs adopted from the previous run's plan/cache without
+    #: re-validation) and ``subgraph_nodes_reused`` (retained chain-graph
+    #: nodes the dirtied versions' rebuilds reached instead of
+    #: re-creating).
     shard_stats: Optional[Dict[str, int]] = None
 
     def add(self, record: FunctionRecord) -> None:
@@ -222,6 +227,15 @@ class ValidationReport:
                                            + record.chain_stats.get("chain_nodes_created", 0))
                 totals["normalize_runs"] = (totals.get("normalize_runs", 0)
                                             + record.chain_stats.get("chains", 0))
+                # Incremental revalidation telemetry: chain nodes the
+                # delta build re-read instead of rebuilding, and pairs
+                # adopted from the previous run without any graph work.
+                totals["subgraph_nodes_reused"] = (
+                    totals.get("subgraph_nodes_reused", 0)
+                    + record.chain_stats.get("chain_nodes_reused", 0))
+                totals["pairs_skipped_unchanged"] = (
+                    totals.get("pairs_skipped_unchanged", 0)
+                    + record.chain_stats.get("chain_pairs_skipped", 0))
         totals["cache_hits"] = self.cache_hits
         return totals
 

@@ -37,9 +37,11 @@ from .plan import (
     FunctionPlan,
     ModulePlan,
     PairProvider,
+    PipelineDiff,
     WorkPlan,
     build_plan,
     chain_amortizes,
+    diff_plan,
     pending_whole_queries,
     resolved_executor,
 )
@@ -60,7 +62,9 @@ __all__ = [
     "FunctionPlan",
     "ModulePlan",
     "WorkPlan",
+    "PipelineDiff",
     "build_plan",
+    "diff_plan",
     "pending_whole_queries",
     "chain_amortizes",
     "resolved_executor",

@@ -62,7 +62,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from ...analysis.manager import AnalysisManager, function_fingerprint
+from ...analysis.manager import AnalysisManager, CHECKPOINT_FINGERPRINTS
 from ...ir.module import Function
 from ..cache import CacheKey, ValidationCache
 from ..config import ValidatorConfig
@@ -764,11 +764,14 @@ def chain_provider(versions: List[Function], config: ValidatorConfig,
 
     def fingerprint(function: Function) -> str:
         # Interior versions serve two pairs (and the worthwhile check
-        # peeks every pair), so memoize the full-IR print + hash by
-        # identity — the versions list pins the objects alive.
+        # peeks every pair), so memoize by identity — the versions list
+        # pins the objects alive.  The shared checkpoint table answers
+        # first: the planner/snapshot layer already hashed every changed
+        # checkpoint, so only the original version (absent from the
+        # global table — the caller may mutate it) is hashed here, once.
         memoized = fingerprints.get(id(function))
         if memoized is None:
-            memoized = function_fingerprint(function)
+            memoized = CHECKPOINT_FINGERPRINTS.fingerprint(function)
             fingerprints[id(function)] = memoized
         return memoized
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ...analysis.manager import function_fingerprint
+from ...analysis.manager import CHECKPOINT_FINGERPRINTS
 from ...ir.cloning import clone_function, clone_globals_into
 from ...ir.module import Function, Module
 from ...ir.values import Value
@@ -204,8 +204,8 @@ def build_plan(
                     continue
                 steps = None
                 versions = [function, optimized]
-                fingerprints = [function_fingerprint(function),
-                                function_fingerprint(optimized)]
+                fingerprints = [CHECKPOINT_FINGERPRINTS.fingerprint(function),
+                                CHECKPOINT_FINGERPRINTS.remember(optimized)]
             else:
                 snapshots = PassManager(passes).run_with_snapshots(function)
                 record.transformed_by = {snap.pass_name: snap.changed
@@ -215,7 +215,7 @@ def build_plan(
                     result_module.add_function(clone_function(function, value_map=global_map))
                     continue
                 steps, versions = checkpoint_chain(function, snapshots)
-                fingerprints = [function_fingerprint(function)]
+                fingerprints = [CHECKPOINT_FINGERPRINTS.fingerprint(function)]
                 fingerprints += [snap.fingerprint() for snap in steps]
             whole_key = cache.key_for(fingerprints[0], fingerprints[-1], config)
             if strategy == "stepwise":
@@ -257,6 +257,94 @@ def build_plan(
                     pending_chains=pending_chains)
 
 
+@dataclass
+class PipelineDiff:
+    """What changed between two checkpoint chains of the same function.
+
+    Produced by :func:`diff_plan` and consumed by the incremental
+    revalidator (:mod:`repro.validator.watch`): pairs whose endpoints
+    both carry fingerprints the previous run already validated keep their
+    previous cache keys (*adopted* — never re-derived) and are settled
+    straight from the cache; only :attr:`dirty_pairs` need any graph
+    work.
+    """
+
+    #: Content fingerprint of every version of the *new* chain.
+    fingerprints: List[str]
+    #: Cache key of every adjacent pair of the new chain, in validation
+    #: order.  Unchanged pairs carry the previous run's key object.
+    pair_keys: List[CacheKey]
+    #: Number of leading versions shared (by content) with the old chain.
+    common_prefix: int
+    #: Pair indices whose both endpoints match the old chain positionally
+    #: — their verdicts are adopted from the previous plan/cache.
+    unchanged_pairs: List[int]
+    #: Pair indices with at least one changed endpoint — the only pairs
+    #: that need validation work.
+    dirty_pairs: List[int]
+
+    @property
+    def fully_unchanged(self) -> bool:
+        return not self.dirty_pairs
+
+
+def diff_plan(old_fingerprints: Sequence[str],
+              new_fingerprints: Sequence[str],
+              config: Optional[ValidatorConfig] = None,
+              cache: Optional[ValidationCache] = None,
+              old_pair_keys: Optional[Sequence[CacheKey]] = None,
+              ) -> PipelineDiff:
+    """Diff two checkpoint chains into adopted and dirty pair work.
+
+    ``old_fingerprints`` describe the previous run's version chain (the
+    original followed by every changed checkpoint — what
+    :func:`~repro.transforms.pass_manager.checkpoint_chain` produced,
+    fingerprinted through the shared
+    :data:`~repro.analysis.manager.CHECKPOINT_FINGERPRINTS` table);
+    ``new_fingerprints`` the current run's.  A pair of the new chain is
+    *unchanged* when both its endpoints match the old chain at the same
+    positions — which covers the longest-common-prefix case (a pure
+    pipeline-suffix tweak) and re-convergent tails (a middle pass edit
+    whose downstream checkpoints hash identically).  Unchanged pairs
+    adopt the previous plan's cache keys verbatim when ``old_pair_keys``
+    is supplied (no re-keying); dirty pairs get fresh keys from
+    ``cache.key_for``.  Like :func:`build_plan` this performs no
+    validation — it is a pure function of fingerprints, configuration
+    and the previous plan.
+    """
+    config = config or DEFAULT_CONFIG
+    key_for = (cache.key_for if cache is not None
+               else ValidationCache.key_for)
+    new_fingerprints = list(new_fingerprints)
+    old_fingerprints = list(old_fingerprints)
+    common_prefix = 0
+    for old_fp, new_fp in zip(old_fingerprints, new_fingerprints):
+        if old_fp != new_fp:
+            break
+        common_prefix += 1
+    pair_count = max(len(new_fingerprints) - 1, 0)
+    pair_keys: List[CacheKey] = []
+    unchanged: List[int] = []
+    dirty: List[int] = []
+    for index in range(pair_count):
+        positionally_unchanged = (
+            index + 1 < len(old_fingerprints)
+            and old_fingerprints[index] == new_fingerprints[index]
+            and old_fingerprints[index + 1] == new_fingerprints[index + 1])
+        if positionally_unchanged:
+            unchanged.append(index)
+            if old_pair_keys is not None and index < len(old_pair_keys):
+                pair_keys.append(old_pair_keys[index])
+                continue
+        else:
+            dirty.append(index)
+        pair_keys.append(key_for(new_fingerprints[index],
+                                 new_fingerprints[index + 1], config))
+    return PipelineDiff(fingerprints=new_fingerprints, pair_keys=pair_keys,
+                        common_prefix=common_prefix, unchanged_pairs=unchanged,
+                        dirty_pairs=dirty)
+
+
 def pending_whole_queries(plan: WorkPlan, cache: ValidationCache
                           ) -> Dict[CacheKey, Tuple[Function, Function]]:
     """The settle round's demand: whole fallbacks of rejected functions.
@@ -290,8 +378,10 @@ __all__ = [
     "ChainSignature",
     "FunctionPlan",
     "ModulePlan",
+    "PipelineDiff",
     "WorkPlan",
     "build_plan",
+    "diff_plan",
     "pending_whole_queries",
     "chain_amortizes",
     "resolved_executor",

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ...analysis.manager import AnalysisManager, function_fingerprint
+from ...analysis.manager import AnalysisManager, CHECKPOINT_FINGERPRINTS
 from ...ir.cloning import clone_function
 from ...ir.module import Function, Module
 from ...transforms.pass_manager import PassSnapshot
@@ -280,7 +280,9 @@ def settle_plan(plan: WorkPlan, cache: ValidationCache, execution,
 
     def _fingerprint(function: Function) -> str:
         memoized = fingerprint_memo.get(id(function))
-        return memoized if memoized is not None else function_fingerprint(function)
+        if memoized is not None:
+            return memoized
+        return CHECKPOINT_FINGERPRINTS.fingerprint(function)
 
     def provider(before: Function, after: Function) -> Tuple[ValidationResult, bool]:
         nonlocal inline_validations

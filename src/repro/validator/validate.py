@@ -32,7 +32,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..analysis.manager import AnalysisManager
 from ..errors import IrreducibleCFGError, ReproError, ValidationInternalError
 from ..ir.module import Function
-from ..vgraph.builder import build_chain_graph, build_shared_graph
+from ..vgraph.builder import (FunctionSummary, build_chain_graph,
+                              build_shared_graph)
+from ..vgraph.graph import ValueGraph
 from ..vgraph.normalize import (
     NormalizationStats,
     Normalizer,
@@ -360,6 +362,104 @@ def validate_chain(versions: Sequence[Function],
                         rejects_trusted=rejects_trusted)
 
 
+def validate_chain_delta(graph: ValueGraph,
+                         summaries: Sequence[FunctionSummary],
+                         dirty_indices: Sequence[int],
+                         config: Optional[ValidatorConfig] = None,
+                         nodes_built: int = 0,
+                         nodes_reused: int = 0,
+                         ) -> Optional[Tuple[Dict[int, ValidationResult],
+                                             Dict[str, int]]]:
+    """Read only the *dirty* pairs' verdicts off a retained chain graph.
+
+    ``graph`` is a pristine (constructed, never normalized) chain graph
+    already extended with the current versions
+    (:func:`~repro.vgraph.builder.extend_chain_graph`); ``summaries``
+    hold every current version's roots and ``dirty_indices`` name the
+    adjacent pairs whose endpoints changed since the previous run.  The
+    graph is cloned down to the current roots — retired versions' nodes
+    must neither inhabit the work graph nor join the first round's full
+    sharing scan — and the clone is normalized against the union of the
+    dirty pairs' goals only, exactly the scope a cold
+    :func:`validate_chain` over just those pairs would use.
+
+    Accepts read off the clone are exact on :func:`validate_chain`'s
+    terms (construction-time merging is structural identity, and the
+    union of the dirty goals applies at least every pair-local rewrite).
+    Rejections are **never** authoritative here — the dirty goal union
+    differs from both the full-chain union and the isolated pair scope —
+    so the incremental driver re-checks every read-off rejection with an
+    isolated per-pair :func:`validate`, which is what keeps incremental
+    records signature-identical to cold ones.
+
+    Returns ``(verdicts, chain_stats)`` with one entry per dirty index,
+    or ``None`` when anything fails — the caller then falls back to
+    isolated per-pair validation and drops the retained state.
+    ``nodes_built``/``nodes_reused`` are the extension's construction
+    telemetry, threaded into the returned ``chain_stats``.
+    """
+    config = config or DEFAULT_CONFIG
+    if not dirty_indices:
+        raise ValidationInternalError("validate_chain_delta needs >= 1 dirty pair")
+    name = summaries[0].function.name
+    start = time.perf_counter()
+    try:
+        roots = [node for summary in summaries for node in summary.roots()]
+        work = graph.clone(roots=roots)
+        pair_goals: Dict[int, List[Tuple[Optional[int], Optional[int]]]] = {}
+        for index in dirty_indices:
+            left, right = summaries[index], summaries[index + 1]
+            pair_goals[index] = [
+                (left.result, right.result),
+                (left.memory, right.memory),
+            ]
+        all_goals = [goal for goals in pair_goals.values() for goal in goals]
+        trivially = {index: all(_goal_equal(work, goal) for goal in goals)
+                     for index, goals in pair_goals.items()}
+        reach = {index: work.reachable(summaries[index].roots())
+                 for pair in dirty_indices for index in (pair, pair + 1)}
+        baseline_nodes = sum(len(reach[index] | reach[index + 1])
+                             for index in dirty_indices)
+        created_watermark = work.next_id
+        normalizer = Normalizer(
+            work,
+            rule_groups=config.rule_groups,
+            matcher=config.matcher,
+            max_iterations=config.max_iterations,
+            engine=config.engine,
+        )
+        _, stats = normalizer.normalize_until_equal(all_goals)
+    except Exception:
+        return None
+
+    elapsed = time.perf_counter() - start
+    graph_nodes = work.live_node_count()
+    verdicts: Dict[int, ValidationResult] = {}
+    for position, index in enumerate(dirty_indices):
+        goals = pair_goals[index]
+        merged = all(_goal_equal(work, goal) for goal in goals)
+        if merged:
+            reason = "trivially-equal" if trivially[index] else "equal"
+            verdicts[index] = ValidationResult(
+                name, True, reason, elapsed=elapsed if position == 0 else 0.0,
+                graph_nodes=graph_nodes)
+        else:
+            detail = _failure_detail(work, summaries[index], summaries[index + 1])
+            verdicts[index] = ValidationResult(
+                name, False, "normalization-exhausted",
+                elapsed=elapsed if position == 0 else 0.0,
+                graph_nodes=graph_nodes, detail=detail)
+
+    chain_stats = _chain_stats(len(summaries), nodes_built,
+                               nodes_built + (work.next_id - created_watermark),
+                               baseline_nodes, stats)
+    chain_stats["chain_pairs"] = len(dirty_indices)
+    chain_stats["chain_normalizations_saved"] = len(dirty_indices) - 1
+    chain_stats["chain_nodes_reused"] = nodes_reused
+    chain_stats["chain_pairs_skipped"] = 0
+    return verdicts, chain_stats
+
+
 def _goal_equal(graph, goal: Tuple[Optional[int], Optional[int]]) -> bool:
     left, right = goal
     if left is None and right is None:
@@ -449,5 +549,5 @@ def validate_or_raise(before: Function, after: Function,
     return result
 
 
-__all__ = ["validate", "validate_chain", "validate_or_raise",
-           "ValidationResult", "ChainOutcome"]
+__all__ = ["validate", "validate_chain", "validate_chain_delta",
+           "validate_or_raise", "ValidationResult", "ChainOutcome"]

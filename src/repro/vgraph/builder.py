@@ -591,10 +591,62 @@ def build_chain_graph(versions: List[Function],
     return graph, summaries
 
 
+def extend_chain_graph(graph: ValueGraph,
+                       old_summaries: Dict[str, FunctionSummary],
+                       new_versions: List[Function],
+                       manager: Optional[AnalysisManager] = None,
+                       fingerprints: Optional[List[str]] = None,
+                       ) -> Tuple[List[FunctionSummary], int, int]:
+    """Extend a retained chain graph with only the *changed* versions.
+
+    The incremental counterpart of :func:`build_chain_graph`: ``graph``
+    is a previously constructed (never normalized) chain graph and
+    ``old_summaries`` maps the content fingerprint of every version it
+    already contains to that version's :class:`FunctionSummary`.  Each
+    new version whose fingerprint is known reuses the retained roots
+    outright — identical IR translates to the identical gated term, and
+    μ placeholders are not hash-consed, so reusing the summary (rather
+    than re-translating and praying for consing) is what keeps unchanged
+    checkpoints free.  Only fingerprint-misses are symbolically evaluated
+    into the graph, where hash-consing shares every sub-term they have in
+    common with the retained population.
+
+    Returns ``(summaries, nodes_reused, nodes_built)``: one summary per
+    element of ``new_versions`` (reused summaries are rebound to the new
+    version object), the number of *pre-existing* nodes the freshly
+    built versions reached (the ``subgraph_nodes_reused`` telemetry — 0
+    when nothing needed building), and the number of nodes construction
+    actually created.
+    """
+    if fingerprints is None:
+        from ..analysis.manager import CHECKPOINT_FINGERPRINTS
+        fingerprints = [CHECKPOINT_FINGERPRINTS.fingerprint(version)
+                        for version in new_versions]
+    watermark = graph.next_id
+    summaries: List[FunctionSummary] = []
+    fresh_roots: List[int] = []
+    for version, fingerprint in zip(new_versions, fingerprints):
+        retained = old_summaries.get(fingerprint)
+        if retained is not None:
+            summaries.append(FunctionSummary(version, retained.result,
+                                             retained.memory))
+        else:
+            summary = build_function_graph(graph, version, manager)
+            summaries.append(summary)
+            fresh_roots.extend(summary.roots())
+    nodes_built = graph.next_id - watermark
+    nodes_reused = 0
+    if fresh_roots:
+        nodes_reused = sum(1 for node_id in graph.reachable(fresh_roots)
+                           if node_id < watermark)
+    return summaries, nodes_reused, nodes_built
+
+
 __all__ = [
     "GraphBuilder",
     "FunctionSummary",
     "build_function_graph",
     "build_shared_graph",
     "build_chain_graph",
+    "extend_chain_graph",
 ]

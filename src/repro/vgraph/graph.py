@@ -328,6 +328,52 @@ class ValueGraph:
                 continue
             self._table.setdefault(node.key(tuple(node.args)), node_id)
 
+    # -- copying ------------------------------------------------------------
+    def clone(self, roots: Optional[Iterable[int]] = None) -> "ValueGraph":
+        """An independent copy of this graph (optionally root-restricted).
+
+        With ``roots`` the copy keeps only the nodes reachable from them
+        — the incremental revalidator clones its *pristine* (constructed,
+        never normalized) master chain graph down to the current
+        checkpoint roots before normalizing, so retired versions' nodes
+        neither appear in the work graph nor skew the full
+        :meth:`maximize_sharing` scan of the first normalization round.
+        Restriction therefore requires a merge-free graph: redirects
+        forward arbitrary ids across subgraph boundaries, and slicing a
+        forwarded graph could orphan forward targets.
+
+        Node ids are preserved (``_next_id`` carries over, so watermark
+        arithmetic against the source stays valid), the cons table keeps
+        exactly the entries whose node survived, parent edges are rebuilt
+        from the kept argument lists, and listeners are *not* copied —
+        they observe the graph they were registered on.
+        """
+        copy = ValueGraph()
+        if roots is None:
+            kept = None
+        else:
+            if self._forward:
+                raise ValueError(
+                    "root-restricted clone requires a merge-free graph "
+                    "(redirects may forward across the kept subgraph)")
+            kept = self.reachable(roots)
+        for node_id, node in self._nodes.items():
+            if kept is not None and node_id not in kept:
+                continue
+            copy._nodes[node_id] = VNode(node.id, node.kind, node.data,
+                                         list(node.args))
+            # Parent edges live under canonical ids (merges migrate them),
+            # so register resolved arguments, not the raw stored ids.
+            copy._register_args(node_id, (self.resolve(a) for a in node.args))
+        if kept is None:
+            copy._forward = dict(self._forward)
+            copy._table = dict(self._table)
+        else:
+            copy._table = {key: node_id for key, node_id in self._table.items()
+                           if node_id in kept}
+        copy._next_id = self._next_id
+        return copy
+
     # -- queries ------------------------------------------------------------
     def reachable(self, roots: Iterable[int]) -> Set[int]:
         """Canonical ids reachable from the given roots."""
