@@ -28,9 +28,11 @@ from .driver import (
     validate_module_batch,
 )
 from .scheduler import (
+    BUDGET_EXHAUSTED,
     Executor,
     PipelineDiff,
     PoolExecutor,
+    RequestBudget,
     SerialExecutor,
     StealExecutor,
     WaveExecutor,
@@ -38,6 +40,7 @@ from .scheduler import (
     build_plan,
     create_executor,
     diff_plan,
+    is_budget_result,
     resolved_executor,
     settle_plan,
 )
@@ -54,7 +57,7 @@ from .validate import (
 # eagerly would make ``python -m repro.validator.watch`` re-execute the
 # module runpy already found in sys.modules.
 _WATCH_EXPORTS = ("Revalidator", "shared_revalidator",
-                  "reset_shared_revalidators")
+                  "reset_shared_revalidators", "watch_source")
 
 
 def __getattr__(name):
@@ -89,9 +92,13 @@ __all__ = [
     "create_executor",
     "resolved_executor",
     "settle_plan",
+    "BUDGET_EXHAUSTED",
+    "RequestBudget",
+    "is_budget_result",
     "Revalidator",
     "shared_revalidator",
     "reset_shared_revalidators",
+    "watch_source",
     "validate_chain_delta",
     "llvm_md",
     "validate_function_pipeline",

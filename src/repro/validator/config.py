@@ -156,6 +156,26 @@ class ValidatorConfig:
         cancels later pairs of doomed functions, but those are exactly
         the pairs the incremental diff already skipped or adopted, so
         the combination is rejected at construction time.
+    service_port:
+        TCP port the validation daemon
+        (:mod:`repro.validator.service`) listens on.  ``0`` asks the OS
+        for an ephemeral port (the daemon prints the bound address).
+        Only the service reads it; it never affects a verdict.
+    max_inflight:
+        Admission-control bound for the daemon: how many validation
+        requests may be admitted (queued or running) at once.  Requests
+        beyond the bound are rejected with ``503`` and a ``Retry-After``
+        hint instead of queueing without limit.  ``0`` rejects every
+        request — useful for drain/maintenance windows and for testing
+        the rejection path deterministically.
+    request_timeout:
+        Default per-request wall-clock budget (seconds) the daemon
+        applies when a request does not set its own.  ``0`` (the
+        default) leaves requests unbounded.  A request that exceeds its
+        budget is not dropped: fresh validation stops, remaining
+        verdicts are denied with reason ``"budget-exhausted"``, and each
+        record settles with its validated ``kept_prefix`` salvaged (see
+        :mod:`repro.validator.scheduler.budget`).
     """
 
     rule_groups: Tuple[str, ...] = tuple(ALL_RULE_GROUPS)
@@ -171,6 +191,9 @@ class ValidatorConfig:
     cache_max_bytes: int = 0
     cache_backend: str = "auto"
     incremental: bool = False
+    service_port: int = 8037
+    max_inflight: int = 4
+    request_timeout: float = 0.0
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -200,6 +223,15 @@ class ValidatorConfig:
             raise ValueError("analysis_cache_size must be >= 0 (0 = unbounded)")
         if self.cache_max_bytes < 0:
             raise ValueError("cache_max_bytes must be >= 0 (0 = unbounded)")
+        if not 0 <= self.service_port <= 65535:
+            raise ValueError(
+                f"service_port must be a TCP port in [0, 65535] "
+                f"(got {self.service_port}); 0 picks an ephemeral port")
+        if self.max_inflight < 0:
+            raise ValueError(
+                "max_inflight must be >= 0 (0 = reject every request)")
+        if self.request_timeout < 0:
+            raise ValueError("request_timeout must be >= 0 (0 = unbounded)")
 
     def with_rules(self, rule_groups) -> "ValidatorConfig":
         """A copy of this configuration with different rule groups."""

@@ -93,6 +93,7 @@ from .cache import ValidationCache
 from .config import DEFAULT_CONFIG, ValidatorConfig
 from .report import FunctionRecord, ValidationReport
 from .scheduler import (
+    RequestBudget,
     build_plan,
     chain_provider,
     create_executor,
@@ -291,6 +292,7 @@ def validate_module_batch(
     cache: Optional[ValidationCache] = None,
     strategy: str = "whole",
     function_names: Optional[Sequence[Optional[Iterable[str]]]] = None,
+    budget: Optional[RequestBudget] = None,
 ) -> List[Tuple[Module, ValidationReport]]:
     """Optimize and validate a batch of modules through one shared cache.
 
@@ -362,11 +364,12 @@ def validate_module_batch(
                       strategy=strategy, function_names=function_names)
     executor = create_executor(config)
     try:
-        execution = executor.execute(plan, cache)
+        execution = executor.execute(plan, cache, budget=budget)
     finally:
         executor.close()
     manager = _driver_manager(config)
-    results, inline_validations = settle_plan(plan, cache, execution, manager)
+    results, inline_validations = settle_plan(plan, cache, execution, manager,
+                                              budget=budget)
 
     executor_stats = executor.stats()
     pooled = executor_stats["pooled_items"] > 0
@@ -384,6 +387,8 @@ def validate_module_batch(
         "items_stolen": executor_stats.get("items_stolen", 0),
         "steal_attempts": executor_stats.get("steal_attempts", 0),
     }
+    if budget is not None:
+        shard_stats.update(budget.stats())
     cache.save_if_dirty()
     # Proof-store plumbing counters, read after the final save so the
     # closing flush is included.

@@ -20,6 +20,12 @@ backend) independently:
     kept prefixes) from item outcomes, shared by every execution path.
 """
 
+from .budget import (
+    BUDGET_EXHAUSTED,
+    RequestBudget,
+    admit_work,
+    is_budget_result,
+)
 from .executors import (
     ExecutionOutcome,
     Executor,
@@ -57,6 +63,10 @@ from .settle import (
 )
 
 __all__ = [
+    "BUDGET_EXHAUSTED",
+    "RequestBudget",
+    "admit_work",
+    "is_budget_result",
     "PairProvider",
     "ChainSignature",
     "FunctionPlan",

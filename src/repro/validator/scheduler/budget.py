@@ -1,0 +1,134 @@
+"""Per-request resource budgets for validation work.
+
+A long-lived validation service cannot let one request monopolize the
+shared executor: every request gets a :class:`RequestBudget` — an
+optional wall-clock deadline plus an optional cap on *fresh* pair
+validations — and the execution/settlement layers consult it before
+paying for new work.  Exhaustion is **not** an error: the budgeted
+providers answer every query the cache already holds for free, and
+synthesize a rejection with reason :data:`BUDGET_EXHAUSTED` for the
+queries they can no longer afford.  Under the stepwise strategy that
+rejection lands exactly where a real one would — the walk stops, the
+whole-query fallback is denied on the same terms, and the record settles
+with its validated ``kept_prefix`` salvaged — so a request that runs out
+of budget returns partial records instead of being dropped.
+
+Budget verdicts are synthetic: they describe *this request's* resources,
+not the pair's semantics, so they must never enter a
+:class:`~repro.validator.cache.ValidationCache` (every producer in this
+package returns them uncached) and they never mark a record
+``from_cache``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from ..validate import ValidationResult
+
+#: Rejection reason carried by synthetic budget verdicts.  Never cached.
+BUDGET_EXHAUSTED = "budget-exhausted"
+
+
+class RequestBudget:
+    """Wall-clock + fresh-pair budget for one validation request.
+
+    ``timeout`` seconds of wall clock (measured from construction) and
+    ``max_pairs`` fresh pair validations; ``None``/``0`` leaves either
+    axis unbounded.  Cache hits are always free — only work that would
+    actually validate something is charged.
+    """
+
+    def __init__(self, timeout: Optional[float] = None,
+                 max_pairs: Optional[int] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self.deadline = (clock() + timeout
+                         if timeout is not None and timeout > 0 else None)
+        self.max_pairs = (int(max_pairs)
+                          if max_pairs is not None and max_pairs > 0 else None)
+        #: Fresh pair validations charged so far.
+        self.pairs_spent = 0
+        #: Synthetic budget verdicts issued so far.
+        self.denials = 0
+
+    @property
+    def expired(self) -> bool:
+        """Has the wall-clock deadline passed?  (Pair spend is separate:
+        mid-run cancellation must not doom work that was already admitted
+        and charged.)"""
+        return self.deadline is not None and self._clock() >= self.deadline
+
+    @property
+    def exhausted(self) -> bool:
+        """May no further fresh validation be admitted?"""
+        if self.expired:
+            return True
+        return self.max_pairs is not None and self.pairs_spent >= self.max_pairs
+
+    def remaining_pairs(self) -> Optional[int]:
+        """Fresh validations still admissible (``None`` = unbounded)."""
+        if self.max_pairs is None:
+            return None
+        return max(0, self.max_pairs - self.pairs_spent)
+
+    def charge(self, pairs: int = 1) -> None:
+        """Account ``pairs`` fresh validations against the budget."""
+        self.pairs_spent += pairs
+
+    def result(self, function_name: str) -> ValidationResult:
+        """A synthetic (uncacheable) rejection for a denied query."""
+        self.denials += 1
+        axis = "deadline" if self.expired else f"max_pairs={self.max_pairs}"
+        return ValidationResult(
+            function_name, False, BUDGET_EXHAUSTED,
+            detail=(f"request budget exhausted ({axis}; "
+                    f"{self.pairs_spent} fresh pairs spent) — verdict "
+                    f"denied, validated prefix salvaged"))
+
+    def stats(self) -> Dict[str, int]:
+        """Telemetry for ``report.shard_stats`` / service summaries."""
+        return {
+            "budget_pairs_spent": self.pairs_spent,
+            "budget_denied_pairs": self.denials,
+            "budget_exhausted": int(self.exhausted),
+        }
+
+
+def is_budget_result(result: Optional[ValidationResult]) -> bool:
+    """Is ``result`` a synthetic budget denial (and thus uncacheable)?"""
+    return result is not None and result.reason == BUDGET_EXHAUSTED
+
+
+def admit_work(pending: Dict, pending_chains: Dict, budget: RequestBudget
+               ) -> Tuple[Dict, Dict]:
+    """Truncate a plan's pending work to what the budget still admits.
+
+    Pairs are admitted first (they are what records consume directly),
+    then chain items, each charged for the adjacent pairs it covers.
+    Work beyond the budget is simply not executed — the settlement
+    provider answers it with synthetic denials and records salvage their
+    validated prefixes.
+    """
+    admitted_pairs: Dict = {}
+    for key, pair in pending.items():
+        if budget.exhausted:
+            break
+        budget.charge()
+        admitted_pairs[key] = pair
+    admitted_chains: Dict = {}
+    for signature, item in pending_chains.items():
+        if budget.exhausted:
+            break
+        budget.charge(len(signature))
+        admitted_chains[signature] = item
+    return admitted_pairs, admitted_chains
+
+
+__all__ = [
+    "BUDGET_EXHAUSTED",
+    "RequestBudget",
+    "admit_work",
+    "is_budget_result",
+]

@@ -68,6 +68,7 @@ from ..cache import CacheKey, ValidationCache
 from ..config import ValidatorConfig
 from ..report import FunctionRecord
 from ..validate import ChainOutcome, ValidationResult, validate, validate_chain
+from .budget import RequestBudget, admit_work
 from .plan import (
     ChainSignature,
     PairProvider,
@@ -172,12 +173,27 @@ class Executor(ABC):
         }
 
     # -- the shared schedule ----------------------------------------------
-    def execute(self, plan: WorkPlan, cache: ValidationCache) -> ExecutionOutcome:
-        """Eagerly validate the whole plan, then run the settle round."""
+    def execute(self, plan: WorkPlan, cache: ValidationCache,
+                budget: Optional[RequestBudget] = None) -> ExecutionOutcome:
+        """Eagerly validate the whole plan, then run the settle round.
+
+        With a ``budget`` (the service daemon's per-request hook) only
+        the work the budget still admits is executed — pairs first, then
+        chain items, each charged before it runs — and the settle round
+        is skipped once the budget is exhausted: the denied queries are
+        answered with synthetic budget rejections at settlement time, so
+        the affected records salvage their validated ``kept_prefix``
+        instead of failing the whole request.
+        """
         outcome = ExecutionOutcome()
+        pending, pending_chains = plan.pending, plan.pending_chains
+        if budget is not None:
+            pending, pending_chains = admit_work(pending, pending_chains,
+                                                 budget)
         self._run_pairs_and_chains(plan, cache, outcome,
-                                   plan.pending, plan.pending_chains)
-        self._run_settle_round(plan, cache, outcome)
+                                   pending, pending_chains)
+        if budget is None or not budget.exhausted:
+            self._run_settle_round(plan, cache, outcome)
         outcome.validated_queries = len(outcome.fresh)
         return outcome
 
@@ -361,9 +377,10 @@ class WaveExecutor(Executor):
     def degraded(self, value: int) -> None:
         pass
 
-    def execute(self, plan: WorkPlan, cache: ValidationCache) -> ExecutionOutcome:
+    def execute(self, plan: WorkPlan, cache: ValidationCache,
+                budget: Optional[RequestBudget] = None) -> ExecutionOutcome:
         if plan.strategy != "stepwise":
-            return super().execute(plan, cache)
+            return super().execute(plan, cache, budget)
         outcome = ExecutionOutcome()
         # The planner does not pack chains for the wave backend, but an
         # explicitly handed plan may hold some: run them up front so the
@@ -376,6 +393,8 @@ class WaveExecutor(Executor):
         live = [function_plan for function_plan in plan.function_plans()
                 if function_plan.pair_keys]
         while live:
+            if budget is not None and budget.exhausted:
+                break  # remaining waves are denied at settlement time
             batch: Dict[CacheKey, Tuple[Function, Function]] = {}
             next_live = []
             for function_plan in live:
@@ -408,6 +427,13 @@ class WaveExecutor(Executor):
             live = next_live
             if not batch:
                 break
+            if budget is not None:
+                remaining = budget.remaining_pairs()
+                if remaining is not None and remaining < len(batch):
+                    batch = dict(list(batch.items())[:remaining])
+                budget.charge(len(batch))
+                if not batch:
+                    break
             self.waves += 1
             results = self.run_batch(
                 [("pair", before, after, plan.config)
@@ -416,7 +442,8 @@ class WaveExecutor(Executor):
                 cache.put(key, result)
                 outcome.fresh.add(key)
 
-        self._run_settle_round(plan, cache, outcome)
+        if budget is None or not budget.exhausted:
+            self._run_settle_round(plan, cache, outcome)
         self.pairs_skipped = sum(1 for key in plan.pending
                                  if key not in outcome.fresh)
         outcome.validated_queries = len(outcome.fresh)
@@ -585,11 +612,19 @@ class StealExecutor(Executor):
         finally:
             sys.setrecursionlimit(old_limit)
 
-    def execute(self, plan: WorkPlan, cache: ValidationCache) -> ExecutionOutcome:
+    def execute(self, plan: WorkPlan, cache: ValidationCache,
+                budget: Optional[RequestBudget] = None) -> ExecutionOutcome:
         if plan.strategy != "stepwise":
-            return super().execute(plan, cache)
+            return super().execute(plan, cache, budget)
         outcome = ExecutionOutcome()
         config = plan.config
+        pending, pending_chains = plan.pending, plan.pending_chains
+        if budget is not None:
+            # Admission-time budgeting: chains are the longest items, so
+            # they are admitted first here (charged per covered pair) and
+            # the remaining pair allowance fills up with plain pairs.
+            _, pending_chains = admit_work({}, pending_chains, budget)
+            pending, _ = admit_work(pending, {}, budget)
 
         # Demand bookkeeping for streaming cancellation: which functions
         # demand each key, at which pipeline positions, and per function
@@ -628,14 +663,14 @@ class StealExecutor(Executor):
         # able to cancel later work arrive first.
         tagged: List[Tuple[int, Tuple]] = []
         kinds: List[Tuple] = []
-        for signature, (versions, whole_key) in plan.pending_chains.items():
+        for signature, (versions, whole_key) in pending_chains.items():
             kinds.append(("chain", signature, whole_key))
             tagged.append((len(tagged), ("chain", versions, config)))
         pair_order = sorted(
-            plan.pending,
+            pending,
             key=lambda key: min(position for _, position in key_positions[key]))
         for key in pair_order:
-            before, after = plan.pending[key]
+            before, after = pending[key]
             kinds.append(("pair", key))
             tagged.append((len(tagged), ("pair", before, after, config)))
 
@@ -662,12 +697,18 @@ class StealExecutor(Executor):
                     release(key)
 
         def is_cancelled(tag: int) -> bool:
+            # Wall-clock expiry cancels undispatched items mid-run; the
+            # pair cap was already enforced at admission time, so only
+            # the deadline axis is consulted here.
+            if budget is not None and budget.expired:
+                return True
             kind = kinds[tag]
             return kind[0] == "pair" and doomed(kind[1])
 
         if tagged:
             self._run_stealing(tagged, config, handle, is_cancelled)
-        self._run_settle_round(plan, cache, outcome)
+        if budget is None or not budget.exhausted:
+            self._run_settle_round(plan, cache, outcome)
         self.pairs_skipped += sum(1 for key in plan.pending
                                   if key not in outcome.fresh)
         outcome.validated_queries = len(outcome.fresh)

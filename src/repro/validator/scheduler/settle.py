@@ -32,6 +32,7 @@ from ..cache import ValidationCache
 from ..config import ValidatorConfig
 from ..report import FunctionRecord, ValidationReport
 from ..validate import ChainOutcome, ValidationResult, validate
+from .budget import RequestBudget
 from .plan import PairProvider, WorkPlan
 
 
@@ -248,6 +249,7 @@ def remap_function_refs(result_module: Module) -> None:
 
 def settle_plan(plan: WorkPlan, cache: ValidationCache, execution,
                 manager: AnalysisManager,
+                budget: Optional[RequestBudget] = None,
                 ) -> Tuple[List[Tuple[Module, ValidationReport]], int]:
     """Assemble result modules and reports from the executed plan.
 
@@ -260,6 +262,12 @@ def settle_plan(plan: WorkPlan, cache: ValidationCache, execution,
     chain verdicts censored beyond another function's consumed prefix,
     pairs a wave backend cancelled but another strategy path still asks
     for) validate inline through the bounded analysis ``manager``.
+
+    With a ``budget``, inline validation the budget no longer admits is
+    answered with a synthetic :data:`~repro.validator.scheduler.budget.BUDGET_EXHAUSTED`
+    rejection — never cached, never counted in the hit/miss ledger — so
+    the record's stepwise walk stops there and salvages its validated
+    ``kept_prefix``.  Cached verdicts keep answering for free.
 
     Returns ``(results, inline_validations)`` with ``results`` in input
     module order.
@@ -289,7 +297,13 @@ def settle_plan(plan: WorkPlan, cache: ValidationCache, execution,
         key = cache.key_for(_fingerprint(before), _fingerprint(after), config)
         stored = cache.peek(key)
         if stored is None:
+            if budget is not None and budget.exhausted:
+                # Synthetic denial: uncached, unledgered — the walk stops
+                # here and the record keeps its validated prefix.
+                return budget.result(before.name), False
             result = validate(before, after, config, manager=manager)
+            if budget is not None:
+                budget.charge()
             cache.put(key, result)
             cache.misses += 1
             inline_validations += 1

@@ -1,0 +1,6 @@
+"""``python -m repro.validator.service`` entry point."""
+
+from .daemon import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

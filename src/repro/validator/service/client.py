@@ -1,0 +1,149 @@
+"""A thin blocking client for the validation daemon.
+
+Standard-library only (:mod:`http.client`): submit a module or corpus,
+iterate the streamed NDJSON verdicts, read ``/stats``, trigger a
+graceful shutdown.  The client is deliberately dumb — every transport
+failure surfaces as :class:`ServiceError`, admission rejection as
+:class:`ServiceBusy` with the daemon's ``Retry-After`` hint — so test
+harnesses and CI guards stay in control of retry policy.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Dict, List, Optional, Sequence, Union
+
+from ...ir.module import Module
+from ...ir.printer import print_module
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with an error (or the stream broke)."""
+
+
+class ServiceBusy(ServiceError):
+    """Admission control rejected the request (HTTP 503)."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        #: The daemon's ``Retry-After`` hint, in seconds.
+        self.retry_after = retry_after
+
+
+class ValidationClient:
+    """Blocking access to one validation daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8037,
+                 timeout: float = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, object]] = None):
+        connection = HTTPConnection(self.host, self.port,
+                                    timeout=self.timeout)
+        body = json.dumps(payload).encode("utf-8") if payload is not None \
+            else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+        except OSError as exc:
+            connection.close()
+            raise ServiceError(f"could not reach the service: {exc}")
+        return connection, response
+
+    def validate(self, module: Union[str, Module, None] = None,
+                 passes: Optional[Sequence[str]] = None,
+                 label: str = "",
+                 corpus: Optional[str] = None, scale: float = 0.1,
+                 functions: Optional[Sequence[str]] = None,
+                 timeout: Optional[float] = None,
+                 max_pairs: Optional[int] = None) -> Dict[str, object]:
+        """Validate a module (``.ll`` text or a :class:`Module`) or a corpus.
+
+        Returns ``{"records": [...], "summary": {...}}`` — ``records``
+        holds the streamed NDJSON record objects in settlement order
+        (each with the daemon-side
+        :meth:`~repro.validator.report.FunctionRecord.signature` under
+        ``"signature"``).  Raises :class:`ServiceBusy` on 503 and
+        :class:`ServiceError` on any other failure.
+        """
+        payload: Dict[str, object] = {}
+        if corpus is not None:
+            payload["corpus"] = corpus
+            payload["scale"] = scale
+        elif module is not None:
+            payload["module"] = (module if isinstance(module, str)
+                                 else print_module(module))
+            if isinstance(module, Module):
+                payload["name"] = module.name
+        else:
+            raise ValueError("pass module= or corpus=")
+        if passes is not None:
+            payload["passes"] = list(passes)
+        if label:
+            payload["label"] = label
+        if functions is not None:
+            payload["functions"] = list(functions)
+        if timeout is not None:
+            payload["timeout"] = timeout
+        if max_pairs is not None:
+            payload["max_pairs"] = max_pairs
+
+        connection, response = self._request("POST", "/validate", payload)
+        try:
+            if response.status == 503:
+                detail = response.read().decode("utf-8", "replace")
+                retry_after = float(response.getheader("Retry-After") or 1.0)
+                raise ServiceBusy(f"service busy: {detail.strip()}",
+                                  retry_after=retry_after)
+            if response.status != 200:
+                detail = response.read().decode("utf-8", "replace")
+                raise ServiceError(
+                    f"HTTP {response.status}: {detail.strip()}")
+            records: List[Dict[str, object]] = []
+            summary: Optional[Dict[str, object]] = None
+            for raw in response:
+                line = raw.strip()
+                if not line:
+                    continue
+                event = json.loads(line.decode("utf-8"))
+                kind = event.get("type")
+                if kind == "record":
+                    records.append(event)
+                elif kind == "summary":
+                    summary = event
+                elif kind == "error":
+                    raise ServiceError(
+                        f"validation failed mid-stream: {event.get('message')}")
+            if summary is None:
+                raise ServiceError("stream ended without a summary line")
+            return {"records": records, "summary": summary}
+        finally:
+            connection.close()
+
+    def stats(self) -> Dict[str, object]:
+        """The daemon's ``/stats`` counters."""
+        connection, response = self._request("GET", "/stats")
+        try:
+            if response.status != 200:
+                raise ServiceError(f"HTTP {response.status} from /stats")
+            return json.loads(response.read().decode("utf-8"))
+        finally:
+            connection.close()
+
+    def shutdown(self) -> Dict[str, object]:
+        """Ask the daemon to drain and exit gracefully."""
+        connection, response = self._request("POST", "/shutdown", {})
+        try:
+            if response.status != 200:
+                raise ServiceError(f"HTTP {response.status} from /shutdown")
+            return json.loads(response.read().decode("utf-8"))
+        finally:
+            connection.close()
+
+
+__all__ = ["ValidationClient", "ServiceBusy", "ServiceError"]

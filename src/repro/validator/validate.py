@@ -60,7 +60,11 @@ class ValidationResult:
     #: irreducible control flow), ``"build-error"`` (graph *construction*
     #: failed — unexpected IR or recursion blow-up) or
     #: ``"normalize-error"`` (construction succeeded but an internal error
-    #: was raised while *normalizing* the graph).
+    #: was raised while *normalizing* the graph).  One synthetic rejection
+    #: exists outside validation proper: ``"budget-exhausted"`` (a
+    #: per-request :class:`~repro.validator.scheduler.budget.RequestBudget`
+    #: could not afford this query; says nothing about the pair's
+    #: semantics and is never cached).
     reason: str
     #: Wall-clock seconds spent on this validation.
     elapsed: float = 0.0

@@ -44,9 +44,11 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence, Set,
+                    Tuple)
 
 from ..analysis.manager import AnalysisManager, CHECKPOINT_FINGERPRINTS
+from ..errors import ReproError
 from ..ir.cloning import clone_function, clone_globals_into
 from ..ir.module import Function, Module
 from ..transforms.pass_manager import PAPER_PIPELINE, PassManager, checkpoint_chain
@@ -56,6 +58,7 @@ from .cache import CacheKey, ValidationCache
 from .config import DEFAULT_CONFIG, ValidatorConfig
 from .report import FunctionRecord, ValidationReport
 from .scheduler import (
+    RequestBudget,
     chain_amortizes,
     create_executor,
     remap_function_refs,
@@ -127,6 +130,8 @@ class Revalidator:
                    label: str = "",
                    function_names: Optional[Iterable[str]] = None,
                    cache: Optional[ValidationCache] = None,
+                   budget: Optional[RequestBudget] = None,
+                   on_record: Optional[Callable[[FunctionRecord], None]] = None,
                    ) -> Tuple[Module, ValidationReport]:
         """Optimize and validate ``module``, reusing the previous run.
 
@@ -137,6 +142,16 @@ class Revalidator:
         telemetry in ``report.shard_stats``.  An explicit ``cache``
         overrides the revalidator's own for this call (keys are
         content-addressed, so mixing caches never changes verdicts).
+
+        ``budget`` bounds this call's *fresh* work (see
+        :mod:`~repro.validator.scheduler.budget`): cache hits and
+        adopted unchanged pairs stay free, and once the budget is
+        exhausted remaining queries settle as synthetic uncached
+        ``"budget-exhausted"`` denials — records keep their validated
+        ``kept_prefix`` instead of the call failing.  ``on_record`` is
+        invoked with each :class:`~repro.validator.report.FunctionRecord`
+        as it settles, letting a streaming host (the validation service)
+        emit verdicts before the run completes.
         """
         label = label or module.name
         cache = cache if cache is not None else self.cache
@@ -158,7 +173,7 @@ class Revalidator:
 
         # Phase 2 (pooled backends only): ship the dirty uncached pairs to
         # the workers as isolated pair items and pre-fill the cache.
-        prefilled = self._prefill_pooled(contexts, cache)
+        prefilled = self._prefill_pooled(contexts, cache, budget)
         prefilled_count = len(prefilled)
 
         # Phase 3: settle every record through the incremental provider.
@@ -167,8 +182,10 @@ class Revalidator:
                       "functions_fully_cached": 0}
         for context in contexts:
             kept, record = self._settle_function(context, cache, prefilled,
-                                                 run_totals)
+                                                 run_totals, budget)
             report.add(record)
+            if on_record is not None:
+                on_record(record)
             function = context["function"]
             if kept is function:
                 result_module.add_function(
@@ -189,6 +206,8 @@ class Revalidator:
             "pool_prefilled_pairs": prefilled_count,
             **run_totals,
         }
+        if budget is not None:
+            report.shard_stats.update(budget.stats())
         return result_module, report
 
     # -- planning ---------------------------------------------------------
@@ -215,13 +234,17 @@ class Revalidator:
         return context
 
     def _prefill_pooled(self, contexts: List[Dict[str, object]],
-                        cache: ValidationCache) -> Set[CacheKey]:
+                        cache: ValidationCache,
+                        budget: Optional[RequestBudget] = None,
+                        ) -> Set[CacheKey]:
         """Run dirty uncached pairs on a pooled backend, filling the cache.
 
         Returns the keys filled this way; the provider counts their first
         consumption as a miss (the verdict is fresh work of this run, it
         merely ran on a worker).  Serial backends skip this entirely and
-        keep the retained-graph delta path.
+        keep the retained-graph delta path.  A ``budget`` is charged here
+        at admission (one fresh pair per item); work beyond it is simply
+        not shipped, and the provider denies it at settlement.
         """
         if resolved_executor(self.config) not in ("pool", "steal"):
             return set()
@@ -234,6 +257,8 @@ class Revalidator:
                 continue
             versions = context["versions"]
             for index in diff.dirty_pairs:
+                if budget is not None and budget.exhausted:
+                    break
                 key = diff.pair_keys[index]
                 if key in queued or cache.peek(key) is not None:
                     continue
@@ -241,6 +266,8 @@ class Revalidator:
                 keys.append(key)
                 items.append(("pair", versions[index], versions[index + 1],
                               self.config))
+                if budget is not None:
+                    budget.charge()
         if not items:
             return set()
         results = self.executor.run_batch(items, self.config)
@@ -255,6 +282,7 @@ class Revalidator:
     def _settle_function(self, context: Dict[str, object],
                          cache: ValidationCache, prefilled: Set[CacheKey],
                          run_totals: Dict[str, int],
+                         budget: Optional[RequestBudget] = None,
                          ) -> Tuple[Function, FunctionRecord]:
         function: Function = context["function"]
         record: FunctionRecord = context["record"]
@@ -269,7 +297,8 @@ class Revalidator:
         diff: PipelineDiff = context["diff"]
 
         provider, finish = self._incremental_provider(
-            versions, fingerprints, diff, previous, record, cache, prefilled)
+            versions, fingerprints, diff, previous, record, cache, prefilled,
+            budget)
         kept = run_stepwise(function, versions, steps, provider, record)
         record.analysis_stats = self.manager.stats()
         self._states[context["state_key"]] = finish(run_totals)
@@ -279,7 +308,8 @@ class Revalidator:
                               fingerprints: List[str], diff: PipelineDiff,
                               previous: Optional[_ChainState],
                               record: FunctionRecord, cache: ValidationCache,
-                              prefilled: Set[CacheKey]):
+                              prefilled: Set[CacheKey],
+                              budget: Optional[RequestBudget] = None):
         """The pair provider settling one function's record incrementally.
 
         Returns ``(provider, finish)``; ``finish(run_totals)`` folds the
@@ -297,7 +327,7 @@ class Revalidator:
         # extended graph/summaries, and the telemetry counters.
         state: Dict[str, object] = {}
         counters = {"skipped": 0, "reused": 0, "extended": 0, "fallback": 0,
-                    "fresh": 0}
+                    "fresh": 0, "denied": 0}
 
         def delta() -> Optional[Dict[int, ValidationResult]]:
             """Extend the retained graph and read the dirty verdicts off it."""
@@ -352,9 +382,14 @@ class Revalidator:
                 cached = cache.get(key, before.name)
                 if cached is not None:
                     return cached, True
+                if budget is not None and budget.exhausted:
+                    counters["denied"] += 1
+                    return budget.result(before.name), False
                 result = validate(before, after, config, manager=manager)
                 cache.put(key, result)
                 counters["fresh"] += 1
+                if budget is not None:
+                    budget.charge()
                 return result, False
             key = (diff.pair_keys[position] if position is not None
                    else cache.key_for(fingerprints[0], fingerprints[-1], config))
@@ -371,6 +406,12 @@ class Revalidator:
                 if position in unchanged:
                     counters["skipped"] += 1
                 return cached, True
+            if budget is not None and budget.exhausted:
+                # Everything past this point is fresh work (delta read-off
+                # or isolated validation): deny it uncached — the record
+                # salvages its validated prefix, the cache stays clean.
+                counters["denied"] += 1
+                return budget.result(before.name), False
             result: Optional[ValidationResult] = None
             if position is not None and position in set(diff.dirty_pairs):
                 verdicts = delta()
@@ -388,6 +429,8 @@ class Revalidator:
                 result = validate(before, after, config, manager=manager)
             cache.put(key, result)
             counters["fresh"] += 1
+            if budget is not None:
+                budget.charge()
             return result, False
 
         def finish(run_totals: Dict[str, int]) -> _ChainState:
@@ -397,7 +440,8 @@ class Revalidator:
             run_totals["subgraph_nodes_reused"] += counters["reused"]
             run_totals["chain_extensions"] += counters["extended"]
             run_totals["chain_fallbacks"] += counters["fallback"]
-            if "delta" not in state and not counters["fresh"]:
+            if ("delta" not in state and not counters["fresh"]
+                    and not counters["denied"]):
                 run_totals["functions_fully_cached"] += 1
             if counters["fallback"]:
                 # Broken graph state: retain only the plan (fingerprints
@@ -463,6 +507,66 @@ def _load_module(source: str, scale: float) -> Module:
     return parse_module(path.read_text(), name=path.stem)
 
 
+def _source_stamp(path) -> Optional[Tuple[int, int]]:
+    """``(st_mtime_ns, st_size)`` of ``path``, or ``None`` when unreadable.
+
+    Nanosecond mtime *and* size: a bare ``st_mtime`` equality check
+    misses same-second rewrites on coarse-timestamp filesystems, and a
+    deleted file must read as "no stamp", not raise out of the watcher.
+    """
+    try:
+        status = path.stat()
+    except OSError:
+        return None
+    return (status.st_mtime_ns, status.st_size)
+
+
+def watch_source(path, load: Callable[[], Module],
+                 revalidate: Callable[[Module], None],
+                 interval: float = 2.0,
+                 sleep: Callable[[float], None] = time.sleep,
+                 max_polls: Optional[int] = None) -> int:
+    """Poll ``path``, calling ``revalidate(load())`` on every content change.
+
+    The loop must outlive editor behavior: the file may briefly not
+    exist (atomic-replace saves, deletions) and may be half-written when
+    a poll lands (parse errors) — both print a warning and keep polling
+    instead of crashing the watcher.  A failed load keeps its stamp, so
+    the write that completes the file triggers the retry.  ``sleep`` and
+    ``max_polls`` exist for tests; returns the number of completed
+    revalidations.
+    """
+    last_stamp = _source_stamp(path)
+    missing_warned = last_stamp is None
+    if missing_warned:
+        print(f"warning: {path} is missing; waiting for it to appear")
+    runs = 0
+    polls = 0
+    while max_polls is None or polls < max_polls:
+        sleep(interval)
+        polls += 1
+        stamp = _source_stamp(path)
+        if stamp is None:
+            if not missing_warned:
+                print(f"warning: {path} disappeared; watching for it to "
+                      f"reappear")
+                missing_warned = True
+            continue
+        missing_warned = False
+        if stamp == last_stamp:
+            continue
+        last_stamp = stamp
+        try:
+            module = load()
+        except (OSError, ReproError) as exc:
+            print(f"warning: could not load {path} ({exc}); waiting for the "
+                  f"next change")
+            continue
+        revalidate(module)
+        runs += 1
+    return runs
+
+
 def _print_run(label: str, report) -> None:
     shard = report.shard_stats or {}
     print(f"[{label}] {report.summary_line()}")
@@ -523,49 +627,55 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                      cache_dir=args.cache_dir,
                      cache_backend=args.cache_backend)
     revalidator = Revalidator(config)
-    module = _load_module(args.source, args.scale)
-
-    _, report = revalidator.revalidate(module, tuple(args.passes))
-    _print_run("run 1", report)
     status = 0
-    if args.min_hit_rate is not None:
-        stats = report.cache_stats or {}
-        total = stats.get("hits", 0) + stats.get("misses", 0)
-        rate = stats.get("hits", 0) / total if total else 0.0
-        if rate < args.min_hit_rate:
-            print(f"FAIL: hit rate {rate:.1%} < {args.min_hit_rate:.1%}")
-            status = 1
-    last_report = report
-    if args.then_passes:
-        _, last_report = revalidator.revalidate(module, tuple(args.then_passes))
-        _print_run("run 2", last_report)
+    # try/finally so the executor backend and the persistent cache are
+    # released even when a revalidation raises mid-run.
+    try:
+        module = _load_module(args.source, args.scale)
 
-    if not args.once and not args.source.startswith("corpus:"):
-        from pathlib import Path
-        path = Path(args.source)
-        last_mtime = path.stat().st_mtime
-        print(f"watching {path} (every {args.interval:g}s; Ctrl-C to stop)")
-        try:
-            while True:
-                time.sleep(args.interval)
-                mtime = path.stat().st_mtime
-                if mtime == last_mtime:
-                    continue
-                last_mtime = mtime
-                module = _load_module(args.source, args.scale)
-                _, last_report = revalidator.revalidate(module,
+        _, report = revalidator.revalidate(module, tuple(args.passes))
+        _print_run("run 1", report)
+        if args.min_hit_rate is not None:
+            stats = report.cache_stats or {}
+            total = stats.get("hits", 0) + stats.get("misses", 0)
+            rate = stats.get("hits", 0) / total if total else 0.0
+            if rate < args.min_hit_rate:
+                print(f"FAIL: hit rate {rate:.1%} < {args.min_hit_rate:.1%}")
+                status = 1
+        last_report = report
+        if args.then_passes:
+            _, last_report = revalidator.revalidate(module,
+                                                    tuple(args.then_passes))
+            _print_run("run 2", last_report)
+
+        if not args.once and not args.source.startswith("corpus:"):
+            from pathlib import Path
+            path = Path(args.source)
+
+            def rerun(changed: Module) -> None:
+                nonlocal last_report
+                _, last_report = revalidator.revalidate(changed,
                                                         tuple(args.passes))
                 _print_run(time.strftime("%H:%M:%S"), last_report)
-        except KeyboardInterrupt:
-            pass
 
-    if args.min_skipped is not None:
-        skipped = (last_report.shard_stats or {}).get(
-            "pairs_skipped_unchanged", 0)
-        if skipped < args.min_skipped:
-            print(f"FAIL: pairs_skipped_unchanged {skipped} < {args.min_skipped}")
-            status = 1
-    revalidator.close()
+            print(f"watching {path} (every {args.interval:g}s; "
+                  f"Ctrl-C to stop)")
+            try:
+                watch_source(path,
+                             lambda: _load_module(args.source, args.scale),
+                             rerun, interval=args.interval)
+            except KeyboardInterrupt:
+                pass
+
+        if args.min_skipped is not None:
+            skipped = (last_report.shard_stats or {}).get(
+                "pairs_skipped_unchanged", 0)
+            if skipped < args.min_skipped:
+                print(f"FAIL: pairs_skipped_unchanged {skipped} < "
+                      f"{args.min_skipped}")
+                status = 1
+    finally:
+        revalidator.close()
     return status
 
 
@@ -573,6 +683,7 @@ __all__ = [
     "Revalidator",
     "shared_revalidator",
     "reset_shared_revalidators",
+    "watch_source",
     "main",
 ]
 
