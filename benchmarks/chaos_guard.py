@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Chaos guard: seeded fault schedules must not change what validation decides.
+
+Runs four deterministic fault schedules — a worker **crash**, a pair
+**hang**, a proof-store **flush** failure and a **corrupt** result
+payload — over three corpora on both pooled scheduling backends
+(``pool`` and ``steal``), and fails unless:
+
+* every chaotic run *completes* and produces per-function record
+  signatures identical to a fault-free serial baseline, except for the
+  records explicitly denied by the schedule (a hung pair settles with
+  reason ``"timeout"``; a poison pair settles as ``"quarantined"``) —
+  and there is at most one such denial per schedule;
+* crash schedules recover by **supervision**, not degradation: the shard
+  stats must show ``workers_respawned >= 1`` and ``pool_degraded == 0``
+  (a single worker death costs one respawn, never a serial rerun);
+* the proof cache is never poisoned: after every chaotic run, no cache
+  entry carries a synthetic denial reason (``timeout``, ``quarantined``,
+  ``budget-exhausted``), and a locked sqlite flush retries to disk
+  without counting a store error.
+
+The schedules are seeded (:class:`~repro.validator.faults.FaultPlan` is
+deterministic per process), so a failure here reproduces locally with
+the same command.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/chaos_guard.py [--scale 0.1] [--out FILE]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+from dataclasses import replace
+
+from repro.bench.corpus import BENCHMARKS_BY_NAME, build_corpus
+from repro.transforms import PAPER_PIPELINE
+from repro.validator import faults
+from repro.validator.cache import ValidationCache
+from repro.validator.config import DEFAULT_CONFIG
+from repro.validator.driver import validate_module_batch
+from repro.validator.faults import FaultPlan, FaultSpec
+from repro.validator.validate import UNCACHEABLE_REASONS
+
+CORPORA = ("sqlite", "milc", "libquantum")
+CONCURRENCY = 2
+
+#: schedule name -> (plan factory, config overrides, max denied records).
+#: Fault-site visit counters are per *process*, so a count=1 hang spec
+#: fires once in the parent and once in each worker — the denial
+#: allowance for the hang schedule is therefore CONCURRENCY + 1.
+SCHEDULES = {
+    "crash": (None, {}, 0),  # plan is backend-specific, built below
+    "hang": (lambda: FaultPlan.hang_pair(match="", seconds=5.0, at=1, count=1),
+             {"pair_timeout": 0.2, "chain_graphs": False}, CONCURRENCY + 1),
+    "flush": (lambda: FaultPlan.flush_error("lock", at=1, count=1), {}, 0),
+    "corrupt": (lambda: FaultPlan.corrupt_payload(), {}, 0),
+}
+
+
+def crash_plan(backend: str) -> FaultPlan:
+    """Kill one worker, exactly once, on a parent-side schedule.
+
+    Parent-side sites ("steal-dispatch", "pool-batch") count across
+    respawns, so "once" means once; a worker-side crash counter would
+    reset with the fresh process and fire again.
+    """
+    if backend == "steal":
+        return FaultPlan.of(
+            FaultSpec("steal-dispatch", "crash", "", 2, 1), seed=7)
+    return FaultPlan.crash_pool_batch(seed=7)
+
+
+def run_one(module, config, cache):
+    start = time.perf_counter()
+    [(_, report)] = validate_module_batch(
+        [module], PAPER_PIPELINE, config=config, cache=cache,
+        strategy="stepwise")
+    elapsed = time.perf_counter() - start
+    return report, elapsed
+
+
+def poisoned_entries(cache):
+    return [key for key, result in cache._results.items()
+            if result.reason in UNCACHEABLE_REASONS]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="corpus scale (default 0.1: tiny, CI-friendly)")
+    parser.add_argument("--out", default=None,
+                        help="write the per-run table to this JSON file")
+    args = parser.parse_args()
+
+    failures = []
+    rows = []
+    for corpus_name in CORPORA:
+        module = build_corpus(BENCHMARKS_BY_NAME[corpus_name], args.scale)
+        baselines = {}
+        for backend in ("pool", "steal"):
+            for schedule, (make_plan, overrides, max_denied) in \
+                    SCHEDULES.items():
+                if schedule == "corrupt" and backend != "steal":
+                    continue  # payloads only travel the steal channel
+                # Fault-free serial baseline under the same non-fault
+                # config knobs (one per override set, shared by backends).
+                baseline_key = tuple(sorted(overrides.items()
+                                            - {("pair_timeout", 0.2)}))
+                if baseline_key not in baselines:
+                    base_config = replace(DEFAULT_CONFIG, executor="serial",
+                                          **{k: v for k, v in overrides.items()
+                                             if k != "pair_timeout"})
+                    faults.reset()
+                    baseline, _ = run_one(module, base_config,
+                                          ValidationCache())
+                    baselines[baseline_key] = [r.signature()
+                                               for r in baseline.records]
+                clean_sigs = baselines[baseline_key]
+
+                plan = make_plan() if make_plan is not None \
+                    else crash_plan(backend)
+                config = replace(DEFAULT_CONFIG, executor=backend,
+                                 concurrency=CONCURRENCY, fault_plan=plan,
+                                 **overrides)
+                faults.reset()
+                if schedule == "flush":
+                    with tempfile.TemporaryDirectory() as tmp:
+                        cache = ValidationCache(tmp, backend="sqlite",
+                                                fault_plan=plan)
+                        report, elapsed = run_one(module, config, cache)
+                        flushed = cache.save()
+                        stats = cache.stats()
+                        if stats.get("store_errors", 0):
+                            failures.append(
+                                f"{corpus_name}/{backend}/{schedule}: locked "
+                                f"flush degraded the store "
+                                f"(store_errors={stats['store_errors']})")
+                        if len(cache) and not flushed \
+                                and not stats.get("store_flushes", 0):
+                            failures.append(
+                                f"{corpus_name}/{backend}/{schedule}: "
+                                f"nothing reached the sqlite store")
+                else:
+                    cache = ValidationCache()
+                    report, elapsed = run_one(module, config, cache)
+                    stats = cache.stats()
+
+                sigs = [r.signature() for r in report.records]
+                shard = report.shard_stats or {}
+                clean_by_name = {sig["name"]: sig for sig in clean_sigs}
+                denied = [sig for sig in sigs
+                          if any(reason in json.dumps(sig)
+                                 for reason in ("timeout", "quarantined"))]
+                mismatched = [sig["name"] for sig in sigs
+                              if sig not in denied
+                              and sig != clean_by_name.get(sig["name"])]
+                if len(sigs) != len(clean_sigs):
+                    failures.append(
+                        f"{corpus_name}/{backend}/{schedule}: "
+                        f"{len(sigs)} records vs {len(clean_sigs)} clean")
+                if mismatched:
+                    failures.append(
+                        f"{corpus_name}/{backend}/{schedule}: records "
+                        f"diverged from the fault-free baseline for: "
+                        f"{', '.join(mismatched)}")
+                if len(denied) > max_denied:
+                    failures.append(
+                        f"{corpus_name}/{backend}/{schedule}: {len(denied)} "
+                        f"denied records (schedule allows {max_denied})")
+                poisoned = poisoned_entries(cache)
+                if poisoned:
+                    failures.append(
+                        f"{corpus_name}/{backend}/{schedule}: {len(poisoned)} "
+                        f"synthetic denials poisoned the proof cache")
+                if schedule == "crash":
+                    if shard.get("pool_degraded", 0):
+                        failures.append(
+                            f"{corpus_name}/{backend}/{schedule}: crash "
+                            f"degraded the backend to serial instead of "
+                            f"respawning")
+                    # A corpus too small to engage the pooled path never
+                    # dispatches, so the kill site never fires there; the
+                    # sweep-level check below still requires every
+                    # backend to prove a respawn on some corpus.
+                    if shard.get("workers", 0) \
+                            and not shard.get("workers_respawned", 0):
+                        failures.append(
+                            f"{corpus_name}/{backend}/{schedule}: workers "
+                            f"ran but the crash schedule never exercised "
+                            f"a respawn")
+                rows.append({
+                    "corpus": corpus_name,
+                    "backend": backend,
+                    "schedule": schedule,
+                    "records": len(sigs),
+                    "denied": len(denied),
+                    "mismatched": len(mismatched),
+                    "workers_respawned": shard.get("workers_respawned", 0),
+                    "pairs_quarantined": shard.get("pairs_quarantined", 0),
+                    "item_retries": shard.get("item_retries", 0),
+                    "pool_degraded": shard.get("pool_degraded", 0),
+                    "store_retries": stats.get("store_retries", 0),
+                    "store_errors": stats.get("store_errors", 0),
+                    "time_s": round(elapsed, 3),
+                })
+                print(f"{corpus_name:>10}/{backend:<5} {schedule:<7} "
+                      f"records={len(sigs):<3} denied={len(denied)} "
+                      f"respawned={shard.get('workers_respawned', 0)} "
+                      f"retries={shard.get('item_retries', 0)} "
+                      f"degraded={shard.get('pool_degraded', 0)} "
+                      f"({elapsed:.2f}s)")
+
+    # Every backend must have proven supervised recovery somewhere in the
+    # sweep — a crash that only ever lands on too-small corpora would
+    # otherwise pass without exercising the respawn path at all.
+    for backend in ("pool", "steal"):
+        if not any(row["workers_respawned"] for row in rows
+                   if row["backend"] == backend
+                   and row["schedule"] == "crash"):
+            failures.append(
+                f"{backend}: no corpus in the sweep exercised a worker "
+                f"respawn under the crash schedule")
+
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps({"scale": args.scale, "runs": rows},
+                                  indent=2) + "\n")
+        print(f"wrote {out}")
+
+    if failures:
+        print("\nCHAOS REGRESSION:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nchaos guard OK: every seeded fault schedule recovered with "
+          "baseline-identical records and an unpoisoned proof cache")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -53,8 +53,9 @@ except ImportError:  # pragma: no cover - exercised only off-POSIX
 
 from ..analysis.manager import function_fingerprint
 from ..ir.module import Function
+from . import faults
 from .config import CACHE_BACKENDS, ValidatorConfig
-from .validate import ValidationResult
+from .validate import UNCACHEABLE_REASONS, ValidationResult
 
 #: Cache key: content hashes of both functions plus everything about the
 #: configuration that can change a verdict.
@@ -175,15 +176,20 @@ class JsonStore:
     #: faults entries from them lazily.
     eager = True
 
-    def __init__(self, path: Path) -> None:
+    def __init__(self, path: Path,
+                 fault_plan: Optional[faults.FaultPlan] = None) -> None:
         self.path = path
+        self.fault_plan = fault_plan
         #: Entries decoded on demand (always 0 for the eager backend).
         self.lazy_loads = 0
         #: Completed file writes.
         self.flushes = 0
-        #: Store faults survived by degrading (always 0: JSON load/save
-        #: tolerance predates the backend seam and reports nothing).
+        #: Store faults survived by degrading: whole-file saves that
+        #: failed (the entries stay dirty in memory for the next save).
         self.errors = 0
+        #: Flush attempts repeated after a transient failure (always 0
+        #: here: the whole-file write has no retryable failure mode).
+        self.retries = 0
         #: Serialized bytes read from / written to the file.
         self.bytes_read = 0
         self.bytes_written = 0
@@ -205,6 +211,7 @@ class JsonStore:
              hit_stamp: Dict[CacheKey, int], max_bytes: int,
              ) -> Tuple[Dict[CacheKey, ValidationResult], int, int]:
         """Locked merge-and-rewrite; returns ``(merged, stored, evicted)``."""
+        faults.maybe_fire(self.fault_plan, "cache-flush", detail=self.path.name)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         lock = self._acquire_lock()
         try:
@@ -268,6 +275,19 @@ class JsonStore:
             handle.close()
 
 
+def _is_locked(error: BaseException) -> bool:
+    """Is this the transient writer-contention error sqlite raises?
+
+    Only ``database is locked`` / ``database is busy`` are worth a
+    backoff — the lock holder is another flush and will be gone shortly.
+    Every other store fault (corruption, full disk, schema trouble) is
+    persistent and must degrade immediately.
+    """
+    return (isinstance(error, sqlite3.OperationalError)
+            and ("locked" in str(error).lower()
+                 or "busy" in str(error).lower()))
+
+
 class SqliteStore:
     """Incremental WAL-mode SQLite proof store.
 
@@ -292,11 +312,17 @@ class SqliteStore:
     backend = "sqlite"
     eager = False
 
-    def __init__(self, path: Path) -> None:
+    def __init__(self, path: Path,
+                 fault_plan: Optional[faults.FaultPlan] = None) -> None:
         self.path = path
+        self.fault_plan = fault_plan
         self.lazy_loads = 0
         self.flushes = 0
         self.errors = 0
+        #: Flush attempts repeated after a transient ``database is
+        #: locked`` (the lock holder is another flush, gone within
+        #: milliseconds — backing off briefly beats degrading).
+        self.retries = 0
         self.bytes_read = 0
         self.bytes_written = 0
         self._conn: Optional[sqlite3.Connection] = None
@@ -424,11 +450,37 @@ class SqliteStore:
                 for key, result in items]
         if not rows:
             return 0
+
+        def attempt() -> None:
+            faults.maybe_fire(self.fault_plan, "cache-flush",
+                              detail=self.path.name)
+            try:
+                conn.executemany(
+                    "INSERT OR REPLACE INTO entries"
+                    " (key, payload, size, last_hit) VALUES (?, ?, ?, ?)",
+                    rows)
+                conn.commit()
+            except BaseException:
+                # A half-applied batch must not linger in the open
+                # transaction across the backoff (or into _give_up).
+                try:
+                    conn.rollback()
+                except sqlite3.Error:
+                    pass
+                raise
+
+        def count_retry(attempt_number: int, error: BaseException) -> None:
+            self.retries += 1
+
+        # Imported here, not at module scope: the scheduler package pulls
+        # this module in through its executors, so a top-level import
+        # would be circular.  By the first flush both are fully loaded.
+        from .scheduler.retry import LOCKED_FLUSH_RETRY, retry_call
         try:
-            conn.executemany(
-                "INSERT OR REPLACE INTO entries (key, payload, size, last_hit)"
-                " VALUES (?, ?, ?, ?)", rows)
-            conn.commit()
+            retry_call(attempt, policy=LOCKED_FLUSH_RETRY,
+                       retry_if=_is_locked,
+                       seed=getattr(self.fault_plan, "seed", 0),
+                       on_retry=count_retry)
         except (sqlite3.Error, OSError):
             self._give_up()
             return 0
@@ -513,7 +565,8 @@ class ValidationCache:
     """
 
     def __init__(self, path: Optional[Union[str, os.PathLike]] = None,
-                 max_bytes: int = 0, backend: str = "auto") -> None:
+                 max_bytes: int = 0, backend: str = "auto",
+                 fault_plan: Optional[faults.FaultPlan] = None) -> None:
         if backend not in CACHE_BACKENDS:
             raise ValueError(
                 f"unknown cache backend {backend!r}; expected one of {CACHE_BACKENDS}")
@@ -546,8 +599,9 @@ class ValidationCache:
             file_path, resolved = _resolve_cache_path(path, backend)
             self.path = file_path
             self.backend = resolved
-            self._store = (JsonStore(file_path) if resolved == "json"
-                           else SqliteStore(file_path))
+            self._store = (JsonStore(file_path, fault_plan=fault_plan)
+                           if resolved == "json"
+                           else SqliteStore(file_path, fault_plan=fault_plan))
             if self._store.eager:
                 self._results.update(self._store.load())
                 self.loaded = len(self._results)
@@ -614,7 +668,17 @@ class ValidationCache:
         return replace(cached, function_name=function_name)
 
     def put(self, key: CacheKey, result: ValidationResult) -> None:
-        """Store one validation outcome."""
+        """Store one validation outcome.
+
+        Synthetic denials (budget, timeout, quarantine) are silently
+        refused: they say nothing about the pair's semantics, and a
+        cached one would survive into runs whose budgets could afford
+        the real answer.  The executors route them around the cache
+        already; this guard is the backstop that makes poisoning
+        *impossible*, not merely avoided.
+        """
+        if result.reason in UNCACHEABLE_REASONS:
+            return
         self._results[key] = result
         self._touch(key)
         self._dirty = True
@@ -673,8 +737,16 @@ class ValidationCache:
         if self._store is None:
             return 0
         if self._store.eager:
-            merged, stored, evicted = self._store.save(
-                self._results, self._hit_stamp, self.max_bytes)
+            try:
+                merged, stored, evicted = self._store.save(
+                    self._results, self._hit_stamp, self.max_bytes)
+            except OSError:
+                # A failed whole-file write (full disk, permissions)
+                # costs persistence, never correctness: the in-memory
+                # tier keeps serving, the entries stay dirty, and the
+                # next save retries the write.
+                self._store.errors += 1
+                return len(self._results)
             self._results = merged
             self.evicted += evicted
             self.stored = stored
@@ -738,6 +810,7 @@ class ValidationCache:
             counters["store_lazy_loads"] = self._store.lazy_loads
             counters["store_flushes"] = self._store.flushes
             counters["store_errors"] = self._store.errors
+            counters["store_retries"] = self._store.retries
             counters["store_bytes_read"] = self._store.bytes_read
             counters["store_bytes_written"] = self._store.bytes_written
         return counters

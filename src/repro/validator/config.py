@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 
 from ..vgraph.normalize import ENGINES
 from ..vgraph.rules import ALL_RULE_GROUPS
+from .faults import FaultPlan
 
 #: Scheduling backends the batch driver can execute a work plan on
 #: (``"auto"`` resolves to ``"pool"`` when ``concurrency > 1``, else
@@ -176,6 +177,30 @@ class ValidatorConfig:
         verdicts are denied with reason ``"budget-exhausted"``, and each
         record settles with its validated ``kept_prefix`` salvaged (see
         :mod:`repro.validator.scheduler.budget`).
+    pair_timeout:
+        Wall-clock bound (seconds) on one pair validation.  ``0`` (the
+        default) leaves pairs unbounded.  A pair exceeding the bound is
+        denied with the uncached reason ``"timeout"`` — the record keeps
+        its validated ``kept_prefix``, other pairs are unaffected, and
+        the verdict never enters the proof cache (a rerun with a larger
+        bound must re-validate).  Enforced preemptively (``SIGALRM``)
+        in main threads, including pool/steal worker processes; post-hoc
+        elsewhere.  A resource limit like the budget knobs, so *not*
+        part of the cache key.
+    max_pair_retries:
+        How many times a pair that crashes or times out its worker is
+        retried on another worker before the supervisor quarantines it
+        (synthetic uncached ``"quarantined"`` denial, surfaced in
+        ``shard_stats``/``/stats``) instead of letting one poison pair
+        kill the whole backend.  Not part of the cache key.
+    fault_plan:
+        Optional :class:`~repro.validator.faults.FaultPlan` injecting
+        deterministic faults (worker crashes, pair hangs, flush errors,
+        payload corruption) at named pipeline sites — the test harness
+        for all of the recovery machinery above.  ``None`` (the
+        default) injects nothing and costs nothing.  Never part of the
+        cache key: a faulted run's *cached* verdicts must be
+        byte-identical to the fault-free run's.
     """
 
     rule_groups: Tuple[str, ...] = tuple(ALL_RULE_GROUPS)
@@ -194,6 +219,9 @@ class ValidatorConfig:
     service_port: int = 8037
     max_inflight: int = 4
     request_timeout: float = 0.0
+    pair_timeout: float = 0.0
+    max_pair_retries: int = 2
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -232,6 +260,11 @@ class ValidatorConfig:
                 "max_inflight must be >= 0 (0 = reject every request)")
         if self.request_timeout < 0:
             raise ValueError("request_timeout must be >= 0 (0 = unbounded)")
+        if self.pair_timeout < 0:
+            raise ValueError("pair_timeout must be >= 0 (0 = unbounded)")
+        if self.max_pair_retries < 0:
+            raise ValueError(
+                "max_pair_retries must be >= 0 (0 = quarantine on first kill)")
 
     def with_rules(self, rule_groups) -> "ValidatorConfig":
         """A copy of this configuration with different rule groups."""

@@ -250,7 +250,8 @@ def llvm_md(
 
     if cache is None and config.cache_dir is not None:
         cache = ValidationCache(config.cache_dir, max_bytes=config.cache_max_bytes,
-                                backend=config.cache_backend)
+                                backend=config.cache_backend,
+                                fault_plan=config.fault_plan)
     if manager is None and strategy != "whole":
         manager = _driver_manager(config)
     report = ValidationReport(label=label or module.name)
@@ -358,7 +359,8 @@ def validate_module_batch(
                 for index, module in enumerate(modules)]
     if cache is None:
         cache = ValidationCache(config.cache_dir, max_bytes=config.cache_max_bytes,
-                                backend=config.cache_backend)
+                                backend=config.cache_backend,
+                                fault_plan=config.fault_plan)
 
     plan = build_plan(modules, passes, config, cache, labels=labels,
                       strategy=strategy, function_names=function_names)
@@ -386,6 +388,10 @@ def validate_module_batch(
         "pool_degraded": executor_stats["pool_degraded"],
         "items_stolen": executor_stats.get("items_stolen", 0),
         "steal_attempts": executor_stats.get("steal_attempts", 0),
+        "workers_respawned": executor_stats.get("workers_respawned", 0),
+        "pairs_quarantined": executor_stats.get("pairs_quarantined", 0),
+        "item_retries": executor_stats.get("item_retries", 0),
+        "pairs_denied": len(execution.denied),
     }
     if budget is not None:
         shard_stats.update(budget.stats())

@@ -58,17 +58,22 @@ from __future__ import annotations
 
 import collections
 import sys
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ...analysis.manager import AnalysisManager, CHECKPOINT_FINGERPRINTS
 from ...ir.module import Function
+from .. import faults
 from ..cache import CacheKey, ValidationCache
 from ..config import ValidatorConfig
 from ..report import FunctionRecord
-from ..validate import ChainOutcome, ValidationResult, validate, validate_chain
+from ..validate import (UNCACHEABLE_REASONS, ChainOutcome, ValidationResult,
+                        quarantined_result, validate, validate_bounded,
+                        validate_chain)
 from .budget import RequestBudget, admit_work
+from .retry import POOL_RETRY
 from .plan import (
     ChainSignature,
     PairProvider,
@@ -92,6 +97,11 @@ def _validate_item(item: Tuple):
 
     Runs in pool worker processes (pickled by reference, so it must stay
     a module-level function) and in-process for the serial backend.
+    Pair items run through :func:`validate_bounded`, so
+    ``config.pair_timeout`` and the ``"pair"`` fault site apply wherever
+    the item lands — serial, process pool or steal worker; chain items
+    share one normalization across all their pairs, so per-pair bounds
+    do not apply to them.
     """
     if item[0] == "chain":
         _, versions, config = item
@@ -99,7 +109,23 @@ def _validate_item(item: Tuple):
         settled, whole = settle_chain_results(outcome, versions, config)
         return settled, whole, outcome.chain_stats
     _, before, after, config = item
-    return validate(before, after, config)
+    return validate_bounded(before, after, config)
+
+
+def item_detail(item: Tuple) -> str:
+    """The function name a work item is about (fault-site match detail)."""
+    if item[0] == "chain":
+        return item[1][0].name
+    return item[1].name
+
+
+def _quarantined_payload(item: Tuple, casualties: int, why: str):
+    """A work item's result payload once the supervisor quarantines it."""
+    if item[0] == "chain":
+        _, versions, _config = item
+        denial = quarantined_result(versions[0].name, casualties, why)
+        return [denial] * (len(versions) - 1), denial, {}
+    return quarantined_result(item[1].name, casualties, why)
 
 
 @dataclass
@@ -121,6 +147,22 @@ class ExecutionOutcome:
     #: Distinct queries this execution answered (pairs + chain-contributed
     #: pairs + settle-round wholes) — ``shard_stats["distinct_pairs"]``.
     validated_queries: int = 0
+    #: Synthetic denials (``"timeout"`` / ``"quarantined"``) keyed like
+    #: cache entries but routed *around* the cache: settlement consumes
+    #: them exactly like budget denials, and a rerun re-validates them.
+    denied: Dict[CacheKey, ValidationResult] = field(default_factory=dict)
+
+    def adopt(self, cache: ValidationCache, key: CacheKey,
+              result: ValidationResult, chain: bool = False) -> None:
+        """File one fresh verdict: cacheable ones into the cache, synthetic
+        denials into the ``denied`` side channel (never both)."""
+        if result.reason in UNCACHEABLE_REASONS:
+            self.denied[key] = result
+            return
+        cache.put(key, result)
+        self.fresh.add(key)
+        if chain:
+            self.chain_fresh.add(key)
 
 
 class Executor(ABC):
@@ -151,6 +193,14 @@ class Executor(ABC):
         self.degraded = 0
         #: Planned pair queries never validated (wave cancellation).
         self.pairs_skipped = 0
+        #: Dead workers (or broken pools) replaced by the supervisor
+        #: instead of degrading the backend.
+        self.workers_respawned = 0
+        #: Poison items isolated after ``max_pair_retries`` casualties.
+        self.pairs_quarantined = 0
+        #: Items re-executed after a transient failure (requeues and
+        #: retried pool batches).
+        self.item_retries = 0
 
     # -- the backend-specific part ----------------------------------------
     @abstractmethod
@@ -170,6 +220,9 @@ class Executor(ABC):
             "waves_cancelled": self.waves_cancelled,
             "pool_degraded": self.degraded,
             "pairs_skipped": self.pairs_skipped,
+            "workers_respawned": self.workers_respawned,
+            "pairs_quarantined": self.pairs_quarantined,
+            "item_retries": self.item_retries,
         }
 
     # -- the shared schedule ----------------------------------------------
@@ -220,8 +273,7 @@ class Executor(ABC):
                   for versions, _ in pending_chains.values()]
         results = self.run_batch(items, config)
         for key, result in zip(pending, results[:len(pending)]):
-            cache.put(key, result)
-            outcome.fresh.add(key)
+            outcome.adopt(cache, key, result)
         for (signature, (_, whole_key)), item_result in zip(
                 pending_chains.items(), results[len(pending):]):
             settled, whole_result, chain_stats = item_result
@@ -230,9 +282,7 @@ class Executor(ABC):
                                    settled + [whole_result]):
                 if result is None or cache.peek(key) is not None:
                     continue
-                cache.put(key, result)
-                outcome.fresh.add(key)
-                outcome.chain_fresh.add(key)
+                outcome.adopt(cache, key, result, chain=True)
 
     def _run_settle_round(self, plan: WorkPlan, cache: ValidationCache,
                           outcome: ExecutionOutcome) -> None:
@@ -244,8 +294,7 @@ class Executor(ABC):
                  for before, after in pending_whole.values()]
         results = self.run_batch(items, plan.config)
         for key, result in zip(pending_whole, results):
-            cache.put(key, result)
-            outcome.fresh.add(key)
+            outcome.adopt(cache, key, result)
 
 
 class SerialExecutor(Executor):
@@ -293,18 +342,37 @@ class PoolExecutor(Executor):
         # same recursion headroom validation itself gets.
         old_limit = sys.getrecursionlimit()
         sys.setrecursionlimit(max(old_limit, config.recursion_limit))
+        plan = config.fault_plan
+        delays = POOL_RETRY.backoff(getattr(plan, "seed", 0))
         try:
-            if self._pool is None:
-                self._pool = ProcessPoolExecutor(max_workers=self.workers)
-            chunksize = max(1, len(items) // (self.workers * 4))
-            results = list(self._pool.map(_validate_item, items,
-                                          chunksize=chunksize))
-            self.pooled_items += len(items)
-            return results
+            # A broken pool is usually transient (a spawn race, one dead
+            # worker): retry the whole batch on a fresh pool before
+            # giving the backend up — safe because validation is
+            # deterministic and side-effect free, and verdicts only
+            # merge into the cache after the batch completes.
+            for attempt in range(1, POOL_RETRY.max_attempts + 1):
+                try:
+                    faults.maybe_fire(plan, "pool-batch")
+                    if self._pool is None:
+                        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                    chunksize = max(1, len(items) // (self.workers * 4))
+                    results = list(self._pool.map(_validate_item, items,
+                                                  chunksize=chunksize))
+                    self.pooled_items += len(items)
+                    return results
+                except Exception:
+                    self.close()
+                    if attempt >= POOL_RETRY.max_attempts:
+                        raise
+                    self.workers_respawned += 1
+                    self.item_retries += len(items)
+                    time.sleep(next(delays))
+            raise AssertionError("unreachable")  # pragma: no cover
         except Exception:
-            # Platforms without working process spawning, unpicklable
-            # payloads, worker crashes and worker exceptions all degrade
-            # to serial execution through the same interface.
+            # Persistently broken: platforms without working process
+            # spawning, unpicklable payloads, a poison item that kills
+            # every fresh pool.  Degrade to serial execution through the
+            # same interface (a genuine per-item error reproduces there).
             self.degraded += 1
             self.close()
             return [_validate_item(item) for item in items]
@@ -404,6 +472,12 @@ class WaveExecutor(Executor):
                 while cursor < len(function_plan.pair_keys):
                     result = cache.peek(function_plan.pair_keys[cursor])
                     if result is None:
+                        # A synthetic denial (timeout/quarantine) never
+                        # enters the cache but has decided this pair: the
+                        # walk treats it as the rejection it settles as.
+                        result = outcome.denied.get(
+                            function_plan.pair_keys[cursor])
+                    if result is None:
                         demands = True
                         break
                     if not result.is_success:
@@ -439,13 +513,13 @@ class WaveExecutor(Executor):
                 [("pair", before, after, plan.config)
                  for before, after in batch.values()], plan.config)
             for key, result in zip(batch, results):
-                cache.put(key, result)
-                outcome.fresh.add(key)
+                outcome.adopt(cache, key, result)
 
         if budget is None or not budget.exhausted:
             self._run_settle_round(plan, cache, outcome)
         self.pairs_skipped = sum(1 for key in plan.pending
-                                 if key not in outcome.fresh)
+                                 if key not in outcome.fresh
+                                 and key not in outcome.denied)
         outcome.validated_queries = len(outcome.fresh)
         return outcome
 
@@ -532,6 +606,18 @@ class StealExecutor(Executor):
         ``on_result`` fires once per completed item, in completion order;
         ``is_cancelled`` is consulted at every dispatch so items doomed
         by earlier results are dropped without running.
+
+        Supervision: a worker death *attributable* to one in-flight item
+        (the :class:`~repro.validator.scheduler.steal.BrokenStealPool`
+        names the worker) costs one worker respawn and a requeue of that
+        item — the batch keeps running on the surviving workers.  An
+        item that keeps killing its workers past
+        ``config.max_pair_retries`` is quarantined (a synthetic uncached
+        ``"quarantined"`` denial) instead of taking the backend down
+        with it.  Only *unattributable* failures — queue plumbing, an
+        item-level exception a live worker reported, spawn failure —
+        still degrade the whole backend to serial, the historical
+        behavior.
         """
         self.batches += 1
         if self.workers <= 1 or self.degraded or len(tagged_items) <= 1:
@@ -542,6 +628,9 @@ class StealExecutor(Executor):
                 on_result(tag, _validate_item(item))
             return
         done: Set[int] = set()
+        plan = config.fault_plan
+        #: tag -> workers this item has killed (crash or corrupt retry).
+        casualties: Dict[int, int] = {}
         # Deep operand chains make pickling recursive; give the parent the
         # same recursion headroom validation itself gets.
         old_limit = sys.getrecursionlimit()
@@ -576,30 +665,86 @@ class StealExecutor(Executor):
                     return tag, item
 
             outstanding: Dict[int, Tuple[int, Tuple]] = {}
-            for worker_id in range(self.workers):
+
+            def dispatch_to(worker_id: int) -> None:
                 dispatch = next_item(worker_id)
                 if dispatch is None:
-                    continue
+                    return
                 pool.send(worker_id, dispatch[0], dispatch[1])
                 outstanding[worker_id] = dispatch
+                if plan is not None:
+                    # The "steal-dispatch" crash site kills the worker
+                    # *after* it was handed this item — a parent-side
+                    # schedule, so "kill one worker once" means exactly
+                    # once across respawns (worker-side counters reset
+                    # with each fresh process).
+                    spec = faults.should_fire(plan, "steal-dispatch",
+                                              detail=item_detail(dispatch[1]))
+                    if spec is not None and spec.action == "crash":
+                        kill = getattr(pool, "kill_worker", None)
+                        if kill is not None:
+                            kill(worker_id)
+
+            def absorb_casualty(worker_id: int, tag: int, item: Tuple,
+                                why: str) -> None:
+                """Requeue a worker-killing item, or quarantine it."""
+                casualties[tag] = casualties.get(tag, 0) + 1
+                if is_cancelled is not None and is_cancelled(tag):
+                    return  # nobody will consume it; drop instead
+                if casualties[tag] > config.max_pair_retries:
+                    self.pairs_quarantined += 1
+                    done.add(tag)
+                    self.items_run += 1
+                    on_result(tag, _quarantined_payload(item, casualties[tag],
+                                                        why))
+                else:
+                    self.item_retries += 1
+                    deques[worker_id].append((tag, item))
+
+            for worker_id in range(self.workers):
+                dispatch_to(worker_id)
             while outstanding:
-                worker_id, tag, ok, payload = pool.receive(outstanding)
+                try:
+                    worker_id, tag, ok, payload = pool.receive(outstanding)
+                except steal.BrokenStealPool as death:
+                    hurt = getattr(death, "worker_id", None)
+                    respawn = getattr(pool, "respawn", None)
+                    if hurt is None or respawn is None \
+                            or hurt not in outstanding:
+                        raise  # unattributable: degrade wholesale below
+                    lost_tag, lost_item = outstanding.pop(hurt)
+                    respawn(hurt)
+                    self.workers_respawned += 1
+                    absorb_casualty(hurt, lost_tag, lost_item,
+                                    f"steal worker {hurt} died mid-item")
+                    dispatch_to(hurt)
+                    continue
+                dispatched = outstanding.pop(worker_id, None)
+                if ok and dispatched is not None and plan is not None:
+                    spec = faults.maybe_fire(plan, "payload",
+                                             detail=item_detail(dispatched[1]))
+                    if spec is not None and spec.action == "corrupt":
+                        # The transient-failure path in miniature: the
+                        # result arrived mangled, so the item retries on
+                        # the worker's own deque (and quarantines if the
+                        # corruption follows it).
+                        absorb_casualty(worker_id, dispatched[0],
+                                        dispatched[1],
+                                        "corrupted result payload")
+                        dispatch_to(worker_id)
+                        continue
                 if not ok:
                     raise steal.BrokenStealPool(
                         f"steal worker {worker_id} failed: {payload}")
-                outstanding.pop(worker_id, None)
                 done.add(tag)
                 self.items_run += 1
                 self.pooled_items += 1
                 on_result(tag, payload)
-                dispatch = next_item(worker_id)
-                if dispatch is not None:
-                    pool.send(worker_id, dispatch[0], dispatch[1])
-                    outstanding[worker_id] = dispatch
+                dispatch_to(worker_id)
         except Exception:
-            # Spawn failures, unpicklable payloads and dead workers all
-            # land here: keep every streamed-back verdict and run the
-            # unfinished remainder serially in priority order.
+            # Spawn failures, unpicklable payloads and unattributable
+            # deaths all land here: keep every streamed-back verdict and
+            # run the unfinished remainder serially in priority order.
             self.degraded += 1
             self.close()
             for tag, item in tagged_items:
@@ -684,15 +829,12 @@ class StealExecutor(Executor):
                                                settled + [whole_result]):
                     if settled_result is None or cache.peek(key) is not None:
                         continue
-                    cache.put(key, settled_result)
-                    outcome.fresh.add(key)
-                    outcome.chain_fresh.add(key)
+                    outcome.adopt(cache, key, settled_result, chain=True)
                     if not settled_result.is_success:
                         release(key)
             else:
                 key = kind[1]
-                cache.put(key, result)
-                outcome.fresh.add(key)
+                outcome.adopt(cache, key, result)
                 if not result.is_success:
                     release(key)
 
@@ -710,7 +852,8 @@ class StealExecutor(Executor):
         if budget is None or not budget.exhausted:
             self._run_settle_round(plan, cache, outcome)
         self.pairs_skipped += sum(1 for key in plan.pending
-                                  if key not in outcome.fresh)
+                                  if key not in outcome.fresh
+                                  and key not in outcome.denied)
         outcome.validated_queries = len(outcome.fresh)
         return outcome
 
@@ -751,13 +894,13 @@ def validate_pair_cached(
 ) -> Tuple[ValidationResult, bool]:
     """Validate one pair through the optional cache; returns (result, hit)."""
     if cache is None:
-        return validate(before, after, config, manager=manager), False
+        return validate_bounded(before, after, config, manager=manager), False
     key = cache.key(before, after, config)
     cached = cache.get(key, before.name)
     if cached is not None:
         return cached, True
-    result = validate(before, after, config, manager=manager)
-    cache.put(key, result)
+    result = validate_bounded(before, after, config, manager=manager)
+    cache.put(key, result)  # put refuses synthetic (timeout) denials
     return result, False
 
 
@@ -885,9 +1028,9 @@ def chain_provider(versions: List[Function], config: ValidatorConfig,
                 # yet.
                 result = None
         if result is None:
-            result = validate(before, after, config, manager=manager)
+            result = validate_bounded(before, after, config, manager=manager)
         if cache is not None and key is not None:
-            cache.put(key, result)
+            cache.put(key, result)  # put refuses synthetic (timeout) denials
         return result, False
 
     return provider

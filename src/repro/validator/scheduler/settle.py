@@ -31,7 +31,8 @@ from ...transforms.pass_manager import PassSnapshot
 from ..cache import ValidationCache
 from ..config import ValidatorConfig
 from ..report import FunctionRecord, ValidationReport
-from ..validate import ChainOutcome, ValidationResult, validate
+from ..validate import (UNCACHEABLE_REASONS, ChainOutcome, ValidationResult,
+                        validate, validate_bounded)
 from .budget import RequestBudget
 from .plan import PairProvider, WorkPlan
 
@@ -297,11 +298,23 @@ def settle_plan(plan: WorkPlan, cache: ValidationCache, execution,
         key = cache.key_for(_fingerprint(before), _fingerprint(after), config)
         stored = cache.peek(key)
         if stored is None:
+            denied = getattr(execution, "denied", {}).get(key)
+            if denied is not None:
+                # Executed but denied (timeout/quarantine): uncached and
+                # unledgered like a budget denial — the walk stops here
+                # and the record keeps its validated prefix.
+                return replace(denied, function_name=before.name), False
             if budget is not None and budget.exhausted:
                 # Synthetic denial: uncached, unledgered — the walk stops
                 # here and the record keeps its validated prefix.
                 return budget.result(before.name), False
-            result = validate(before, after, config, manager=manager)
+            result = validate_bounded(before, after, config, manager=manager)
+            if result.reason in UNCACHEABLE_REASONS:
+                # An inline validation can time out too; remember the
+                # denial so a second consumer of the same key neither
+                # re-runs into the timeout nor touches the ledger.
+                getattr(execution, "denied", {})[key] = result
+                return result, False
             if budget is not None:
                 budget.charge()
             cache.put(key, result)

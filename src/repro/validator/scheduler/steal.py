@@ -15,8 +15,12 @@ an unpicklable payload raises synchronously where the executor can catch
 it and degrade to serial (a queue's background feeder thread would
 otherwise swallow the error and hang the run).  :meth:`StealPool.receive`
 polls worker liveness while waiting, so a worker that dies mid-item
-raises :class:`BrokenStealPool` instead of blocking forever; the
-executor treats that exactly like a broken process pool.
+raises :class:`BrokenStealPool` instead of blocking forever.  When the
+death is *attributable* (the exception names which worker died holding
+which item), the executor's supervisor can :meth:`respawn` just that
+worker and requeue the item instead of degrading the whole backend to
+serial; an unattributable break still degrades wholesale, exactly like a
+broken process pool.
 """
 
 from __future__ import annotations
@@ -24,11 +28,22 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import queue
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 
 class BrokenStealPool(RuntimeError):
-    """A steal worker died or misbehaved; the executor degrades to serial."""
+    """A steal worker died or misbehaved.
+
+    ``worker_id`` names the casualty when the failure is attributable to
+    one worker holding one in-flight item — the supervisor then respawns
+    that worker and requeues the item.  ``None`` means the pool's state
+    is unknown (queue plumbing failure, multiple deaths in one poll):
+    the executor degrades to serial, the historical behavior.
+    """
+
+    def __init__(self, message: str, worker_id: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.worker_id = worker_id
 
 
 def _steal_worker_main(worker_id: int, inbox, outbox) -> None:
@@ -36,16 +51,25 @@ def _steal_worker_main(worker_id: int, inbox, outbox) -> None:
 
     Runs in a child process.  A ``None`` payload is the shutdown
     sentinel.  Item-level exceptions are reported back as failures (the
-    parent degrades and reproduces them serially) rather than killing
-    the worker.
+    parent retries or degrades) rather than killing the worker — with
+    one deliberate exception: an injected ``"worker"``-site crash fault
+    hard-exits the process *before* the try block, because a crash that
+    merely reported an error would never exercise the supervisor's
+    respawn path.  :class:`~repro.validator.faults.PairTimeout` is a
+    ``BaseException`` and is settled inside ``validate_bounded`` before
+    it could reach the ``except Exception`` here.
     """
-    from .executors import _validate_item  # deferred: executors imports us
+    from .executors import _validate_item, item_detail  # deferred: executors imports us
+    from .. import faults
 
+    faults.mark_worker_process()
     while True:
         payload = inbox.get()
         if payload is None:
             break
         tag, item = pickle.loads(payload)
+        plan = getattr(item[-1], "fault_plan", None)
+        faults.maybe_fire(plan, "worker", detail=item_detail(item))
         try:
             message = (worker_id, tag, True, _validate_item(item))
         except Exception as error:
@@ -58,28 +82,47 @@ class StealPool:
 
     The pool only moves items and results; *which* item a worker gets
     next — its own deque, or one stolen from a loaded sibling — is the
-    executor's scheduling policy.  Tests monkeypatch this class to
-    inject worker deaths without spawning processes.
+    executor's scheduling policy, and *whether* a dead worker is
+    respawned or the backend degrades is the executor's supervision
+    policy (:meth:`respawn` is the mechanism).  Tests monkeypatch this
+    class to inject worker deaths without spawning processes.
     """
 
     def __init__(self, workers: int) -> None:
         context = multiprocessing.get_context()
+        self._context = context
         self._outbox = context.Queue()
         self._inboxes = []
         self._processes = []
+        #: Workers restarted after a death (supervision telemetry).
+        self.respawns = 0
         try:
             for worker_id in range(workers):
-                inbox = context.Queue()
-                process = context.Process(
-                    target=_steal_worker_main,
-                    args=(worker_id, inbox, self._outbox),
-                    daemon=True, name=f"steal-worker-{worker_id}")
-                process.start()
-                self._inboxes.append(inbox)
-                self._processes.append(process)
+                self._spawn(worker_id)
         except BaseException:
             self.close()
             raise
+
+    def _spawn(self, worker_id: int) -> None:
+        """Start worker ``worker_id`` with a fresh inbox.
+
+        A *fresh* inbox matters for respawns: the dead worker's inbox
+        may still hold a pickled in-flight item, and the replacement
+        must not double-process it — the supervisor requeues the item
+        from its own ``outstanding`` bookkeeping instead.
+        """
+        inbox = self._context.Queue()
+        process = self._context.Process(
+            target=_steal_worker_main,
+            args=(worker_id, inbox, self._outbox),
+            daemon=True, name=f"steal-worker-{worker_id}")
+        process.start()
+        if worker_id < len(self._inboxes):
+            self._inboxes[worker_id] = inbox
+            self._processes[worker_id] = process
+        else:
+            self._inboxes.append(inbox)
+            self._processes.append(process)
 
     def send(self, worker_id: int, tag: int, item: Tuple) -> None:
         """Dispatch one item to ``worker_id`` (pickles here, in the parent)."""
@@ -91,8 +134,10 @@ class StealPool:
         Blocks until a result arrives, checking the liveness of every
         worker in ``outstanding`` (worker id -> dispatched item) while
         waiting; a dead worker holding an item raises
-        :class:`BrokenStealPool`.  Results already queued by a worker
-        that died afterwards are still delivered first.
+        :class:`BrokenStealPool` naming it, so the supervisor can
+        respawn and requeue instead of degrading.  Results already
+        queued by a worker that died afterwards are still delivered
+        first.
         """
         while True:
             try:
@@ -101,7 +146,30 @@ class StealPool:
                 for worker_id in outstanding:
                     if not self._processes[worker_id].is_alive():
                         raise BrokenStealPool(
-                            f"steal worker {worker_id} died mid-item")
+                            f"steal worker {worker_id} died mid-item",
+                            worker_id=worker_id)
+
+    def respawn(self, worker_id: int) -> None:
+        """Replace a dead worker with a fresh process (and fresh inbox)."""
+        old_process = self._processes[worker_id]
+        if old_process.is_alive():
+            old_process.terminate()
+        old_process.join(timeout=1.0)
+        old_inbox = self._inboxes[worker_id]
+        try:
+            old_inbox.close()
+            old_inbox.cancel_join_thread()
+        except Exception:
+            pass
+        self._spawn(worker_id)
+        self.respawns += 1
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Hard-kill one worker (fault injection's ``"steal-dispatch"`` site)."""
+        process = self._processes[worker_id]
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1.0)
 
     def close(self) -> None:
         """Shut the workers down; terminate any that ignore the sentinel."""

@@ -97,6 +97,7 @@ class ValidationService:
         self.requests_total = 0
         self.rejected_total = 0
         self.errors_total = 0
+        self.client_disconnects = 0
         self.engine_totals: Dict[str, int] = {}
         self.last_shard_stats: Optional[Dict[str, int]] = None
 
@@ -260,8 +261,30 @@ class ValidationService:
             except BaseException as exc:
                 loop.call_soon_threadsafe(queue.put_nowait, ("error", exc))
 
-        writer.write(self._head(200, "OK", "application/x-ndjson"))
-        await writer.drain()
+        disconnected = False
+
+        async def ship(data: bytes) -> None:
+            """Write one chunk unless the client already went away.
+
+            A mid-stream disconnect (the client closed its socket while
+            records were still settling) must not kill the request: the
+            worker thread keeps running regardless, so the loop below
+            simply stops writing, keeps draining the queue until the run
+            finishes, and the daemon's bookkeeping (engine totals, last
+            shard stats, the inflight decrement in ``_handle_validate``)
+            completes exactly as if the client had stayed.
+            """
+            nonlocal disconnected
+            if disconnected:
+                return
+            try:
+                writer.write(data)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                disconnected = True
+                self.client_disconnects += 1
+
+        await ship(self._head(200, "OK", "application/x-ndjson"))
         # The revalidator is single-threaded state: serialize requests on
         # the lock, and snapshot the shared cache counters around the run
         # so the summary can report this request's own hit rate.
@@ -273,25 +296,26 @@ class ValidationService:
                     kind, value = await queue.get()
                     if kind == "record":
                         line = json.dumps(_record_line(value)) + "\n"
-                        writer.write(line.encode("utf-8"))
-                        await writer.drain()
+                        await ship(line.encode("utf-8"))
                     elif kind == "done":
-                        await self._finish_stream(writer, value, budget,
-                                                  before)
+                        # Summarize unconditionally — the totals must be
+                        # folded in even when nobody is listening.
+                        summary = self._summarize(value, budget, before)
+                        await ship((json.dumps(summary) + "\n")
+                                   .encode("utf-8"))
                         break
                     else:
                         self.errors_total += 1
                         line = json.dumps({"type": "error",
                                            "message": repr(value)}) + "\n"
-                        writer.write(line.encode("utf-8"))
-                        await writer.drain()
+                        await ship(line.encode("utf-8"))
                         break
             finally:
                 await worker
 
-    async def _finish_stream(self, writer: asyncio.StreamWriter, report,
-                             budget: Optional[RequestBudget],
-                             before: Dict[str, int]) -> None:
+    def _summarize(self, report, budget: Optional[RequestBudget],
+                   before: Dict[str, int]) -> Dict[str, object]:
+        """Fold a finished run into the daemon totals; the summary line."""
         after = dict(self.revalidator.cache.stats())
         hits = after.get("hits", 0) - before.get("hits", 0)
         misses = after.get("misses", 0) - before.get("misses", 0)
@@ -299,7 +323,7 @@ class ValidationService:
         for key, value in report.engine_totals().items():
             self.engine_totals[key] = self.engine_totals.get(key, 0) + value
         self.last_shard_stats = dict(report.shard_stats or {})
-        summary = {
+        return {
             "type": "summary",
             "label": report.label,
             "functions": len(report.records),
@@ -312,8 +336,6 @@ class ValidationService:
             "engine_totals": report.engine_totals(),
             "budget": budget.stats() if budget is not None else None,
         }
-        writer.write((json.dumps(summary) + "\n").encode("utf-8"))
-        await writer.drain()
 
     # -- lifecycle ---------------------------------------------------------
     def stats(self) -> Dict[str, object]:
@@ -322,6 +344,7 @@ class ValidationService:
             "requests_total": self.requests_total,
             "rejected_total": self.rejected_total,
             "errors_total": self.errors_total,
+            "client_disconnects": self.client_disconnects,
             "inflight": self._inflight,
             "max_inflight": self.config.max_inflight,
             "draining": self._draining,

@@ -40,7 +40,15 @@ from ..vgraph.normalize import (
     Normalizer,
     unobservable_stores,
 )
+from . import faults
 from .config import DEFAULT_CONFIG, ValidatorConfig
+
+#: Synthetic denial reasons that say nothing about a pair's semantics and
+#: therefore must NEVER enter the proof cache: a rerun with a larger
+#: budget/timeout, or after the poison source is fixed, must re-validate.
+TIMEOUT = "timeout"
+QUARANTINED = "quarantined"
+UNCACHEABLE_REASONS = ("budget-exhausted", TIMEOUT, QUARANTINED)
 
 
 @dataclass
@@ -60,11 +68,16 @@ class ValidationResult:
     #: irreducible control flow), ``"build-error"`` (graph *construction*
     #: failed — unexpected IR or recursion blow-up) or
     #: ``"normalize-error"`` (construction succeeded but an internal error
-    #: was raised while *normalizing* the graph).  One synthetic rejection
-    #: exists outside validation proper: ``"budget-exhausted"`` (a
+    #: was raised while *normalizing* the graph).  Three synthetic
+    #: rejections exist outside validation proper (none says anything
+    #: about the pair's semantics, so none is ever cached — see
+    #: :data:`UNCACHEABLE_REASONS`): ``"budget-exhausted"`` (a
     #: per-request :class:`~repro.validator.scheduler.budget.RequestBudget`
-    #: could not afford this query; says nothing about the pair's
-    #: semantics and is never cached).
+    #: could not afford this query), ``"timeout"`` (the pair exceeded
+    #: ``config.pair_timeout`` wall-clock — see :func:`validate_bounded`)
+    #: and ``"quarantined"`` (the pair crashed or timed out workers
+    #: ``config.max_pair_retries`` times and the supervisor isolated it
+    #: rather than let it kill the backend).
     reason: str
     #: Wall-clock seconds spent on this validation.
     elapsed: float = 0.0
@@ -154,6 +167,58 @@ def validate(before: Function, after: Function,
     return ValidationResult(before.name, False, "normalization-exhausted", elapsed=elapsed,
                             graph_nodes=graph.live_node_count(), stats=counters,
                             detail=detail)
+
+
+def timeout_result(name: str, limit: float, elapsed: float) -> ValidationResult:
+    """The synthetic ``"timeout"`` denial for one over-budget pair."""
+    return ValidationResult(
+        name, False, TIMEOUT, elapsed=elapsed,
+        detail=f"pair validation exceeded pair_timeout={limit:g}s "
+               f"(ran {elapsed:.3f}s); not cached — retry with a larger bound")
+
+
+def quarantined_result(name: str, casualties: int, why: str) -> ValidationResult:
+    """The synthetic ``"quarantined"`` denial for one poison pair."""
+    return ValidationResult(
+        name, False, QUARANTINED,
+        detail=f"pair quarantined after {casualties} worker "
+               f"casualt{'y' if casualties == 1 else 'ies'} ({why}); "
+               f"not cached — verdict says nothing about the pair's semantics")
+
+
+def validate_bounded(before: Function, after: Function,
+                     config: Optional[ValidatorConfig] = None,
+                     manager: Optional[AnalysisManager] = None
+                     ) -> ValidationResult:
+    """:func:`validate` under ``config.pair_timeout`` and ``fault_plan``.
+
+    The hot-path entry every executor/provider uses for *pair* queries.
+    With neither knob set it is exactly :func:`validate`.  With a
+    timeout, the pair runs under a :class:`~repro.validator.faults.watchdog`
+    — preemptive (``SIGALRM``) in main threads, which covers the serial
+    driver and the pool/steal worker processes; post-hoc (same verdict,
+    later) on non-main threads like the service daemon's ``to_thread``
+    workers — and an over-budget pair settles as the uncached
+    ``"timeout"`` denial instead of blocking everything behind it.
+    """
+    config = config or DEFAULT_CONFIG
+    plan, limit = config.fault_plan, config.pair_timeout
+    if plan is None and not limit:
+        return validate(before, after, config, manager=manager)
+    guard = faults.watchdog(limit)
+    try:
+        with guard:
+            if plan is not None:
+                faults.maybe_fire(plan, "pair", detail=before.name)
+            result = validate(before, after, config, manager=manager)
+    except faults.PairTimeout:
+        return timeout_result(before.name, limit, guard.elapsed)
+    if guard.expired():
+        # The non-main-thread (post-hoc) path: the work already ran to
+        # completion, but the verdict must match what the preemptive
+        # path would have settled — and must stay out of the cache.
+        return timeout_result(before.name, limit, guard.elapsed)
+    return result
 
 
 def _work_counters(stats: NormalizationStats, nodes_built: int,
@@ -553,5 +618,7 @@ def validate_or_raise(before: Function, after: Function,
     return result
 
 
-__all__ = ["validate", "validate_chain", "validate_chain_delta",
-           "validate_or_raise", "ValidationResult", "ChainOutcome"]
+__all__ = ["validate", "validate_bounded", "validate_chain",
+           "validate_chain_delta", "validate_or_raise", "ValidationResult",
+           "ChainOutcome", "TIMEOUT", "QUARANTINED", "UNCACHEABLE_REASONS",
+           "timeout_result", "quarantined_result"]

@@ -67,7 +67,8 @@ from .scheduler import (
     run_stepwise,
 )
 from .scheduler.plan import PipelineDiff, diff_plan
-from .validate import ValidationResult, validate, validate_chain_delta
+from .validate import (UNCACHEABLE_REASONS, ValidationResult, validate_bounded,
+                       validate_chain_delta)
 
 
 class _ChainState:
@@ -111,7 +112,8 @@ class Revalidator:
         self.config = config or DEFAULT_CONFIG
         self.cache = cache if cache is not None else ValidationCache(
             self.config.cache_dir, max_bytes=self.config.cache_max_bytes,
-            backend=self.config.cache_backend)
+            backend=self.config.cache_backend,
+            fault_plan=self.config.fault_plan)
         self.manager = AnalysisManager(
             max_entries=self.config.analysis_cache_size or None)
         self.executor = create_executor(self.config)
@@ -199,11 +201,15 @@ class Revalidator:
         report.cache_stats = cache.stats()
         report.analysis_stats = self.manager.stats()
         self.runs += 1
+        executor_stats = self.executor.stats()
         report.shard_stats = {
             "executor": self.executor.name,
             "incremental": 1,
             "revalidations": self.runs,
             "pool_prefilled_pairs": prefilled_count,
+            "workers_respawned": executor_stats.get("workers_respawned", 0),
+            "pairs_quarantined": executor_stats.get("pairs_quarantined", 0),
+            "item_retries": executor_stats.get("item_retries", 0),
             **run_totals,
         }
         if budget is not None:
@@ -273,7 +279,12 @@ class Revalidator:
         results = self.executor.run_batch(items, self.config)
         prefilled: Set[CacheKey] = set()
         for key, result in zip(keys, results):
-            if isinstance(result, ValidationResult):
+            # Synthetic denials (timeouts, quarantines) must not enter the
+            # prefilled set: the provider treats prefilled keys as cached
+            # verdicts, and the cache refuses them anyway — the provider's
+            # own bounded validation re-answers (or re-denies) the pair.
+            if (isinstance(result, ValidationResult)
+                    and result.reason not in UNCACHEABLE_REASONS):
                 cache.put(key, result)
                 prefilled.add(key)
         return prefilled
@@ -385,7 +396,11 @@ class Revalidator:
                 if budget is not None and budget.exhausted:
                     counters["denied"] += 1
                     return budget.result(before.name), False
-                result = validate(before, after, config, manager=manager)
+                result = validate_bounded(before, after, config,
+                                          manager=manager)
+                if result.reason in UNCACHEABLE_REASONS:
+                    counters["denied"] += 1
+                    return result, False
                 cache.put(key, result)
                 counters["fresh"] += 1
                 if budget is not None:
@@ -426,7 +441,11 @@ class Revalidator:
             # fallback, and everything the delta could not answer are
             # validated in isolation — the same oracle the cold paths use.
             if result is None:
-                result = validate(before, after, config, manager=manager)
+                result = validate_bounded(before, after, config,
+                                          manager=manager)
+                if result.reason in UNCACHEABLE_REASONS:
+                    counters["denied"] += 1
+                    return result, False
             cache.put(key, result)
             counters["fresh"] += 1
             if budget is not None:
