@@ -31,6 +31,14 @@ lazily faulted entry count must be strictly below the store's entry
 count.  A missing artifact skips this gate with a note — the counter
 baseline gate runs either way.
 
+When a ``benchmarks/artifacts/remote_steal.json`` artifact is present
+(produced by ``bench_remote_steal.py``), the guard also bounds the
+cross-host overhead it carries: the TCP steal transport must answer at
+most 1.15x the pipe transport's total validated queries, and the warm
+served-proof-store leg must have issued at most one get RPC per work
+batch with the batched-prefetch path exercised.  Absent artifact, same
+skip-with-a-note rule.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_chain_graphs.py --scales 0.1 0.2 0.3
@@ -175,6 +183,49 @@ def _check_incremental(path: pathlib.Path, expected_seed,
     return failures
 
 
+def _check_remote_steal(path: pathlib.Path,
+                        max_overhead: float = 1.15) -> list:
+    """Gate the steal-transport artifact's overhead summary, if present.
+
+    The TCP transport may reorder the schedule but not the work: its
+    total validated-query count must stay within ``max_overhead`` of the
+    pipe transport's.  And the warm served-store leg must have amortized
+    its round trips — at most one get RPC per work batch, with the
+    batched-prefetch path actually exercised.  Returns failure strings;
+    an absent artifact is a skip (with a note), not a failure — the
+    remote-steal benchmark is optional in local runs.
+    """
+    if not path.exists():
+        print(f"remote-steal gate skipped: no artifact at {path} "
+              f"(run bench_remote_steal.py to produce one)")
+        return []
+    summary = json.loads(path.read_text()).get("summary", {})
+    pipe_queries = int(summary.get("pipe_queries", 0))
+    tcp_queries = int(summary.get("tcp_queries", 0))
+    batches = int(summary.get("warm_batches", 0))
+    get_rpcs = int(summary.get("warm_get_rpcs", 0))
+    batched_gets = int(summary.get("warm_batched_gets", 0))
+    print(f"remote steal: tcp {tcp_queries} queries vs pipe {pipe_queries} "
+          f"(cap x{max_overhead:g}); warm store {get_rpcs} get RPCs over "
+          f"{batches} work batches ({batched_gets} batched gets)")
+    failures = []
+    if pipe_queries and tcp_queries > max_overhead * pipe_queries:
+        failures.append(
+            f"remote steal: tcp transport answered {tcp_queries} queries vs "
+            f"pipe {pipe_queries} (> x{max_overhead:g}) — going cross-host "
+            f"is repeating work")
+    if get_rpcs > batches:
+        failures.append(
+            f"remote steal: warm served-store runs issued {get_rpcs} get "
+            f"RPCs over {batches} work batches — planning-time prefetch "
+            f"must batch to at most one RPC per batch")
+    if batches and not batched_gets:
+        failures.append(
+            "remote steal: warm served-store runs never exercised a "
+            "batched get — the prefetch path regressed to per-key chatter")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--artifact", type=pathlib.Path,
@@ -188,6 +239,14 @@ def main() -> int:
                         default=pathlib.Path("benchmarks/artifacts/incremental.json"),
                         help="incremental-revalidation artifact to gate when "
                              "present (see bench_incremental.py)")
+    parser.add_argument("--remote-steal-artifact", type=pathlib.Path,
+                        default=pathlib.Path("benchmarks/artifacts/remote_steal.json"),
+                        help="steal-transport artifact to gate when present "
+                             "(see bench_remote_steal.py)")
+    parser.add_argument("--remote-steal-max-overhead", type=float,
+                        default=1.15,
+                        help="maximum ratio of tcp to pipe total validated "
+                             "queries (default 1.15)")
     parser.add_argument("--incremental-min-saved", type=float, default=70.0,
                         help="minimum percent of rule invocations AND node "
                              "builds incremental revalidation must save vs "
@@ -292,6 +351,8 @@ def main() -> int:
                     f"super-linear scaling regression")
 
     failures += _check_proof_store(args.proof_store_artifact)
+    failures += _check_remote_steal(args.remote_steal_artifact,
+                                    args.remote_steal_max_overhead)
     failures += _check_incremental(args.incremental_artifact,
                                    baseline.get("hash_seed"),
                                    args.incremental_min_saved)

@@ -40,7 +40,11 @@ signatures — a backend may change where and in what order queries run,
 never what they decide.  The table also reports the wave backend's
 speculative savings (validated pairs avoided by cancelling the doomed
 later waves of rejected functions) and the steal backend's deque
-traffic (``items_stolen`` / ``steal_attempts``).
+traffic (``items_stolen`` / ``steal_attempts``).  With ``--tcp-workers
+N`` (N > 0) the parity sweep grows a fifth leg: the steal backend over
+its TCP transport with N loopback remote worker subprocesses, run cold
+and then warm through the coordinator's served proof store — both legs
+must also match serial byte for byte.
 
 Run with::
 
@@ -90,6 +94,10 @@ def main() -> int:
     parser.add_argument("--no-executor-parity", dest="executor_parity",
                         action="store_false",
                         help="skip the executor-parity check")
+    parser.add_argument("--tcp-workers", type=int, default=0,
+                        help="also run the steal backend over TCP with this "
+                             "many loopback remote workers, cold and warm "
+                             "(0, the default, skips the TCP legs)")
     parser.add_argument("--out", type=pathlib.Path,
                         default=pathlib.Path("benchmarks/artifacts/stepwise_comparison.json"),
                         help="where to write the JSON artifact")
@@ -109,9 +117,11 @@ def main() -> int:
     executor_rows = []
     if args.executor_parity:
         executor_rows = executor_comparison(
-            scale=args.scale, concurrency=max(2, args.shard_concurrency))
+            scale=args.scale, concurrency=max(2, args.shard_concurrency),
+            tcp_workers=args.tcp_workers)
     args.out.parent.mkdir(parents=True, exist_ok=True)
-    payload = {"schema": 6, "scale": args.scale, "rows": rows,
+    payload = {"schema": 7, "scale": args.scale, "rows": rows,
+               "tcp_workers": args.tcp_workers,
                "shard_concurrency": args.shard_concurrency,
                "shard_rows": shard_rows,
                "chain_parity": args.chain_parity,
@@ -193,6 +203,10 @@ def main() -> int:
                             "waves", "waves_cancelled", "steal_pairs",
                             "items_stolen", "steal_attempts", "serial_time_s",
                             "wave_time_s", "steal_time_s")
+        if args.tcp_workers > 0:
+            executor_columns += ("tcp_pairs", "tcp_warm_pairs",
+                                 "tcp_workers_joined", "tcp_time_s",
+                                 "tcp_warm_time_s")
         print()
         print(format_table([{k: row[k] for k in executor_columns}
                             for row in executor_rows],
@@ -226,6 +240,9 @@ def main() -> int:
     if executor_rows:
         message += ("; serial/pool/wave/steal backends produced identical "
                     "records on every corpus")
+        if args.tcp_workers > 0:
+            message += (f"; steal+tcp with {args.tcp_workers} remote workers "
+                        f"matched serial cold and warm on every corpus")
     print(f"\n{message}")
     return 0
 

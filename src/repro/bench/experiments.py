@@ -492,7 +492,8 @@ def executor_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] 
                         passes: Sequence[str] = PAPER_PIPELINE,
                         config: Optional[ValidatorConfig] = None,
                         concurrency: int = 2,
-                        strategy: str = "stepwise") -> List[Dict[str, object]]:
+                        strategy: str = "stepwise",
+                        tcp_workers: int = 0) -> List[Dict[str, object]]:
     """Serial vs pool vs wave vs steal scheduling backends on identical inputs.
 
     For every corpus, validates the module through
@@ -515,6 +516,16 @@ def executor_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] 
     ``steal_attempts`` (how often idle workers raided a sibling's deque)
     and ``steal_pairs_skipped`` (pairs its streaming cancellation never
     ran).
+
+    With ``tcp_workers > 0`` a fifth leg runs the steal backend over its
+    TCP transport, twice per corpus: that many remote worker processes
+    are spawned once (``--reconnect``, so they rejoin every per-batch
+    coordinator on the same port), each corpus gets a coordinator-side
+    sqlite proof store, and the corpus is validated cold then warm —
+    the warm run answers every query through the served store's batched
+    gets.  Both legs must match serial exactly (``tcp``/``tcp_warm``
+    entries join the mismatch scan), proving the distribution layer is
+    a pure refinement of the single-node schedule.
     """
     base = config or DEFAULT_CONFIG
     workers = max(2, concurrency)
@@ -524,60 +535,110 @@ def executor_comparison(scale: float = 1.0, benchmarks: Optional[Sequence[str]] 
         "wave": _dc_replace(base, executor="wave", concurrency=workers),
         "steal": _dc_replace(base, executor="steal", concurrency=workers),
     }
+    tcp_procs: List[object] = []
+    tcp_listen = None
+    tcp_store_root = None
+    if tcp_workers > 0:
+        import os
+        import socket
+        import tempfile
+        from ..validator.scheduler.remote import spawn_workers
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        tcp_listen = f"127.0.0.1:{probe.getsockname()[1]}"
+        probe.close()
+        tcp_store_root = tempfile.mkdtemp(prefix="repro-tcp-parity-")
+        tcp_procs = spawn_workers(tcp_listen, max(2, tcp_workers),
+                                  reconnect=True, patience=900.0)
     rows: List[Dict[str, object]] = []
-    for spec in _selected_specs(benchmarks):
-        module = build_corpus(spec, scale)
-        signatures: Dict[str, List[Dict[str, object]]] = {}
-        per_backend: Dict[str, Dict[str, object]] = {}
-        for name, backend_config in backends.items():
-            start = time.perf_counter()
-            (_, report), = validate_module_batch(
-                [module], passes, backend_config, labels=[spec.name],
-                strategy=strategy)
-            elapsed = time.perf_counter() - start
-            signatures[name] = [record.signature() for record in report.records]
-            shard = report.shard_stats or {}
-            per_backend[name] = {
-                "distinct_pairs": shard.get("distinct_pairs", 0),
-                "waves": shard.get("waves", 0),
-                "waves_cancelled": shard.get("waves_cancelled", 0),
-                "pairs_skipped": shard.get("speculative_pairs_skipped", 0),
-                "items_stolen": shard.get("items_stolen", 0),
-                "steal_attempts": shard.get("steal_attempts", 0),
-                "transformed": report.transformed_functions,
-                "time_s": round(elapsed, 3),
+    try:
+        for spec in _selected_specs(benchmarks):
+            module = build_corpus(spec, scale)
+            signatures: Dict[str, List[Dict[str, object]]] = {}
+            per_backend: Dict[str, Dict[str, object]] = {}
+            legs = dict(backends)
+            if tcp_workers > 0:
+                tcp_config = _dc_replace(
+                    base, executor="steal", concurrency=max(2, tcp_workers),
+                    steal_transport="tcp", steal_listen=tcp_listen,
+                    cache_dir=os.path.join(tcp_store_root, spec.name),
+                    cache_backend="sqlite")
+                legs["tcp"] = tcp_config
+                legs["tcp_warm"] = tcp_config
+            for name, backend_config in legs.items():
+                start = time.perf_counter()
+                (_, report), = validate_module_batch(
+                    [module], passes, backend_config, labels=[spec.name],
+                    strategy=strategy)
+                elapsed = time.perf_counter() - start
+                signatures[name] = [record.signature()
+                                    for record in report.records]
+                shard = report.shard_stats or {}
+                per_backend[name] = {
+                    "distinct_pairs": shard.get("distinct_pairs", 0),
+                    "waves": shard.get("waves", 0),
+                    "waves_cancelled": shard.get("waves_cancelled", 0),
+                    "pairs_skipped": shard.get("speculative_pairs_skipped", 0),
+                    "items_stolen": shard.get("items_stolen", 0),
+                    "steal_attempts": shard.get("steal_attempts", 0),
+                    "workers_joined": shard.get("remote_workers_joined", 0),
+                    "transformed": report.transformed_functions,
+                    "time_s": round(elapsed, 3),
+                }
+            mismatches = []
+            compared = ["pool", "wave", "steal"]
+            if tcp_workers > 0:
+                compared += ["tcp", "tcp_warm"]
+            for name in compared:
+                mismatches += [f"{signature['name']} ({name})"
+                               for signature, other in zip(signatures["serial"],
+                                                           signatures[name])
+                               if signature != other]
+                if len(signatures["serial"]) != len(signatures[name]):  # pragma: no cover
+                    mismatches.append(f"<record-count-mismatch> ({name})")
+            row = {
+                "benchmark": spec.name,
+                "strategy": strategy,
+                "transformed": per_backend["serial"]["transformed"],
+                "identical": not mismatches,
+                "mismatches": mismatches,
+                "serial_pairs": per_backend["serial"]["distinct_pairs"],
+                "pool_pairs": per_backend["pool"]["distinct_pairs"],
+                "wave_pairs": per_backend["wave"]["distinct_pairs"],
+                "wave_pairs_saved": (per_backend["serial"]["distinct_pairs"]
+                                     - per_backend["wave"]["distinct_pairs"]),
+                "waves": per_backend["wave"]["waves"],
+                "waves_cancelled": per_backend["wave"]["waves_cancelled"],
+                "pairs_skipped": per_backend["wave"]["pairs_skipped"],
+                "steal_pairs": per_backend["steal"]["distinct_pairs"],
+                "items_stolen": per_backend["steal"]["items_stolen"],
+                "steal_attempts": per_backend["steal"]["steal_attempts"],
+                "steal_pairs_skipped": per_backend["steal"]["pairs_skipped"],
+                "serial_time_s": per_backend["serial"]["time_s"],
+                "pool_time_s": per_backend["pool"]["time_s"],
+                "wave_time_s": per_backend["wave"]["time_s"],
+                "steal_time_s": per_backend["steal"]["time_s"],
             }
-        mismatches = []
-        for name in ("pool", "wave", "steal"):
-            mismatches += [f"{signature['name']} ({name})"
-                           for signature, other in zip(signatures["serial"],
-                                                       signatures[name])
-                           if signature != other]
-            if len(signatures["serial"]) != len(signatures[name]):  # pragma: no cover
-                mismatches.append(f"<record-count-mismatch> ({name})")
-        rows.append({
-            "benchmark": spec.name,
-            "strategy": strategy,
-            "transformed": per_backend["serial"]["transformed"],
-            "identical": not mismatches,
-            "mismatches": mismatches,
-            "serial_pairs": per_backend["serial"]["distinct_pairs"],
-            "pool_pairs": per_backend["pool"]["distinct_pairs"],
-            "wave_pairs": per_backend["wave"]["distinct_pairs"],
-            "wave_pairs_saved": (per_backend["serial"]["distinct_pairs"]
-                                 - per_backend["wave"]["distinct_pairs"]),
-            "waves": per_backend["wave"]["waves"],
-            "waves_cancelled": per_backend["wave"]["waves_cancelled"],
-            "pairs_skipped": per_backend["wave"]["pairs_skipped"],
-            "steal_pairs": per_backend["steal"]["distinct_pairs"],
-            "items_stolen": per_backend["steal"]["items_stolen"],
-            "steal_attempts": per_backend["steal"]["steal_attempts"],
-            "steal_pairs_skipped": per_backend["steal"]["pairs_skipped"],
-            "serial_time_s": per_backend["serial"]["time_s"],
-            "pool_time_s": per_backend["pool"]["time_s"],
-            "wave_time_s": per_backend["wave"]["time_s"],
-            "steal_time_s": per_backend["steal"]["time_s"],
-        })
+            if tcp_workers > 0:
+                row.update({
+                    "tcp_pairs": per_backend["tcp"]["distinct_pairs"],
+                    "tcp_warm_pairs": per_backend["tcp_warm"]["distinct_pairs"],
+                    "tcp_workers_joined": per_backend["tcp"]["workers_joined"],
+                    "tcp_time_s": per_backend["tcp"]["time_s"],
+                    "tcp_warm_time_s": per_backend["tcp_warm"]["time_s"],
+                })
+            rows.append(row)
+    finally:
+        for proc in tcp_procs:
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        for proc in tcp_procs:
+            try:
+                proc.wait(timeout=10)
+            except Exception:
+                pass
     return rows
 
 

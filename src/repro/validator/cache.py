@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import sqlite3
 import tempfile
 from dataclasses import asdict, replace
@@ -75,6 +76,11 @@ CACHE_FILE_NAME = "validation_cache.json"
 
 #: File name used when a SQLite cache is given a directory.
 SQLITE_FILE_NAME = "validation_cache.sqlite"
+
+#: Address prefix selecting the served proof store as a cache "path":
+#: ``remote://HOST:PORT`` points :class:`RemoteStore` at a running
+#: :class:`~repro.validator.scheduler.remote.StealCoordinator`.
+REMOTE_PREFIX = "remote://"
 
 _SQLITE_SUFFIXES = (".sqlite", ".db")
 
@@ -157,6 +163,55 @@ def _decode_result(payload: Dict[str, object]) -> ValidationResult:
     return result
 
 
+class sidecar_flock:
+    """Exclusive ``flock`` on a store's sidecar ``<name>.lock`` file.
+
+    The one place the on-disk locking protocol lives: :class:`JsonStore`
+    holds it across its read-merge-rewrite save sequence, and the
+    coordinator-side :class:`~repro.validator.scheduler.remote.ServedStore`
+    holds it while snapshotting a JSON store it is about to serve, so a
+    concurrent saver and a coordinator never interleave a partial merge.
+    The lock file sits beside the store and is **never deleted**:
+    unlinking a lock file another process may be about to open would
+    reintroduce exactly the race the lock exists to close.  On platforms
+    without :mod:`fcntl` (or when the sidecar cannot be opened) the lock
+    degrades to a no-op — :attr:`held` says which happened.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    @property
+    def held(self) -> bool:
+        """Did :meth:`__enter__` actually take the lock?"""
+        return self._handle is not None
+
+    def __enter__(self) -> "sidecar_flock":
+        if fcntl is None:
+            return self
+        try:
+            handle = open(self.path.with_name(self.path.name + ".lock"), "a+")
+        except OSError:
+            return self
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        except OSError:
+            handle.close()
+            return self
+        self._handle = handle
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            finally:
+                handle.close()
+        return False
+
+
 class JsonStore:
     """The whole-file JSON proof store (the historical backend).
 
@@ -213,8 +268,7 @@ class JsonStore:
         """Locked merge-and-rewrite; returns ``(merged, stored, evicted)``."""
         faults.maybe_fire(self.fault_plan, "cache-flush", detail=self.path.name)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        lock = self._acquire_lock()
-        try:
+        with sidecar_flock(self.path):
             merged = self.load()
             merged.update(entries)
             evicted = 0
@@ -243,36 +297,9 @@ class JsonStore:
             self.flushes += 1
             self.bytes_written += len(text)
             return merged, len(merged), evicted
-        finally:
-            self._release_lock(lock)
 
     def close(self) -> None:
         pass
-
-    # The lock file sits beside the cache file and is never deleted:
-    # unlinking a lock file another process may be about to open would
-    # reintroduce exactly the race the lock exists to close.
-    def _acquire_lock(self):
-        if fcntl is None:
-            return None
-        try:
-            handle = open(self.path.with_name(self.path.name + ".lock"), "a+")
-        except OSError:
-            return None
-        try:
-            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
-        except OSError:
-            handle.close()
-            return None
-        return handle
-
-    def _release_lock(self, handle) -> None:
-        if handle is None:
-            return
-        try:
-            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
-        finally:
-            handle.close()
 
 
 def _is_locked(error: BaseException) -> bool:
@@ -534,6 +561,244 @@ class SqliteStore:
             return 0
 
 
+class RemoteStore:
+    """Proof-store client proxying to a coordinator's served store.
+
+    The distributed counterpart of :class:`SqliteStore`: remote workers
+    (and warm parent runs) point a cache at ``remote://HOST:PORT`` and
+    consult the coordinator's *one* shared store instead of shipping
+    cache state inside work payloads.  Traffic is batched — the planner
+    calls :meth:`prefetch` once per work plan, so a whole batch's keys
+    cost a single get round trip (counted in ``rpcs`` /
+    ``batched_gets``) — and writes stay write-behind: the cache buffers
+    dirty entries exactly as it does for sqlite and :meth:`upsert`
+    ships each flush batch as one ``put`` RPC, retrying transient
+    server-side ``database is locked`` replies under the shared
+    :data:`~repro.validator.scheduler.retry.LOCKED_FLUSH_RETRY` policy.
+
+    Degradation mirrors the disk stores: a rejected handshake or a
+    twice-failed round trip permanently drops to the in-memory tier
+    (``errors`` counts it) — losing the shared store can only cost
+    re-validation, never correctness.  A coordinator restart between
+    batches is *not* a degradation: every RPC retries one transparent
+    reconnect first.
+    """
+
+    backend = "remote"
+    eager = False
+
+    def __init__(self, address: str,
+                 fault_plan: Optional[faults.FaultPlan] = None) -> None:
+        # Deferred: the scheduler package imports this module through
+        # its executors, so a top-level import would be circular.
+        from .scheduler import transport
+        self._transport = transport
+        if address.startswith(REMOTE_PREFIX):
+            address = address[len(REMOTE_PREFIX):]
+        self.address = address
+        self.host, self.port = transport.split_address(address)
+        self.fault_plan = fault_plan
+        self.lazy_loads = 0
+        self.flushes = 0
+        self.errors = 0
+        self.retries = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        #: Round trips to the coordinator, all operations.
+        self.rpcs = 0
+        #: Round trips that were (batched) entry gets.
+        self.get_rpcs = 0
+        #: Keys requested through batched get round trips.
+        self.batched_gets = 0
+        self._sock: Optional[socket.socket] = None
+        self._broken = False
+        #: Keys the coordinator answered "absent" for: a later fetch of
+        #: one is a local miss, never another round trip (the batch
+        #: already asked).  A successful put clears its key.
+        self._absent: set = set()
+
+    # -- plumbing ----------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        transport = self._transport
+        sock = socket.create_connection((self.host, self.port), timeout=10.0)
+        try:
+            transport.send_frame(
+                sock, ("hello", transport.TRANSPORT_SCHEMA,
+                       transport.config_fingerprint(), "store"))
+            reply = transport.recv_frame(sock)
+        except BaseException:
+            sock.close()
+            raise
+        if not (isinstance(reply, tuple) and reply and reply[0] == "welcome"):
+            sock.close()
+            raise transport.HandshakeError(
+                f"served store rejected this client: {reply!r}")
+        return sock
+
+    def _drop_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _give_up(self) -> None:
+        """Degrade permanently to the in-memory tier (never an error)."""
+        self._broken = True
+        self.errors += 1
+        self._drop_socket()
+
+    def _rpc(self, message: Tuple) -> Optional[Tuple]:
+        """One round trip; ``None`` once degraded.
+
+        A server-side transient (``database is locked``) comes back as
+        an ``("err", ...)`` reply and is re-raised as the sqlite error
+        it describes, so :meth:`upsert`'s retry policy treats wire and
+        local contention identically.
+        """
+        if self._broken:
+            return None
+        transport = self._transport
+        for attempt in (1, 2):
+            try:
+                if self._sock is None:
+                    self._sock = self._connect()
+                transport.send_frame(self._sock, message)
+                reply = transport.recv_frame(self._sock)
+            except transport.HandshakeError:
+                self._give_up()
+                return None
+            except (transport.FrameError, OSError):
+                # One transparent reconnect — the coordinator may have
+                # restarted between batches.  A second failure degrades.
+                self._drop_socket()
+                if attempt == 2:
+                    self._give_up()
+                    return None
+                continue
+            self.rpcs += 1
+            if isinstance(reply, tuple) and reply and reply[0] == "err":
+                detail = str(reply[1])
+                if "locked" in detail.lower() or "busy" in detail.lower():
+                    raise sqlite3.OperationalError(detail)
+                self._give_up()
+                return None
+            return reply
+        return None
+
+    def _read_rpc(self, message: Tuple) -> Optional[Tuple]:
+        """An RPC whose locked replies are misses, not retry candidates."""
+        try:
+            return self._rpc(message)
+        except sqlite3.OperationalError:
+            return None
+
+    # -- store operations --------------------------------------------------
+    def entry_count(self) -> int:
+        reply = self._read_rpc(("count",))
+        return int(reply[1]) if reply else 0
+
+    def max_stamp(self) -> int:
+        reply = self._read_rpc(("maxstamp",))
+        return int(reply[1]) if reply else 0
+
+    def _get_batch(self, texts: Dict[str, CacheKey]
+                   ) -> Dict[CacheKey, ValidationResult]:
+        reply = self._read_rpc(("get", list(texts)))
+        if reply is None or reply[0] != "entries":
+            return {}
+        self.get_rpcs += 1
+        self.batched_gets += len(texts)
+        entries = reply[1]
+        found: Dict[CacheKey, ValidationResult] = {}
+        for text, key in texts.items():
+            payload = entries.get(text)
+            if payload is None:
+                self._absent.add(text)
+                continue
+            self.bytes_read += len(payload)
+            try:
+                result = _decode_result(json.loads(payload))
+            except (KeyError, TypeError, ValueError):
+                self._absent.add(text)
+                continue
+            self.lazy_loads += 1
+            found[key] = result
+        return found
+
+    def fetch(self, key: CacheKey) -> Optional[ValidationResult]:
+        """Fault one entry in over the wire, or ``None`` (miss / degraded)."""
+        text = _encode_key(key)
+        if text in self._absent:
+            return None
+        return self._get_batch({text: key}).get(key)
+
+    def prefetch(self, keys: Iterable[CacheKey]
+                 ) -> Dict[CacheKey, ValidationResult]:
+        """Fault a whole plan's keys in with one batched round trip."""
+        texts: Dict[str, CacheKey] = {}
+        for key in keys:
+            text = _encode_key(key)
+            if text not in self._absent and text not in texts:
+                texts[text] = key
+        if not texts:
+            return {}
+        return self._get_batch(texts)
+
+    def upsert(self, items: Iterable[Tuple[CacheKey, ValidationResult]],
+               hit_stamp: Dict[CacheKey, int]) -> int:
+        """Ship a flush batch as one ``put`` RPC; returns entries stored."""
+        rows = [(_encode_key(key), _encode_result(result),
+                 int(hit_stamp.get(key, 0)))
+                for key, result in items]
+        if not rows or self._broken:
+            return 0
+
+        def attempt() -> int:
+            reply = self._rpc(("put", rows))
+            return int(reply[1]) if reply else 0
+
+        def count_retry(attempt_number: int, error: BaseException) -> None:
+            self.retries += 1
+
+        from .scheduler.retry import LOCKED_FLUSH_RETRY, retry_call
+        try:
+            stored = retry_call(attempt, policy=LOCKED_FLUSH_RETRY,
+                                retry_if=_is_locked,
+                                seed=getattr(self.fault_plan, "seed", 0),
+                                on_retry=count_retry)
+        except (sqlite3.Error, OSError):
+            self._give_up()
+            return 0
+        if stored:
+            self.flushes += 1
+            self.bytes_written += sum(len(row[1]) for row in rows)
+            for row in rows:
+                self._absent.discard(row[0])
+        return stored
+
+    def touch(self, hit_stamp: Dict[CacheKey, int]) -> None:
+        """Refresh served-store recency for entries this process consumed."""
+        if not hit_stamp:
+            return
+        rows = [(_encode_key(key), int(stamp))
+                for key, stamp in hit_stamp.items()]
+        self._read_rpc(("touch", rows))  # recency is advisory
+
+    def evict_to_budget(self, max_bytes: int) -> int:
+        reply = self._read_rpc(("evict", int(max_bytes)))
+        return int(reply[1]) if reply else 0
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._transport.send_frame(self._sock, ("bye",))
+            except (OSError, RuntimeError):
+                pass
+            self._drop_socket()
+
+
 class ValidationCache:
     """Memoizes validation results by function-pair content.
 
@@ -585,9 +850,11 @@ class ValidationCache:
         self.max_bytes = max_bytes
         #: Resolved persistence file, or ``None`` for an in-memory cache.
         self.path: Optional[Path] = None
-        #: Resolved backend name: ``"memory"``, ``"json"`` or ``"sqlite"``.
+        #: Resolved backend name: ``"memory"``, ``"json"``, ``"sqlite"``
+        #: or ``"remote"`` (a ``remote://HOST:PORT`` path — the served
+        #: proof store of a running steal coordinator).
         self.backend = "memory"
-        self._store: Optional[Union[JsonStore, SqliteStore]] = None
+        self._store: Optional[Union[JsonStore, SqliteStore, RemoteStore]] = None
         self._dirty = False
         #: Dirty keys awaiting an incremental flush (lazy backends only),
         #: in insertion order.
@@ -595,7 +862,12 @@ class ValidationCache:
         #: Monotonic recency stamps: key -> last hit/store tick.
         self._hit_stamp: Dict[CacheKey, int] = {}
         self._tick = 0
-        if path is not None:
+        if isinstance(path, str) and path.startswith(REMOTE_PREFIX):
+            self.backend = "remote"
+            self._store = RemoteStore(path, fault_plan=fault_plan)
+            self.loaded = self._store.entry_count()
+            self._tick = self._store.max_stamp()
+        elif path is not None:
             file_path, resolved = _resolve_cache_path(path, backend)
             self.path = file_path
             self.backend = resolved
@@ -616,8 +888,8 @@ class ValidationCache:
 
     @property
     def persistent(self) -> bool:
-        """Does this cache have an on-disk backend?"""
-        return self.path is not None
+        """Does this cache have an on-disk (or served) backend?"""
+        return self.path is not None or self._store is not None
 
     def key(self, before: Function, after: Function,
             config: ValidatorConfig) -> CacheKey:
@@ -643,6 +915,30 @@ class ValidationCache:
             config.max_iterations,
             config.recursion_limit,
         )
+
+    def prefetch(self, keys: Iterable[CacheKey]) -> int:
+        """Batch-fault ``keys`` from a lazy store in one round trip.
+
+        A no-op (returning 0) unless the store implements batched gets
+        — today only the ``remote`` backend does.  The planner calls
+        this once per work plan, so a remote proof store answers a
+        whole batch's :meth:`peek` traffic with a single get RPC
+        instead of one round trip per key; for every other backend the
+        per-key :meth:`peek` path is untouched.  Returns the number of
+        entries faulted in.
+        """
+        if self._store is None or self._store.eager:
+            return 0
+        batched = getattr(self._store, "prefetch", None)
+        if batched is None:
+            return 0
+        missing = [key for key in dict.fromkeys(keys)
+                   if key not in self._results]
+        if not missing:
+            return 0
+        found = batched(missing)
+        self._results.update(found)
+        return len(found)
 
     def peek(self, key: CacheKey) -> Optional[ValidationResult]:
         """The stored result for ``key`` (no hit/miss accounting).
@@ -779,7 +1075,7 @@ class ValidationCache:
 
     def save_if_dirty(self) -> int:
         """Persist only when persistent and changed since load/last save."""
-        if self.path is not None and self._dirty:
+        if self.persistent and self._dirty:
             return self.save()
         return 0
 
@@ -813,6 +1109,11 @@ class ValidationCache:
             counters["store_retries"] = self._store.retries
             counters["store_bytes_read"] = self._store.bytes_read
             counters["store_bytes_written"] = self._store.bytes_written
+            # Remote-backend round-trip accounting (absent elsewhere).
+            for extra in ("rpcs", "get_rpcs", "batched_gets"):
+                value = getattr(self._store, extra, None)
+                if value is not None:
+                    counters[f"store_{extra}"] = value
         return counters
 
 
@@ -897,28 +1198,41 @@ def _read_cache_file(path: Path) -> Dict[CacheKey, ValidationResult]:
     return _parse_cache_text(text)
 
 
-def migrate_json_to_sqlite(path: Union[str, os.PathLike]) -> Tuple[int, Path]:
-    """One-shot JSON → SQLite proof-store migration.
+def migrate_json_to_sqlite(path: Union[str, os.PathLike],
+                           *, dry_run: bool = False) -> Tuple[int, int, Path]:
+    """Idempotent JSON → SQLite proof-store migration.
 
     Reads the JSON cache at ``path`` (a cache directory or a ``.json``
-    file) and upserts every entry into the SQLite store beside it; the
-    JSON file is left untouched, so the migration is safely retryable
-    and reversible by deletion.  Once the SQLite file exists,
-    ``backend="auto"`` prefers it.  Returns ``(entries migrated, sqlite
+    file) and upserts every entry the SQLite store beside it does not
+    already hold; the JSON file is left untouched, so the migration is
+    safely retryable and reversible by deletion.  Re-running against an
+    already-migrated path is a counted no-op: existing keys are skipped,
+    not rewritten, and nothing errors.  Once the SQLite file exists,
+    ``backend="auto"`` prefers it.  With ``dry_run=True`` nothing is
+    written (and an absent store is not created) — the counts report
+    what a real run would do.  Returns ``(migrated, skipped, sqlite
     path)``; an empty or unreadable source migrates 0 entries but still
-    creates the (empty) store.
+    creates the (empty) store unless ``dry_run``.
     """
     source, _ = _resolve_cache_path(path, "json")
     entries = _read_cache_file(source)
     target = source.with_suffix(".sqlite")
+    if dry_run and not target.exists():
+        # Nothing to compare against: every source entry would migrate.
+        return len(entries), 0, target
     store = SqliteStore(target)
     try:
-        migrated = store.upsert(entries.items(), {}) if entries else 0
+        fresh = {key: result for key, result in entries.items()
+                 if store.fetch(key) is None}
+        skipped = len(entries) - len(fresh)
+        if dry_run:
+            return len(fresh), skipped, target
+        migrated = store.upsert(fresh.items(), {}) if fresh else 0
         if not entries:
             store.entry_count()  # force creation of the empty store
     finally:
         store.close()
-    return migrated, target
+    return migrated, skipped, target
 
 
 def _main(argv: Optional[List[str]] = None) -> int:
@@ -929,11 +1243,16 @@ def _main(argv: Optional[List[str]] = None) -> int:
         description="Proof-store maintenance for the validation cache.")
     commands = parser.add_subparsers(dest="command", required=True)
     migrate = commands.add_parser(
-        "migrate", help="one-shot JSON -> SQLite migration of a cache path")
+        "migrate", help="idempotent JSON -> SQLite migration of a cache path")
     migrate.add_argument("path", help="cache directory or .json cache file")
+    migrate.add_argument("--dry-run", action="store_true",
+                         help="report what would migrate without writing")
     args = parser.parse_args(argv)
-    migrated, target = migrate_json_to_sqlite(args.path)
-    print(f"migrated {migrated} entries to {target}")
+    migrated, skipped, target = migrate_json_to_sqlite(
+        args.path, dry_run=args.dry_run)
+    verb = "would migrate" if args.dry_run else "migrated"
+    suffix = f" ({skipped} already present)" if skipped else ""
+    print(f"{verb} {migrated} entries to {target}{suffix}")
     return 0
 
 
@@ -948,8 +1267,11 @@ __all__ = [
     "CACHE_FILE_NAME",
     "SQLITE_FILE_NAME",
     "CACHE_BACKENDS",
+    "REMOTE_PREFIX",
     "JsonStore",
     "SqliteStore",
+    "RemoteStore",
+    "sidecar_flock",
     "ValidationCache",
     "migrate_json_to_sqlite",
 ]

@@ -20,6 +20,13 @@ from .faults import FaultPlan
 #: ``"serial"``).  See :mod:`repro.validator.scheduler.executors`.
 EXECUTORS = ("auto", "serial", "pool", "wave", "steal")
 
+#: Transports the ``"steal"`` backend can move work items over:
+#: ``"pipe"`` (in-process ``multiprocessing`` pipes, the historical
+#: single-host protocol) or ``"tcp"`` (length-prefixed frames over
+#: sockets so workers on other hosts can join the shared queue).  See
+#: :mod:`repro.validator.scheduler.transport`.
+STEAL_TRANSPORTS = ("pipe", "tcp")
+
 #: Persistent proof-store backends the validation cache can open
 #: (``"auto"`` prefers an existing SQLite store, else the historical
 #: JSON file).  See :mod:`repro.validator.cache`.
@@ -196,11 +203,35 @@ class ValidatorConfig:
     fault_plan:
         Optional :class:`~repro.validator.faults.FaultPlan` injecting
         deterministic faults (worker crashes, pair hangs, flush errors,
-        payload corruption) at named pipeline sites — the test harness
-        for all of the recovery machinery above.  ``None`` (the
-        default) injects nothing and costs nothing.  Never part of the
-        cache key: a faulted run's *cached* verdicts must be
-        byte-identical to the fault-free run's.
+        payload corruption, connection drops) at named pipeline sites —
+        the test harness for all of the recovery machinery above.
+        ``None`` (the default) injects nothing and costs nothing.
+        Never part of the cache key: a faulted run's *cached* verdicts
+        must be byte-identical to the fault-free run's.
+    steal_transport:
+        Wire protocol for the ``"steal"`` executor's work queue:
+        ``"pipe"`` (the default in-process ``multiprocessing`` pipes)
+        or ``"tcp"`` (length-prefixed pickle frames over sockets — the
+        driver hosts a :class:`~repro.validator.scheduler.remote.StealCoordinator`
+        and remote ``python -m repro.validator.scheduler.worker``
+        processes join it dynamically).  Requires ``executor="steal"``.
+        Both transports produce byte-identical record signatures
+        (``benchmarks/remote_steal_guard.py`` enforces it), so like the
+        executor knob it is *not* part of the cache key.
+    steal_listen:
+        ``HOST:PORT`` the TCP steal coordinator binds (only meaningful
+        with ``steal_transport="tcp"``).  ``None`` binds a loopback
+        ephemeral port; a fixed port lets ``--reconnect`` workers serve
+        every batch of a sweep.  Never part of the cache key.
+    steal_connect:
+        ``HOST:PORT`` of a *served proof store* to consult when this
+        process is not itself the coordinator (e.g. drivers that want
+        warm verdicts from a coordinator-owned sqlite store).  When set
+        and ``cache_dir`` is ``None``, the batch driver opens a
+        ``remote://`` :class:`~repro.validator.cache.ValidationCache`
+        against it.  Mutually exclusive with ``steal_listen`` — one
+        process either hosts the store or consults it.  Never part of
+        the cache key.
     """
 
     rule_groups: Tuple[str, ...] = tuple(ALL_RULE_GROUPS)
@@ -222,6 +253,9 @@ class ValidatorConfig:
     pair_timeout: float = 0.0
     max_pair_retries: int = 2
     fault_plan: Optional[FaultPlan] = None
+    steal_transport: str = "pipe"
+    steal_listen: Optional[str] = None
+    steal_connect: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -265,6 +299,30 @@ class ValidatorConfig:
         if self.max_pair_retries < 0:
             raise ValueError(
                 "max_pair_retries must be >= 0 (0 = quarantine on first kill)")
+        if self.steal_transport not in STEAL_TRANSPORTS:
+            raise ValueError(
+                f"unknown steal transport {self.steal_transport!r} "
+                f"(known: {STEAL_TRANSPORTS})")
+        if self.steal_transport == "tcp" and self.executor != "steal":
+            raise ValueError(
+                f"steal_transport='tcp' needs executor='steal' "
+                f"(got executor={self.executor!r}); the other backends have "
+                f"no steal queue to put on the wire")
+        if self.steal_listen is not None and self.steal_transport != "tcp":
+            raise ValueError(
+                f"steal_listen={self.steal_listen!r} needs "
+                f"steal_transport='tcp' (the pipe transport never binds a "
+                f"socket)")
+        if self.steal_connect is not None and self.steal_listen is not None:
+            raise ValueError(
+                f"steal_connect={self.steal_connect!r} contradicts "
+                f"steal_listen={self.steal_listen!r}: a process either hosts "
+                f"the served proof store or consults one, not both")
+        for name in ("steal_listen", "steal_connect"):
+            value = getattr(self, name)
+            if value is not None and ":" not in value:
+                raise ValueError(
+                    f"{name} must be 'HOST:PORT' (got {value!r})")
 
     def with_rules(self, rule_groups) -> "ValidatorConfig":
         """A copy of this configuration with different rule groups."""
@@ -293,6 +351,7 @@ __all__ = [
     "ValidatorConfig",
     "DEFAULT_CONFIG",
     "EXECUTORS",
+    "STEAL_TRANSPORTS",
     "CACHE_BACKENDS",
     "GVN_ABLATION_STEPS",
     "SCCP_ABLATION_STEPS",

@@ -89,7 +89,7 @@ from ..transforms.pass_manager import (
     PassManager,
     checkpoint_chain,
 )
-from .cache import ValidationCache
+from .cache import REMOTE_PREFIX, ValidationCache
 from .config import DEFAULT_CONFIG, ValidatorConfig
 from .report import FunctionRecord, ValidationReport
 from .scheduler import (
@@ -358,9 +358,17 @@ def validate_module_batch(
                     cache=cache)
                 for index, module in enumerate(modules)]
     if cache is None:
-        cache = ValidationCache(config.cache_dir, max_bytes=config.cache_max_bytes,
-                                backend=config.cache_backend,
-                                fault_plan=config.fault_plan)
+        if config.cache_dir is None and config.steal_connect is not None:
+            # No local persistence requested but a served proof store is
+            # reachable: consult it (batched gets at planning time,
+            # write-behind flushes on save).
+            cache = ValidationCache(f"{REMOTE_PREFIX}{config.steal_connect}",
+                                    fault_plan=config.fault_plan)
+        else:
+            cache = ValidationCache(config.cache_dir,
+                                    max_bytes=config.cache_max_bytes,
+                                    backend=config.cache_backend,
+                                    fault_plan=config.fault_plan)
 
     plan = build_plan(modules, passes, config, cache, labels=labels,
                       strategy=strategy, function_names=function_names)
@@ -392,6 +400,9 @@ def validate_module_batch(
         "pairs_quarantined": executor_stats.get("pairs_quarantined", 0),
         "item_retries": executor_stats.get("item_retries", 0),
         "pairs_denied": len(execution.denied),
+        "remote_workers_joined": executor_stats.get("remote_workers_joined", 0),
+        "remote_workers_left": executor_stats.get("remote_workers_left", 0),
+        "handshakes_rejected": executor_stats.get("handshakes_rejected", 0),
     }
     if budget is not None:
         shard_stats.update(budget.stats())
@@ -401,6 +412,8 @@ def validate_module_batch(
     cache_counters = cache.stats()
     shard_stats["store_flushes"] = cache_counters.get("store_flushes", 0)
     shard_stats["store_lazy_loads"] = cache_counters.get("store_lazy_loads", 0)
+    shard_stats["store_rpcs"] = cache_counters.get("store_rpcs", 0)
+    shard_stats["store_batched_gets"] = cache_counters.get("store_batched_gets", 0)
     analysis_stats = manager.stats()
     for _, report in results:
         report.shard_stats = dict(shard_stats)

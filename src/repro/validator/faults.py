@@ -37,6 +37,18 @@ Sites wired in today:
     Inside the proof stores' write paths (``raise`` with
     ``error="database is locked"`` or ``"ENOSPC"`` exercises the
     locked-retry and degrade-to-memory paths).
+``"conn-drop"``
+    In the TCP steal coordinator, right after an item is written to a
+    remote worker's connection (any action severs that connection, so
+    the leased item surfaces as a worker death → respawn/requeue).
+``"conn-delay"``
+    In the TCP steal coordinator, as a result frame arrives (``hang``
+    delays its delivery by ``seconds``, simulating a congested link;
+    ordering and verdicts are unaffected).
+``"handshake"``
+    In the TCP steal coordinator, while accepting a new worker or
+    store connection (any action rejects the handshake, exercising the
+    joiner's retry/give-up path).
 
 The plan and its specs are frozen dataclasses of immutables:
 :class:`~repro.validator.config.ValidatorConfig` stays hashable (the
@@ -58,7 +70,7 @@ from typing import Dict, Optional, Tuple
 
 #: Sites the validator consults a plan at (documented above).
 SITES = ("pair", "worker", "steal-dispatch", "pool-batch", "payload",
-         "cache-flush")
+         "cache-flush", "conn-drop", "conn-delay", "handshake")
 
 #: What a firing spec does: ``"crash"`` (kill the worker process, or
 #: raise :class:`InjectedCrash` in the parent), ``"hang"`` (sleep for

@@ -48,10 +48,14 @@ Three backends ship today:
     the deques.  Any pool failure degrades the *unfinished remainder* to
     serial — completed verdicts are content-addressed and kept.
 
-The cross-host half of the ROADMAP's multi-host item (a transport
-shipping these same content-keyed items to remote machines) drops in
-behind the same ``Executor`` seam without touching planning or
-settlement.
+The cross-host half of the ROADMAP's multi-host item ships behind the
+same seam: ``config.steal_transport="tcp"`` swaps the steal backend's
+in-process pipes for :class:`~repro.validator.scheduler.transport.TcpStealPool`
+— a coordinator socket remote ``python -m
+repro.validator.scheduler.worker`` processes join dynamically — without
+touching planning, settlement, cancellation or the supervision logic
+below (the pool contract is identical, so a remote worker death walks
+the same respawn/requeue/quarantine path a local one does).
 """
 
 from __future__ import annotations
@@ -572,20 +576,39 @@ class StealExecutor(Executor):
         #: Times an idle worker looked for work beyond its own deque
         #: (successful or not).
         self.steal_attempts = 0
+        #: TCP-transport membership counters, snapshotted at close.
+        self._remote_stats: Dict[str, int] = {}
 
     def stats(self) -> Dict[str, int]:
         counters = super().stats()
         counters["items_stolen"] = self.items_stolen
         counters["steal_attempts"] = self.steal_attempts
+        counters.update(self._remote_stats)
         return counters
 
     def close(self) -> None:
         if self._pool is not None:
             pool, self._pool = self._pool, None
+            coordinator = getattr(pool, "coordinator", None)
+            if coordinator is not None:
+                # Snapshot the membership counters before the server dies
+                # — shard_stats outlives the per-batch coordinator.
+                self._remote_stats = {
+                    "remote_workers_joined": coordinator.workers_joined,
+                    "remote_workers_left": coordinator.workers_left,
+                    "handshakes_rejected": coordinator.rejected,
+                }
             try:
                 pool.close()
             except Exception:  # pragma: no cover - broken pools may throw
                 pass
+
+    def _make_pool(self, config: ValidatorConfig):
+        """Build the transport `config.steal_transport` selects."""
+        if getattr(config, "steal_transport", "pipe") == "tcp":
+            from . import transport
+            return transport.TcpStealPool(self.workers, config)
+        return steal.StealPool(self.workers)
 
     def run_batch(self, items: List[Tuple], config: ValidatorConfig) -> List:
         results: List = [None] * len(items)
@@ -637,7 +660,7 @@ class StealExecutor(Executor):
         sys.setrecursionlimit(max(old_limit, config.recursion_limit))
         try:
             if self._pool is None:
-                self._pool = steal.StealPool(self.workers)
+                self._pool = self._make_pool(config)
             pool = self._pool
             # Contiguous runs of the priority order, reversed so the
             # deque's right end (the owner's LIFO "top") holds the run's

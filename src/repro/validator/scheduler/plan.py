@@ -181,6 +181,12 @@ def build_plan(
     module_plans: List[ModulePlan] = []
     pending: Dict[CacheKey, Tuple[Function, Function]] = {}
     pending_chains: Dict[ChainSignature, Tuple[List[Function], CacheKey]] = {}
+    #: Phase-2 classification input: (pair_keys, pair_versions, versions)
+    #: per planned function, in plan order.  Classification is deferred
+    #: until every key is known so a batched store (the remote proof
+    #: store) answers the whole batch's peeks in ONE round trip.
+    classify: List[Tuple[List[CacheKey], List[Tuple[Function, Function]],
+                         List[Function]]] = []
     for index, module in enumerate(modules):
         label = labels[index] if labels is not None else module.name
         selected: Optional[set] = None
@@ -225,33 +231,46 @@ def build_plan(
             else:
                 pair_keys = [whole_key]
                 pair_versions = [(versions[0], versions[-1])]
-            if chain_mode and len(pair_keys) >= 2:
-                # One packed work item covers every adjacent pair of this
-                # function — but only when enough pairs still need
-                # validating to amortize it: the chain translates all k
-                # versions once while the per-pair path translates two
-                # per miss, so with a warm cache and a straggler or two
-                # the misses ship as plain pair items instead (and a
-                # fully cached chain costs nothing, exactly like the
-                # serial path's lazy chain construction).
-                missing = [(key, pair)
-                           for key, pair in zip(pair_keys, pair_versions)
-                           if cache.peek(key) is None]
-                if chain_amortizes(len(missing), len(versions)):
-                    chain_signature = tuple(pair_keys)
-                    if chain_signature not in pending_chains:
-                        pending_chains[chain_signature] = (versions, whole_key)
-                else:
-                    for key, (before, after) in missing:
-                        if key not in pending:
-                            pending[key] = (before, after)
-            else:
-                for key, (before, after) in zip(pair_keys, pair_versions):
-                    if cache.peek(key) is None and key not in pending:
-                        pending[key] = (before, after)
+            classify.append((pair_keys, pair_versions, versions))
             work.append(FunctionPlan(function, record, versions, steps,
                                      fingerprints, pair_keys, whole_key))
         module_plans.append(ModulePlan(module, result_module, report, global_map, work))
+    # Phase 2: one batched fault of every candidate key (pairs now, whole
+    # fallbacks for the settle round's peeks), then classify.  For the
+    # in-memory/json/sqlite backends prefetch is a no-op and the peeks
+    # below behave exactly as before.
+    cache.prefetch([key
+                    for function_plan in (fp for mp in module_plans
+                                          for fp in mp.work)
+                    for key in function_plan.pair_keys + [function_plan.whole_key]])
+    for classify_index, function_plan in enumerate(
+            fp for mp in module_plans for fp in mp.work):
+        pair_keys, pair_versions, versions = classify[classify_index]
+        whole_key = function_plan.whole_key
+        if chain_mode and len(pair_keys) >= 2:
+            # One packed work item covers every adjacent pair of this
+            # function — but only when enough pairs still need
+            # validating to amortize it: the chain translates all k
+            # versions once while the per-pair path translates two
+            # per miss, so with a warm cache and a straggler or two
+            # the misses ship as plain pair items instead (and a
+            # fully cached chain costs nothing, exactly like the
+            # serial path's lazy chain construction).
+            missing = [(key, pair)
+                       for key, pair in zip(pair_keys, pair_versions)
+                       if cache.peek(key) is None]
+            if chain_amortizes(len(missing), len(versions)):
+                chain_signature = tuple(pair_keys)
+                if chain_signature not in pending_chains:
+                    pending_chains[chain_signature] = (versions, whole_key)
+            else:
+                for key, (before, after) in missing:
+                    if key not in pending:
+                        pending[key] = (before, after)
+        else:
+            for key, (before, after) in zip(pair_keys, pair_versions):
+                if cache.peek(key) is None and key not in pending:
+                    pending[key] = (before, after)
     return WorkPlan(strategy=strategy, config=config, executor=executor,
                     modules=module_plans, pending=pending,
                     pending_chains=pending_chains)

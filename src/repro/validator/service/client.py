@@ -5,17 +5,29 @@ iterate the streamed NDJSON verdicts, read ``/stats``, trigger a
 graceful shutdown.  The client is deliberately dumb — every transport
 failure surfaces as :class:`ServiceError`, admission rejection as
 :class:`ServiceBusy` with the daemon's ``Retry-After`` hint — so test
-harnesses and CI guards stay in control of retry policy.
+harnesses and CI guards stay in control of retry policy.  The one
+convenience: ``validate(..., retries=N)`` absorbs up to ``N`` 503
+rejections itself, waiting out the larger of the daemon's hint and a
+deterministic :class:`~repro.validator.scheduler.retry.RetryPolicy`
+backoff, so callers stop hand-rolling the ``ServiceBusy`` loop.
 """
 
 from __future__ import annotations
 
 import json
+import time
+from dataclasses import replace
 from http.client import HTTPConnection
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ...ir.module import Module
 from ...ir.printer import print_module
+from ..scheduler.retry import RetryPolicy, retry_call
+
+#: Backoff shape for ``validate(..., retries=N)``: the daemon's
+#: ``Retry-After`` hint still sets the floor on each wait, this policy
+#: adds the (seeded, jittered) exponential growth across attempts.
+BUSY_RETRY = RetryPolicy(max_attempts=1, base_delay=0.05, max_delay=2.0)
 
 
 class ServiceError(RuntimeError):
@@ -61,7 +73,10 @@ class ValidationClient:
                  corpus: Optional[str] = None, scale: float = 0.1,
                  functions: Optional[Sequence[str]] = None,
                  timeout: Optional[float] = None,
-                 max_pairs: Optional[int] = None) -> Dict[str, object]:
+                 max_pairs: Optional[int] = None,
+                 retries: int = 0, retry_seed: int = 0,
+                 sleep: Callable[[float], None] = time.sleep
+                 ) -> Dict[str, object]:
         """Validate a module (``.ll`` text or a :class:`Module`) or a corpus.
 
         Returns ``{"records": [...], "summary": {...}}`` — ``records``
@@ -70,7 +85,18 @@ class ValidationClient:
         :meth:`~repro.validator.report.FunctionRecord.signature` under
         ``"signature"``).  Raises :class:`ServiceBusy` on 503 and
         :class:`ServiceError` on any other failure.
+
+        ``retries`` absorbs up to that many 503 rejections before the
+        :class:`ServiceBusy` propagates: each wait is the *larger* of
+        the daemon's ``Retry-After`` hint and the :data:`BUSY_RETRY`
+        policy's deterministic (``retry_seed``-jittered) exponential
+        backoff, so loaded-daemon callers converge instead of
+        thundering back at the hinted instant.  Only 503s retry —
+        transport failures and error verdicts stay the caller's
+        problem.  ``sleep`` is injectable for tests.
         """
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         payload: Dict[str, object] = {}
         if corpus is not None:
             payload["corpus"] = corpus
@@ -93,37 +119,54 @@ class ValidationClient:
         if max_pairs is not None:
             payload["max_pairs"] = max_pairs
 
-        connection, response = self._request("POST", "/validate", payload)
-        try:
-            if response.status == 503:
-                detail = response.read().decode("utf-8", "replace")
-                retry_after = float(response.getheader("Retry-After") or 1.0)
-                raise ServiceBusy(f"service busy: {detail.strip()}",
-                                  retry_after=retry_after)
-            if response.status != 200:
-                detail = response.read().decode("utf-8", "replace")
-                raise ServiceError(
-                    f"HTTP {response.status}: {detail.strip()}")
-            records: List[Dict[str, object]] = []
-            summary: Optional[Dict[str, object]] = None
-            for raw in response:
-                line = raw.strip()
-                if not line:
-                    continue
-                event = json.loads(line.decode("utf-8"))
-                kind = event.get("type")
-                if kind == "record":
-                    records.append(event)
-                elif kind == "summary":
-                    summary = event
-                elif kind == "error":
+        def attempt() -> Dict[str, object]:
+            connection, response = self._request("POST", "/validate", payload)
+            try:
+                if response.status == 503:
+                    detail = response.read().decode("utf-8", "replace")
+                    retry_after = float(response.getheader("Retry-After") or 1.0)
+                    raise ServiceBusy(f"service busy: {detail.strip()}",
+                                      retry_after=retry_after)
+                if response.status != 200:
+                    detail = response.read().decode("utf-8", "replace")
                     raise ServiceError(
-                        f"validation failed mid-stream: {event.get('message')}")
-            if summary is None:
-                raise ServiceError("stream ended without a summary line")
-            return {"records": records, "summary": summary}
-        finally:
-            connection.close()
+                        f"HTTP {response.status}: {detail.strip()}")
+                records: List[Dict[str, object]] = []
+                summary: Optional[Dict[str, object]] = None
+                for raw in response:
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    event = json.loads(line.decode("utf-8"))
+                    kind = event.get("type")
+                    if kind == "record":
+                        records.append(event)
+                    elif kind == "summary":
+                        summary = event
+                    elif kind == "error":
+                        raise ServiceError(
+                            f"validation failed mid-stream: "
+                            f"{event.get('message')}")
+                if summary is None:
+                    raise ServiceError("stream ended without a summary line")
+                return {"records": records, "summary": summary}
+            finally:
+                connection.close()
+
+        if retries == 0:
+            return attempt()
+        hint = [0.0]
+
+        def note_hint(_attempt: int, error: BaseException) -> None:
+            hint[0] = getattr(error, "retry_after", 0.0)
+
+        def pause(delay: float) -> None:
+            sleep(max(delay, hint[0]))
+
+        policy = replace(BUSY_RETRY, max_attempts=retries + 1)
+        return retry_call(attempt, policy=policy,
+                          retry_if=lambda error: isinstance(error, ServiceBusy),
+                          seed=retry_seed, on_retry=note_hint, sleep=pause)
 
     def stats(self) -> Dict[str, object]:
         """The daemon's ``/stats`` counters."""
@@ -146,4 +189,4 @@ class ValidationClient:
             connection.close()
 
 
-__all__ = ["ValidationClient", "ServiceBusy", "ServiceError"]
+__all__ = ["BUSY_RETRY", "ValidationClient", "ServiceBusy", "ServiceError"]

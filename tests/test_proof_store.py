@@ -198,28 +198,44 @@ class TestMigration:
 
     def test_migrate_then_auto_resolves_sqlite(self, tmp_path, pair):
         key = self._seed_json(tmp_path, pair)
-        migrated, target = migrate_json_to_sqlite(tmp_path)
-        assert migrated == 1
+        migrated, skipped, target = migrate_json_to_sqlite(tmp_path)
+        assert (migrated, skipped) == (1, 0)
         assert target == tmp_path / SQLITE_FILE_NAME
         # The JSON source is untouched: the migration is retryable.
         assert (tmp_path / CACHE_FILE_NAME).exists()
-        assert migrate_json_to_sqlite(tmp_path)[0] == 1
+        # Re-running is an idempotent, counted no-op.
+        assert migrate_json_to_sqlite(tmp_path)[:2] == (0, 1)
         cache = ValidationCache(tmp_path)  # auto now prefers the sqlite file
         assert cache.backend == "sqlite"
         assert cache.peek(key) is not None
 
+    def test_migrate_dry_run_writes_nothing(self, tmp_path, pair):
+        self._seed_json(tmp_path, pair)
+        migrated, skipped, target = migrate_json_to_sqlite(tmp_path,
+                                                           dry_run=True)
+        assert (migrated, skipped) == (1, 0)
+        assert not target.exists()
+        # A real run still migrates; a dry run after it reports the skip.
+        assert migrate_json_to_sqlite(tmp_path)[:2] == (1, 0)
+        assert migrate_json_to_sqlite(tmp_path, dry_run=True)[:2] == (0, 1)
+
     def test_migrate_empty_source_creates_empty_store(self, tmp_path):
-        migrated, target = migrate_json_to_sqlite(tmp_path)
-        assert migrated == 0
+        migrated, skipped, target = migrate_json_to_sqlite(tmp_path)
+        assert (migrated, skipped) == (0, 0)
         assert target.exists()
         assert ValidationCache(tmp_path).backend == "sqlite"
 
     def test_cli_migrate(self, tmp_path, pair, capsys):
         self._seed_json(tmp_path, pair)
+        assert cache_cli(["migrate", "--dry-run", str(tmp_path)]) == 0
+        assert "would migrate 1 entries" in capsys.readouterr().out
+        assert not (tmp_path / SQLITE_FILE_NAME).exists()
         assert cache_cli(["migrate", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "migrated 1 entries" in out
         assert (tmp_path / SQLITE_FILE_NAME).exists()
+        assert cache_cli(["migrate", str(tmp_path)]) == 0
+        assert "(1 already present)" in capsys.readouterr().out
 
 
 class TestSqliteEviction:
